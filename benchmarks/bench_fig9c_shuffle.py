@@ -1,0 +1,27 @@
+"""Fig. 9c: shuffle size of the four algorithms on A1 and A4."""
+
+from __future__ import annotations
+
+from repro.experiments import figure9c, format_table, human_bytes
+
+from benchmarks.conftest import BENCH_SIZES, BENCH_WORKERS, run_once
+
+
+def test_figure9c_shuffle_sizes(benchmark):
+    rows = run_once(
+        benchmark, figure9c, size=BENCH_SIZES["AMZN"], num_workers=BENCH_WORKERS
+    )
+    print()
+    print("Fig. 9c (reproduced): shuffle size per algorithm, AMZN-like dataset")
+    for row in rows:
+        row = dict(row)
+        row["shuffle"] = human_bytes(row["shuffle_bytes"])
+        print(f"  {row['constraint']:>8} {row['algorithm']:>10}: {row['shuffle']}")
+    print(format_table(rows))
+    # Shape check: both D-SEQ and D-CAND shuffle far less than the naïve
+    # methods (the paper reports up to 100x).
+    by_key = {(r["constraint"], r["algorithm"]): r["shuffle_bytes"] for r in rows}
+    for constraint in {r["constraint"] for r in rows}:
+        naive = by_key[(constraint, "naive")]
+        assert by_key[(constraint, "dseq")] < naive / 5
+        assert by_key[(constraint, "dcand")] < naive / 5

@@ -1,0 +1,22 @@
+"""Table II: dataset and hierarchy characteristics of the synthetic datasets."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table, table2_dataset_characteristics
+
+from benchmarks.conftest import BENCH_SIZES, run_once
+
+
+def test_table2_dataset_characteristics(benchmark):
+    rows = run_once(benchmark, table2_dataset_characteristics, BENCH_SIZES)
+    print()
+    print("Table II (reproduced): dataset and hierarchy characteristics")
+    print(format_table(rows))
+    assert {row["dataset"] for row in rows} == {"NYT", "AMZN", "AMZN-F", "CW"}
+    by_name = {row["dataset"]: row for row in rows}
+    # Shape checks mirroring the paper: AMZN sequences are much shorter than
+    # NYT/CW sentences, CW has no hierarchy, AMZN's DAG has more ancestors than
+    # its forest variant.
+    assert by_name["AMZN"]["mean_length"] < by_name["NYT"]["mean_length"]
+    assert by_name["CW"]["mean_ancestors"] == 1.0
+    assert by_name["AMZN"]["mean_ancestors"] >= by_name["AMZN-F"]["mean_ancestors"]

@@ -1,0 +1,21 @@
+"""Table IV: candidate subsequences per input sequence (CSPI) statistics."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table, table4_candidate_statistics
+
+from benchmarks.conftest import BENCH_SIZES, run_once
+
+
+def test_table4_candidate_statistics(benchmark):
+    rows = run_once(benchmark, table4_candidate_statistics, BENCH_SIZES)
+    print()
+    print("Table IV (reproduced): candidate subsequence statistics")
+    print(format_table(rows))
+    by_key = {(row["constraint"].split("(")[0], row["dataset"]): row for row in rows}
+    # Shape checks: N1/N2 are selective (small CSPI), N4/N5 and T1/T3 are loose
+    # (orders of magnitude more candidates per matched sequence).
+    assert by_key[("N1", "NYT")]["cspi_mean"] <= by_key[("N4", "NYT")]["cspi_mean"]
+    assert by_key[("N2", "NYT")]["cspi_mean"] <= by_key[("N5", "NYT")]["cspi_mean"]
+    assert by_key[("A2", "AMZN")]["cspi_mean"] <= by_key[("T1", "AMZN")]["cspi_mean"]
+    assert by_key[("N4", "NYT")]["matched_pct"] > by_key[("N1", "NYT")]["matched_pct"]

@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Sec. VII) on scaled-down synthetic datasets and prints the resulting rows, so
+that ``pytest benchmarks/ --benchmark-only`` produces both timing numbers and
+the reproduced tables/series.
+
+Dataset sizes are kept small enough for the whole suite to finish in a few
+minutes on a laptop; EXPERIMENTS.md records a run with these defaults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Dataset sizes used by the benchmark suite (smaller than the library defaults
+#: so that the full suite stays fast).
+BENCH_SIZES = {
+    "NYT": 500,
+    "AMZN": 1200,
+    "AMZN-F": 1200,
+    "CW": 800,
+}
+
+#: Simulated worker count (the paper's cluster has 8 workers).
+BENCH_WORKERS = 8
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def bench_sizes() -> dict[str, int]:
+    return dict(BENCH_SIZES)
+
+
+@pytest.fixture(scope="session")
+def bench_workers() -> int:
+    return BENCH_WORKERS

@@ -1,0 +1,82 @@
+"""Protein motif mining: flexible constraints in computational biology.
+
+The paper's introduction lists "mining of protein sequences that exhibit a
+given motif" as one of the applications that need flexible subsequence
+constraints.  This example generates synthetic protein-like sequences with an
+implanted zinc-finger-style motif (C-x(2)-C-x(3)-[hydrophobic]-x(2)-H), mines
+them with D-SEQ and D-CAND, and shows how the hierarchy over amino-acid
+classes lets the miner report both concrete and generalized motif instances.
+
+Run with:  python examples/protein_motifs.py [num_sequences]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import mine
+from repro.datasets import protein_like, protein_motif_constraint
+from repro.experiments import bar_chart
+
+
+def main(num_sequences: int = 500) -> None:
+    dataset = protein_like(num_sequences, motif_fraction=0.35, seed=29)
+    dictionary, database = dataset.preprocess()
+    stats = database.statistics()
+    print(
+        f"Generated {stats.sequence_count} protein-like sequences "
+        f"(mean length {stats.mean_length:.1f}, {stats.unique_items} distinct residues)."
+    )
+
+    constraint = protein_motif_constraint(sigma=max(5, num_sequences // 50))
+    print(f"\nMotif constraint: {constraint.expression}")
+    print(f"Minimum support:  {constraint.sigma}\n")
+
+    results = {}
+    for algorithm in ("dseq", "dcand"):
+        result = mine(
+            database, dictionary, constraint.expression, sigma=constraint.sigma,
+            algorithm=algorithm,
+        )
+        results[algorithm] = result
+        print(
+            f"{algorithm:>6}: {len(result)} motif patterns, "
+            f"map {result.metrics.map_seconds:.2f}s, mine {result.metrics.reduce_seconds:.2f}s, "
+            f"shuffle {result.metrics.shuffle_bytes:,} bytes"
+        )
+    assert results["dseq"].patterns() == results["dcand"].patterns()
+
+    decoded = results["dcand"].decoded(dictionary)
+    generalized = {p: f for p, f in decoded.items() if p[2] == "Hydrophobic"}
+    concrete = {p: f for p, f in decoded.items() if p[2] != "Hydrophobic"}
+
+    print("\nMost frequent motif instances (class-generalized):")
+    top_generalized = sorted(generalized.items(), key=lambda kv: -kv[1])[:5]
+    print(
+        bar_chart(
+            [" ".join(pattern) for pattern, _ in top_generalized],
+            [frequency for _, frequency in top_generalized],
+            unit="sequences",
+        )
+    )
+
+    print("\nMost frequent concrete motif instances:")
+    top_concrete = sorted(concrete.items(), key=lambda kv: -kv[1])[:5]
+    print(
+        bar_chart(
+            [" ".join(pattern) for pattern, _ in top_concrete],
+            [frequency for _, frequency in top_concrete],
+            unit="sequences",
+        )
+    )
+
+    print(
+        "\nThe generalized pattern subsumes its concrete instances, so its support "
+        "is at least as high — this is what hierarchy constraints buy over plain "
+        "regular-expression filters."
+    )
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    main(size)

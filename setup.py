@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment used for the reproduction has no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build an editable wheel.  This
+shim lets ``python setup.py develop`` and legacy editable installs work; all
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro: scalable frequent sequence mining with flexible subsequence constraints.
+
+A from-scratch Python reproduction of
+
+    A. Renz-Wieland, M. Bertsch, R. Gemulla.
+    "Scalable Frequent Sequence Mining with Flexible Subsequence Constraints."
+    ICDE 2019.
+
+The package provides the DESQ constraint model (pattern expressions compiled
+to finite state transducers), the distributed mining algorithms D-SEQ and
+D-CAND on a simulated single-round MapReduce substrate, the NAÏVE/SEMI-NAÏVE
+baselines, sequential and specialised reference miners, synthetic dataset
+generators, and an experiment harness that regenerates every table and figure
+of the paper's evaluation.
+
+Quickstart::
+
+    from repro import PatEx, mine, preprocess
+
+    dictionary, database = preprocess(raw_sequences, hierarchy)
+    result = mine(database, dictionary, "(A)[(.^)|.]*(b)", sigma=2, algorithm="dseq")
+    print(result.decoded(dictionary))
+"""
+
+from repro.core import (
+    DCandMiner,
+    DSeqMiner,
+    DesqDfsMiner,
+    MiningResult,
+    NaiveMiner,
+    SemiNaiveMiner,
+    mine,
+)
+from repro.dictionary import Dictionary, DictionaryBuilder, Hierarchy, build_dictionary
+from repro.errors import (
+    CandidateExplosionError,
+    MiningError,
+    PatExSyntaxError,
+    ReproError,
+)
+from repro.mapreduce import SimulatedCluster
+from repro.patex import PatEx
+from repro.sequences import SequenceDatabase, preprocess
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CandidateExplosionError",
+    "DCandMiner",
+    "DSeqMiner",
+    "DesqDfsMiner",
+    "Dictionary",
+    "DictionaryBuilder",
+    "Hierarchy",
+    "MiningError",
+    "MiningResult",
+    "NaiveMiner",
+    "PatEx",
+    "PatExSyntaxError",
+    "ReproError",
+    "SemiNaiveMiner",
+    "SequenceDatabase",
+    "SimulatedCluster",
+    "__version__",
+    "build_dictionary",
+    "mine",
+    "preprocess",
+]

@@ -1,0 +1,14 @@
+"""Command-line interface for the repro library.
+
+The ``repro`` command exposes the library's functionality without writing any
+Python: generating the synthetic evaluation datasets, computing dataset
+statistics, mining frequent sequences under a flexible constraint, inspecting
+compiled FSTs, converting between sequence file formats, and regenerating the
+paper's tables and figures.
+
+Run ``repro --help`` or see ``docs/cli.md`` for an overview.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,160 @@
+"""Shared helpers for the CLI subcommands: input loading and output writing."""
+
+from __future__ import annotations
+
+import json
+import sys
+from argparse import ArgumentParser, Namespace
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.dictionary import Dictionary, Hierarchy
+from repro.errors import ReproError
+from repro.sequences import (
+    SequenceDatabase,
+    load_sequences,
+    preprocess,
+    read_dictionary,
+)
+
+
+class CliError(ReproError):
+    """Raised for user-facing CLI errors (bad arguments, missing files)."""
+
+
+# ------------------------------------------------------------------ arguments
+def add_input_arguments(parser: ArgumentParser) -> None:
+    """Arguments shared by all subcommands that read a sequence database."""
+    parser.add_argument(
+        "--sequences",
+        required=True,
+        metavar="FILE",
+        help="input sequence file (text, .jsonl, optionally .gz)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="sequence_format",
+        choices=("text", "jsonl"),
+        default=None,
+        help="input format (default: detect from the file name)",
+    )
+    parser.add_argument(
+        "--dictionary",
+        metavar="FILE",
+        default=None,
+        help="dictionary JSON written by 'repro generate' or write_dictionary()",
+    )
+    parser.add_argument(
+        "--hierarchy",
+        metavar="FILE",
+        default=None,
+        help="optional hierarchy file with one 'child parent' pair per line "
+        "(used only when no dictionary is given)",
+    )
+
+
+def read_hierarchy_file(path: str | Path) -> Hierarchy:
+    """Read a hierarchy from a text file with one ``child parent`` pair per line.
+
+    Lines starting with ``#`` and blank lines are ignored; a line with a single
+    token declares an item without parents.
+    """
+    hierarchy = Hierarchy()
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            tokens = line.split()
+            if len(tokens) == 1:
+                hierarchy.add_item(tokens[0])
+            elif len(tokens) == 2:
+                hierarchy.add_edge(tokens[0], tokens[1])
+            else:
+                raise CliError(
+                    f"{path}:{line_number}: expected 'child parent' or 'item', got {line!r}"
+                )
+    return hierarchy
+
+
+def load_input(args: Namespace) -> tuple[Dictionary, SequenceDatabase, list[tuple[str, ...]]]:
+    """Load the sequence file and build (or read) the dictionary.
+
+    Returns ``(dictionary, database, raw_sequences)``.  When a dictionary file
+    is given it is used as-is (the paper's setting: the f-list is known);
+    otherwise the dictionary is built from the sequences, optionally guided by
+    a hierarchy file.
+    """
+    path = Path(args.sequences)
+    if not path.exists():
+        raise CliError(f"sequence file not found: {path}")
+    raw = load_sequences(path, getattr(args, "sequence_format", None))
+    if not raw:
+        raise CliError(f"no sequences found in {path}")
+
+    if getattr(args, "dictionary", None):
+        dictionary_path = Path(args.dictionary)
+        if not dictionary_path.exists():
+            raise CliError(f"dictionary file not found: {dictionary_path}")
+        dictionary = read_dictionary(dictionary_path)
+        unknown = {gid for sequence in raw for gid in sequence if gid not in dictionary}
+        if unknown:
+            examples = ", ".join(sorted(unknown)[:5])
+            raise CliError(
+                f"{len(unknown)} items in {path} are missing from the dictionary "
+                f"(e.g. {examples})"
+            )
+        database = SequenceDatabase.from_gid_sequences(dictionary, raw)
+        return dictionary, database, raw
+
+    hierarchy = None
+    if getattr(args, "hierarchy", None):
+        hierarchy_path = Path(args.hierarchy)
+        if not hierarchy_path.exists():
+            raise CliError(f"hierarchy file not found: {hierarchy_path}")
+        hierarchy = read_hierarchy_file(hierarchy_path)
+    dictionary, database = preprocess(raw, hierarchy)
+    return dictionary, database, raw
+
+
+# --------------------------------------------------------------------- output
+def write_patterns(
+    path: str | Path | None,
+    patterns: Sequence[tuple[tuple[str, ...], int]],
+    output_format: str = "tsv",
+    stream=None,
+) -> None:
+    """Write decoded ``(pattern, frequency)`` rows to a file or a stream.
+
+    ``tsv`` writes one tab-separated line per pattern (items joined by
+    spaces); ``jsonl`` writes one JSON object per line.
+    """
+    stream = stream or sys.stdout
+    handle = open(path, "w", encoding="utf-8") if path else None
+    target = handle or stream
+    try:
+        for pattern, frequency in patterns:
+            if output_format == "jsonl":
+                record = {"pattern": list(pattern), "frequency": frequency}
+                target.write(json.dumps(record, separators=(",", ":")))
+                target.write("\n")
+            else:
+                target.write(f"{' '.join(pattern)}\t{frequency}\n")
+    finally:
+        if handle is not None:
+            handle.close()
+
+
+def print_metrics(metrics, stream=None) -> None:
+    """Print the timing / shuffle metrics of one mining run."""
+    stream = stream or sys.stdout
+    summary = metrics.as_dict()
+    stream.write(
+        "map {:.3f}s  mine {:.3f}s  total {:.3f}s  shuffle {:,} bytes / {:,} records\n".format(
+            summary["map_seconds"],
+            summary["reduce_seconds"],
+            summary["total_seconds"],
+            int(summary["shuffle_bytes"]),
+            int(summary["shuffle_records"]),
+        )
+    )

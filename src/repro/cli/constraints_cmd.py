@@ -1,0 +1,47 @@
+"""``repro constraints``: list the Table III constraint catalogue."""
+
+from __future__ import annotations
+
+import sys
+from argparse import Namespace
+
+from repro.datasets import CONSTRAINT_FACTORIES
+from repro.experiments import SCALED_SIGMA, format_table
+
+
+def add_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "constraints",
+        help="list the Table III subsequence constraints",
+        description=(
+            "Show the catalogue of application constraints from Table III of "
+            "the paper (N1-N5 text mining, A1-A4 recommendation, T1-T3 "
+            "traditional settings) together with their pattern expressions."
+        ),
+    )
+    parser.add_argument(
+        "--expressions",
+        action="store_true",
+        help="include the full pattern expressions in the listing",
+    )
+    parser.set_defaults(run=run)
+
+
+def run(args: Namespace, stream=None) -> int:
+    stream = stream or sys.stdout
+    rows = []
+    for key in sorted(CONSTRAINT_FACTORIES):
+        sigma = SCALED_SIGMA.get(key, 10)
+        instance = CONSTRAINT_FACTORIES[key](sigma)
+        row = {
+            "name": key,
+            "dataset": instance.dataset,
+            "default_sigma": sigma,
+            "description": instance.description,
+        }
+        if args.expressions:
+            row["expression"] = instance.expression
+        rows.append(row)
+    stream.write(format_table(rows))
+    stream.write("\n")
+    return 0

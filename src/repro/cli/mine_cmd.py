@@ -1,0 +1,119 @@
+"""``repro mine``: frequent sequence mining under a flexible constraint."""
+
+from __future__ import annotations
+
+import sys
+from argparse import Namespace
+
+from repro.cli.common import CliError, add_input_arguments, load_input, print_metrics, write_patterns
+from repro.core import mine
+from repro.datasets import CONSTRAINT_FACTORIES, constraint as make_constraint
+from repro.errors import CandidateExplosionError
+from repro.sequential import SequentialDesqCount, SequentialDesqDfs
+
+#: Algorithms selectable on the command line.
+ALGORITHM_CHOICES = ("dseq", "dcand", "naive", "semi-naive", "desq-dfs", "desq-count")
+
+#: Sequential reference miners (single worker, no shuffle).
+_SEQUENTIAL_MINERS = {"desq-dfs": SequentialDesqDfs, "desq-count": SequentialDesqCount}
+
+
+def add_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "mine",
+        help="mine frequent sequences under a pattern-expression constraint",
+        description=(
+            "Mine all frequent subsequences of the input that match a DESQ "
+            "pattern expression, using one of the distributed algorithms "
+            "(D-SEQ, D-CAND), a baseline, or a sequential reference miner."
+        ),
+    )
+    add_input_arguments(parser)
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--pattern",
+        metavar="EXPR",
+        help="a DESQ pattern expression, e.g. '.*(A)[(.^)|.]*(b).*'",
+    )
+    group.add_argument(
+        "--constraint",
+        metavar="NAME",
+        choices=sorted(CONSTRAINT_FACTORIES),
+        help="one of the Table III constraints (N1-N5, A1-A4, T1-T3)",
+    )
+    parser.add_argument("--sigma", type=int, required=True, help="minimum support σ")
+    parser.add_argument(
+        "--algorithm",
+        choices=ALGORITHM_CHOICES,
+        default="dseq",
+        help="mining algorithm (default: dseq)",
+    )
+    parser.add_argument("--workers", type=int, default=8, help="simulated workers")
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write patterns to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--output-format",
+        choices=("tsv", "jsonl"),
+        default="tsv",
+        help="pattern output format (default: tsv)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=0, help="only report the K most frequent patterns"
+    )
+    parser.add_argument(
+        "--metrics", action="store_true", help="print map/mine timing and shuffle size"
+    )
+    parser.set_defaults(run=run)
+
+
+def _resolve_expression(args: Namespace) -> str:
+    if args.pattern:
+        return args.pattern
+    factory_args = (args.sigma,)
+    return make_constraint(args.constraint, *factory_args).expression
+
+
+def run(args: Namespace, stream=None) -> int:
+    stream = stream or sys.stdout
+    if args.sigma < 1:
+        raise CliError(f"--sigma must be >= 1, got {args.sigma}")
+    dictionary, database, _raw = load_input(args)
+    expression = _resolve_expression(args)
+
+    try:
+        if args.algorithm in _SEQUENTIAL_MINERS:
+            miner = _SEQUENTIAL_MINERS[args.algorithm](expression, args.sigma, dictionary)
+            result = miner.mine(database)
+        else:
+            result = mine(
+                database,
+                dictionary,
+                expression,
+                sigma=args.sigma,
+                algorithm=args.algorithm,
+                num_workers=args.workers,
+            )
+    except CandidateExplosionError as error:
+        raise CliError(
+            f"the constraint produced too many candidates ({error}); "
+            "try a more selective pattern, a higher σ, or --algorithm dseq"
+        ) from error
+
+    decoded = result.top(args.top, dictionary) if args.top else [
+        (dictionary.decode(pattern), frequency)
+        for pattern, frequency in result.sorted_patterns()
+    ]
+    write_patterns(args.output, decoded, args.output_format, stream=stream)
+    if args.output:
+        stream.write(f"wrote {len(decoded)} patterns to {args.output}\n")
+    stream.write(
+        f"{args.algorithm}: {len(result)} frequent patterns "
+        f"(σ={args.sigma}, pattern {expression!r})\n"
+    )
+    if args.metrics:
+        print_metrics(result.metrics, stream=stream)
+    return 0

@@ -1,0 +1,60 @@
+"""``repro stats``: dataset and hierarchy characteristics (Table II style)."""
+
+from __future__ import annotations
+
+import sys
+from argparse import Namespace
+
+from repro.cli.common import add_input_arguments, load_input
+from repro.experiments import format_table
+
+
+def add_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "stats",
+        help="print dataset and hierarchy characteristics",
+        description=(
+            "Compute the Table II style characteristics of a sequence file: "
+            "sequence and item counts, length distribution, and hierarchy shape."
+        ),
+    )
+    add_input_arguments(parser)
+    parser.add_argument(
+        "--flist",
+        type=int,
+        metavar="K",
+        default=0,
+        help="additionally print the K most frequent items (the f-list)",
+    )
+    parser.set_defaults(run=run)
+
+
+def run(args: Namespace, stream=None) -> int:
+    stream = stream or sys.stdout
+    dictionary, database, _raw = load_input(args)
+    stats = database.statistics()
+    hierarchy = dictionary.hierarchy_stats()
+    rows = [
+        {
+            "sequences": stats.sequence_count,
+            "total_items": stats.total_items,
+            "unique_items": stats.unique_items,
+            "max_length": stats.max_length,
+            "mean_length": round(stats.mean_length, 1),
+            "hierarchy_items": hierarchy["items"],
+            "max_ancestors": hierarchy["max_ancestors"],
+            "mean_ancestors": round(hierarchy["mean_ancestors"], 1),
+        }
+    ]
+    stream.write(format_table(rows))
+    stream.write("\n")
+
+    if args.flist > 0:
+        stream.write("\nf-list (most frequent items):\n")
+        flist_rows = [
+            {"item": gid, "frequency": frequency}
+            for gid, frequency in dictionary.flist()[: args.flist]
+        ]
+        stream.write(format_table(flist_rows))
+        stream.write("\n")
+    return 0

@@ -1,0 +1,60 @@
+"""Core distributed FSM algorithms: D-SEQ, D-CAND, and baselines."""
+
+from repro.core.balance import (
+    PartitionBalance,
+    dcand_partition_balance,
+    dseq_partition_balance,
+    measure_partition_balance,
+)
+from repro.core.dcand import DCandJob, DCandMiner
+from repro.core.dseq import DSeqJob, DSeqMiner
+from repro.core.local_mining import DesqDfsMiner
+from repro.core.miner import ALGORITHMS, mine
+from repro.core.naive import NaiveMiner, SemiNaiveMiner
+from repro.core.nfa_mining import NfaLocalMiner
+from repro.core.partitioning import (
+    group_candidates_by_pivot,
+    is_pivot_sequence,
+    pivot_item,
+    pivot_items_of_candidates,
+    subsequence_key,
+)
+from repro.core.pivot_search import (
+    PositionStateGrid,
+    pivot_items,
+    pivot_merge,
+    pivots_by_run_enumeration,
+    pivots_of_output_sets,
+)
+from repro.core.results import MiningResult
+from repro.core.rewriting import rewrite_for_pivot, rewrite_statistics
+
+__all__ = [
+    "ALGORITHMS",
+    "DCandJob",
+    "DCandMiner",
+    "DSeqJob",
+    "DSeqMiner",
+    "DesqDfsMiner",
+    "MiningResult",
+    "NaiveMiner",
+    "NfaLocalMiner",
+    "PartitionBalance",
+    "PositionStateGrid",
+    "SemiNaiveMiner",
+    "dcand_partition_balance",
+    "dseq_partition_balance",
+    "measure_partition_balance",
+    "group_candidates_by_pivot",
+    "is_pivot_sequence",
+    "mine",
+    "pivot_item",
+    "pivot_items",
+    "pivot_items_of_candidates",
+    "pivot_merge",
+    "pivots_by_run_enumeration",
+    "pivots_of_output_sets",
+    "rewrite_for_pivot",
+    "rewrite_statistics",
+    "subsequence_key",
+]

@@ -1,0 +1,174 @@
+"""D-CAND: distributed FSM with candidate representation (Sec. VI).
+
+D-CAND enumerates the accepting runs of every input sequence in the map phase,
+splits each run's candidate subsequences by pivot item, compresses the
+per-pivot candidate sets into minimized NFAs, and ships the serialized NFAs to
+the partitions.  Identical NFAs are aggregated into weighted NFAs by a
+combiner.  Local mining simply counts on the weighted NFAs.
+
+The two enhancements evaluated in Fig. 10b are switchable:
+
+* ``minimize_nfas``  -- minimize the per-pivot tries before serializing;
+* ``aggregate_nfas`` -- aggregate identical serialized NFAs with a combiner.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.core.nfa_mining import NfaLocalMiner
+from repro.core.pivot_search import pivots_of_output_sets
+from repro.core.results import MiningResult
+from repro.dictionary import EPSILON_FID, Dictionary
+from repro.fst import Fst, accepting_runs, run_output_sets
+from repro.mapreduce import MapReduceJob, SimulatedCluster
+from repro.nfa import TrieBuilder, deserialize, serialize
+from repro.patex import PatEx
+from repro.sequences import SequenceDatabase
+
+
+class DCandJob(MapReduceJob):
+    """The MapReduce job run by :class:`DCandMiner`."""
+
+    def __init__(
+        self,
+        fst: Fst,
+        dictionary: Dictionary,
+        sigma: int,
+        minimize_nfas: bool = True,
+        aggregate_nfas: bool = True,
+        max_runs: int = 100_000,
+    ) -> None:
+        self.fst = fst
+        self.dictionary = dictionary
+        self.sigma = sigma
+        self.minimize_nfas = minimize_nfas
+        self.aggregate_nfas = aggregate_nfas
+        self.max_runs = max_runs
+        self.max_frequent_fid = dictionary.largest_frequent_fid(sigma)
+        self.use_combiner = aggregate_nfas
+
+    # ------------------------------------------------------------------- map
+    def map(self, record: Sequence[int]) -> Iterable[tuple[int, bytes]]:
+        """Build one NFA per pivot item of ``record`` and emit it serialized."""
+        sequence = tuple(record)
+        builders: dict[int, TrieBuilder] = {}
+        for run in accepting_runs(
+            self.fst, sequence, self.dictionary, max_runs=self.max_runs
+        ):
+            output_sets = run_output_sets(
+                run, sequence, self.dictionary, self.max_frequent_fid
+            )
+            if any(not outputs for outputs in output_sets):
+                # Some captured output set lost all items to the frequency
+                # filter; no frequent candidate passes through this run.
+                continue
+            pivots = pivots_of_output_sets(output_sets)
+            for pivot in pivots:
+                restricted = self._restrict(output_sets, pivot)
+                if restricted is None:
+                    continue
+                builder = builders.setdefault(pivot, TrieBuilder())
+                builder.add_run(restricted)
+        for pivot, builder in builders.items():
+            nfa = builder.minimized() if self.minimize_nfas else builder.trie()
+            yield pivot, serialize(nfa)
+
+    @staticmethod
+    def _restrict(
+        output_sets: Sequence[tuple[int, ...]], pivot: int
+    ) -> list[tuple[int, ...]] | None:
+        """Keep only items ``<= pivot`` and drop ε sets (Sec. VI-A).
+
+        Returns None if a captured output set loses all items, which cannot
+        happen when ``pivot`` is a pivot of the run (defensive guard).
+        """
+        restricted: list[tuple[int, ...]] = []
+        for outputs in output_sets:
+            if outputs == (EPSILON_FID,):
+                continue
+            kept = tuple(item for item in outputs if item != EPSILON_FID and item <= pivot)
+            if not kept:
+                return None
+            restricted.append(kept)
+        return restricted
+
+    # --------------------------------------------------------------- combine
+    def combine(
+        self, key: int, values: list[bytes]
+    ) -> Iterable[tuple[int, tuple[bytes, int]]]:
+        """Aggregate identical serialized NFAs into (NFA, weight) pairs."""
+        counts = Counter(values)
+        for payload, weight in counts.items():
+            yield key, (payload, weight)
+
+    # ---------------------------------------------------------------- reduce
+    def reduce(self, key: int, values: list) -> Iterable[tuple[tuple[int, ...], int]]:
+        """Count candidate occurrences directly on the received NFAs."""
+        nfas = []
+        weights = []
+        for value in values:
+            if isinstance(value, tuple):
+                payload, weight = value
+            else:
+                payload, weight = value, 1
+            nfas.append(deserialize(payload))
+            weights.append(weight)
+        miner = NfaLocalMiner(self.sigma, pivot=key)
+        yield from miner.mine(nfas, weights).items()
+
+    # ------------------------------------------------------------ accounting
+    def record_size(self, key: int, value) -> int:
+        """Bytes charged per shuffled record: pivot (+weight) + NFA payload."""
+        if isinstance(value, tuple):
+            payload, _weight = value
+            return 12 + len(payload)
+        return 8 + len(value)
+
+
+class DCandMiner:
+    """Public interface of the D-CAND algorithm.
+
+    Example::
+
+        miner = DCandMiner(patex, sigma=2, dictionary=dictionary)
+        result = miner.mine(database)
+    """
+
+    algorithm_name = "D-CAND"
+
+    def __init__(
+        self,
+        patex: PatEx | str,
+        sigma: int,
+        dictionary: Dictionary,
+        minimize_nfas: bool = True,
+        aggregate_nfas: bool = True,
+        num_workers: int = 4,
+        max_runs: int = 100_000,
+    ) -> None:
+        self.patex = PatEx(patex) if isinstance(patex, str) else patex
+        self.sigma = sigma
+        self.dictionary = dictionary
+        self.minimize_nfas = minimize_nfas
+        self.aggregate_nfas = aggregate_nfas
+        self.num_workers = num_workers
+        self.max_runs = max_runs
+
+    def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
+        """Mine all frequent patterns of ``database`` under the constraint."""
+        fst = self.patex.compile(self.dictionary)
+        job = DCandJob(
+            fst,
+            self.dictionary,
+            self.sigma,
+            minimize_nfas=self.minimize_nfas,
+            aggregate_nfas=self.aggregate_nfas,
+            max_runs=self.max_runs,
+        )
+        cluster = SimulatedCluster(num_workers=self.num_workers)
+        records = list(database)
+        result = cluster.run(job, records)
+        patterns = dict(result.outputs)
+        return MiningResult(patterns, result.metrics, algorithm=self.algorithm_name)

@@ -1,0 +1,262 @@
+"""Pivot-aware DESQ-DFS local mining (Sec. V-C).
+
+The local miner receives the (possibly rewritten) input sequences of one
+partition and mines the frequent pivot sequences for that partition's pivot
+item with a pattern-growth search: the current prefix is expanded one output
+item at a time, and each search-tree node keeps a projected database of
+``(sequence, position, state)`` snapshots that can still produce the prefix
+(Fig. 6).
+
+With ``pivot=None`` the same code is the *sequential* DESQ-DFS baseline used
+in Table V: it mines all frequent patterns of the given sequences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.dictionary import Dictionary
+from repro.errors import MiningError
+from repro.fst import Fst, reachability_table
+from repro.core.pivot_search import PositionStateGrid
+
+
+class _SequenceState:
+    """Per-sequence simulation tables shared by all search-tree nodes."""
+
+    __slots__ = ("sequence", "weight", "alive", "finishable", "last_pivot_position")
+
+    def __init__(
+        self,
+        sequence: tuple[int, ...],
+        weight: int,
+        fst: Fst,
+        dictionary: Dictionary,
+        pivot: int | None,
+        max_frequent_fid: int,
+    ) -> None:
+        self.sequence = sequence
+        self.weight = weight
+        self.alive = reachability_table(fst, sequence, dictionary)
+        self.finishable = self._compute_finishable(fst, dictionary)
+        if pivot is not None:
+            grid = PositionStateGrid(fst, sequence, dictionary, max_frequent_fid)
+            self.last_pivot_position = grid.last_pivot_producing_position(pivot)
+        else:
+            self.last_pivot_position = len(sequence)
+
+    def _compute_finishable(self, fst: Fst, dictionary: Dictionary) -> list[list[bool]]:
+        """``finishable[i][q]``: can reach acceptance from (i, q) producing only ε."""
+        n = len(self.sequence)
+        table = [[False] * fst.num_states for _ in range(n + 1)]
+        for state in fst.final_states:
+            table[n][state] = True
+        for position in range(n - 1, -1, -1):
+            item = self.sequence[position]
+            row = table[position]
+            next_row = table[position + 1]
+            for state in range(fst.num_states):
+                for transition in fst.outgoing(state):
+                    if transition.label.captured:
+                        continue
+                    if next_row[transition.target] and transition.label.matches(
+                        item, dictionary
+                    ):
+                        row[state] = True
+                        break
+        return table
+
+
+class DesqDfsMiner:
+    """Pattern-growth miner over FST snapshots.
+
+    Parameters
+    ----------
+    fst, dictionary, sigma:
+        The compiled constraint, the item dictionary and the minimum support.
+    pivot:
+        When given, only pivot sequences for this item are output and the
+        search never expands prefixes with items larger than the pivot.
+    use_early_stopping:
+        Enable the heuristic of Sec. V-C that drops input sequences from a
+        projected database once they can no longer contribute the pivot item.
+    max_patterns:
+        Safety cap on the number of emitted patterns.
+    """
+
+    def __init__(
+        self,
+        fst: Fst,
+        dictionary: Dictionary,
+        sigma: int,
+        pivot: int | None = None,
+        use_early_stopping: bool = True,
+        max_patterns: int = 10_000_000,
+    ) -> None:
+        if sigma < 1:
+            raise MiningError(f"sigma must be >= 1, got {sigma}")
+        self.fst = fst
+        self.dictionary = dictionary
+        self.sigma = sigma
+        self.pivot = pivot
+        self.use_early_stopping = use_early_stopping
+        self.max_patterns = max_patterns
+        self.max_frequent_fid = dictionary.largest_frequent_fid(sigma)
+
+    # --------------------------------------------------------------------- API
+    def mine(
+        self,
+        sequences: Sequence[Sequence[int]],
+        weights: Sequence[int] | None = None,
+    ) -> dict[tuple[int, ...], int]:
+        """Mine the frequent (pivot) sequences of ``sequences``.
+
+        ``weights`` gives the multiplicity of each input sequence (identical
+        rewritten sequences may be aggregated upstream); defaults to 1 each.
+        """
+        if weights is None:
+            weights = [1] * len(sequences)
+        if len(weights) != len(sequences):
+            raise MiningError("weights must align with sequences")
+
+        states: list[_SequenceState] = []
+        root_snapshots: list[set[tuple[int, int]]] = []
+        for sequence, weight in zip(sequences, weights):
+            sequence = tuple(sequence)
+            state = _SequenceState(
+                sequence,
+                weight,
+                self.fst,
+                self.dictionary,
+                self.pivot if self.use_early_stopping else None,
+                self.max_frequent_fid,
+            )
+            if state.alive and state.alive[0][self.fst.initial_state]:
+                states.append(state)
+                root_snapshots.append({(0, self.fst.initial_state)})
+        patterns: dict[tuple[int, ...], int] = {}
+        if states:
+            projected = list(zip(range(len(states)), root_snapshots))
+            self._expand((), projected, states, patterns)
+        return patterns
+
+    # --------------------------------------------------------------- expansion
+    def _expand(
+        self,
+        prefix: tuple[int, ...],
+        projected: list[tuple[int, set[tuple[int, int]]]],
+        states: list[_SequenceState],
+        patterns: dict[tuple[int, ...], int],
+    ) -> None:
+        children: dict[int, dict[int, set[tuple[int, int]]]] = {}
+        pivot_missing = self.pivot is not None and self.pivot not in prefix
+
+        for sequence_index, snapshots in projected:
+            state = states[sequence_index]
+            if (
+                self.use_early_stopping
+                and pivot_missing
+                and state.last_pivot_position == 0
+            ):
+                continue
+            reachable = self._output_steps(state, snapshots, pivot_missing)
+            for item, next_snapshots in reachable.items():
+                bucket = children.setdefault(item, {})
+                bucket.setdefault(sequence_index, set()).update(next_snapshots)
+
+        for item in sorted(children):
+            child_projected = children[item]
+            prefix_support = sum(
+                states[sequence_index].weight for sequence_index in child_projected
+            )
+            if prefix_support < self.sigma:
+                continue
+            child_prefix = prefix + (item,)
+            support = self._support(child_prefix, child_projected, states)
+            if support >= self.sigma and self._should_output(child_prefix):
+                if len(patterns) >= self.max_patterns:
+                    raise MiningError(
+                        f"more than {self.max_patterns} patterns produced; "
+                        "lower sigma or tighten the constraint"
+                    )
+                patterns[child_prefix] = support
+            self._expand(
+                child_prefix,
+                [(index, snapshots) for index, snapshots in child_projected.items()],
+                states,
+                patterns,
+            )
+
+    def _output_steps(
+        self,
+        state: _SequenceState,
+        snapshots: set[tuple[int, int]],
+        pivot_missing: bool,
+    ) -> dict[int, set[tuple[int, int]]]:
+        """All one-item expansions reachable from the given snapshots.
+
+        Follows uncaptured (ε-output) transitions without emitting and stops
+        at the first captured transition, which emits each of its (filtered)
+        output items.
+        """
+        sequence = state.sequence
+        alive = state.alive
+        n = len(sequence)
+        expansions: dict[int, set[tuple[int, int]]] = {}
+        visited: set[tuple[int, int]] = set()
+        stack = list(snapshots)
+        while stack:
+            position, fst_state = stack.pop()
+            if (position, fst_state) in visited:
+                continue
+            visited.add((position, fst_state))
+            if position >= n:
+                continue
+            if (
+                self.use_early_stopping
+                and pivot_missing
+                and position >= state.last_pivot_position
+            ):
+                # This sequence can no longer produce the pivot item.
+                continue
+            item = sequence[position]
+            next_alive = alive[position + 1]
+            for transition in self.fst.outgoing(fst_state):
+                if not next_alive[transition.target]:
+                    continue
+                if not transition.label.matches(item, self.dictionary):
+                    continue
+                if not transition.label.captured:
+                    stack.append((position + 1, transition.target))
+                    continue
+                for output in transition.label.outputs(item, self.dictionary):
+                    if output > self.max_frequent_fid:
+                        continue
+                    if self.pivot is not None and output > self.pivot:
+                        continue
+                    expansions.setdefault(output, set()).add(
+                        (position + 1, transition.target)
+                    )
+        return expansions
+
+    def _support(
+        self,
+        prefix: tuple[int, ...],
+        projected: dict[int, set[tuple[int, int]]],
+        states: list[_SequenceState],
+    ) -> int:
+        """Weighted number of sequences for which ``prefix`` is a full candidate."""
+        support = 0
+        for sequence_index, snapshots in projected.items():
+            state = states[sequence_index]
+            if any(
+                state.finishable[position][fst_state]
+                for position, fst_state in snapshots
+            ):
+                support += state.weight
+        return support
+
+    def _should_output(self, prefix: tuple[int, ...]) -> bool:
+        if self.pivot is None:
+            return True
+        return self.pivot in prefix

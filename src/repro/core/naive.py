@@ -1,0 +1,124 @@
+"""NAÏVE and SEMI-NAÏVE baselines: subsequence-based partitioning (Sec. III-A).
+
+Both baselines generate all candidate subsequences in the map phase and count
+them in the reduce phase (the distributed analogue of word count).  SEMI-NAÏVE
+additionally exploits the restricted support antimonotonicity of subsequence
+predicates (``f(w, D) >= f_π(S, D)`` for every ``w ∈ S``) and only emits
+candidates consisting entirely of frequent items.
+
+For loose constraints the number of candidates explodes; the paper reports
+those runs as out-of-memory failures.  The reproduction surfaces the same
+outcome as :class:`~repro.errors.CandidateExplosionError`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.results import MiningResult
+from repro.dictionary import Dictionary
+from repro.fst import Fst, generate_candidates
+from repro.mapreduce import MapReduceJob, SimulatedCluster
+from repro.patex import PatEx
+from repro.sequences import SequenceDatabase
+
+
+class NaiveJob(MapReduceJob):
+    """Word-count style job over candidate subsequences."""
+
+    use_combiner = True
+
+    def __init__(
+        self,
+        fst: Fst,
+        dictionary: Dictionary,
+        sigma: int,
+        prune_infrequent_items: bool,
+        max_candidates_per_sequence: int = 1_000_000,
+        max_runs: int = 100_000,
+    ) -> None:
+        self.fst = fst
+        self.dictionary = dictionary
+        self.sigma = sigma
+        self.prune_infrequent_items = prune_infrequent_items
+        self.max_candidates_per_sequence = max_candidates_per_sequence
+        self.max_runs = max_runs
+
+    def map(self, record: Sequence[int]) -> Iterable[tuple[tuple[int, ...], int]]:
+        candidates = generate_candidates(
+            self.fst,
+            tuple(record),
+            self.dictionary,
+            sigma=self.sigma if self.prune_infrequent_items else None,
+            max_runs=self.max_runs,
+            max_candidates=self.max_candidates_per_sequence,
+        )
+        for candidate in candidates:
+            yield candidate, 1
+
+    def combine(
+        self, key: tuple[int, ...], values: list[int]
+    ) -> Iterable[tuple[tuple[int, ...], int]]:
+        yield key, sum(values)
+
+    def reduce(
+        self, key: tuple[int, ...], values: list[int]
+    ) -> Iterable[tuple[tuple[int, ...], int]]:
+        frequency = sum(values)
+        if frequency >= self.sigma:
+            yield key, frequency
+
+    def record_size(self, key: tuple[int, ...], value: int) -> int:
+        return 8 + 4 * len(key)
+
+
+class _SubsequenceBaselineMiner:
+    """Shared implementation of the NAÏVE and SEMI-NAÏVE miners."""
+
+    algorithm_name = "baseline"
+    prune_infrequent_items = False
+
+    def __init__(
+        self,
+        patex: PatEx | str,
+        sigma: int,
+        dictionary: Dictionary,
+        num_workers: int = 4,
+        max_candidates_per_sequence: int = 1_000_000,
+        max_runs: int = 100_000,
+    ) -> None:
+        self.patex = PatEx(patex) if isinstance(patex, str) else patex
+        self.sigma = sigma
+        self.dictionary = dictionary
+        self.num_workers = num_workers
+        self.max_candidates_per_sequence = max_candidates_per_sequence
+        self.max_runs = max_runs
+
+    def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
+        """Mine all frequent patterns; may raise ``CandidateExplosionError``."""
+        fst = self.patex.compile(self.dictionary)
+        job = NaiveJob(
+            fst,
+            self.dictionary,
+            self.sigma,
+            prune_infrequent_items=self.prune_infrequent_items,
+            max_candidates_per_sequence=self.max_candidates_per_sequence,
+            max_runs=self.max_runs,
+        )
+        cluster = SimulatedCluster(num_workers=self.num_workers)
+        result = cluster.run(job, list(database))
+        return MiningResult(dict(result.outputs), result.metrics, self.algorithm_name)
+
+
+class NaiveMiner(_SubsequenceBaselineMiner):
+    """The NAÏVE baseline: emit and count every candidate subsequence."""
+
+    algorithm_name = "NAIVE"
+    prune_infrequent_items = False
+
+
+class SemiNaiveMiner(_SubsequenceBaselineMiner):
+    """The SEMI-NAÏVE baseline: emit only candidates made of frequent items."""
+
+    algorithm_name = "SEMI-NAIVE"
+    prune_infrequent_items = True

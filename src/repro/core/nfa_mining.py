@@ -1,0 +1,103 @@
+"""Local mining on weighted output NFAs (Sec. VI-B).
+
+In D-CAND the expensive FST simulation happens in the map phase; the reduce
+phase only has to count, for every candidate subsequence, the total weight of
+the NFAs that accept it.  The counting uses pattern growth directly on the
+compressed NFAs: a prefix is associated with, per NFA, the set of states
+reachable by reading the prefix.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import MiningError
+from repro.nfa import OutputNfa
+
+
+class NfaLocalMiner:
+    """Counts frequent candidate subsequences encoded in weighted NFAs.
+
+    Parameters
+    ----------
+    sigma:
+        Minimum support.
+    pivot:
+        When given, only patterns whose maximum item equals ``pivot`` are
+        emitted.  (Per-pivot NFAs may encode candidates with a smaller pivot
+        because items larger than the pivot were dropped from run output sets;
+        those candidates are counted by their own partition instead.)
+    """
+
+    def __init__(
+        self, sigma: int, pivot: int | None = None, max_patterns: int = 10_000_000
+    ) -> None:
+        if sigma < 1:
+            raise MiningError(f"sigma must be >= 1, got {sigma}")
+        self.sigma = sigma
+        self.pivot = pivot
+        self.max_patterns = max_patterns
+
+    def mine(
+        self,
+        nfas: Sequence[OutputNfa],
+        weights: Sequence[int] | None = None,
+    ) -> dict[tuple[int, ...], int]:
+        """Count the frequent candidate subsequences of the weighted NFAs."""
+        if weights is None:
+            weights = [1] * len(nfas)
+        if len(weights) != len(nfas):
+            raise MiningError("weights must align with NFAs")
+        patterns: dict[tuple[int, ...], int] = {}
+        projected = [
+            (index, frozenset({0})) for index in range(len(nfas)) if weights[index] > 0
+        ]
+        self._expand((), projected, nfas, weights, patterns)
+        return patterns
+
+    # ----------------------------------------------------------------- search
+    def _expand(
+        self,
+        prefix: tuple[int, ...],
+        projected: list[tuple[int, frozenset[int]]],
+        nfas: Sequence[OutputNfa],
+        weights: Sequence[int],
+        patterns: dict[tuple[int, ...], int],
+    ) -> None:
+        children: dict[int, dict[int, set[int]]] = {}
+        for nfa_index, states in projected:
+            nfa = nfas[nfa_index]
+            for state in states:
+                for label, target in nfa.outgoing(state):
+                    for item in label:
+                        children.setdefault(item, {}).setdefault(nfa_index, set()).add(
+                            target
+                        )
+
+        for item in sorted(children):
+            child = children[item]
+            prefix_support = sum(weights[nfa_index] for nfa_index in child)
+            if prefix_support < self.sigma:
+                continue
+            child_prefix = prefix + (item,)
+            child_projected = [
+                (nfa_index, frozenset(states)) for nfa_index, states in child.items()
+            ]
+            support = sum(
+                weights[nfa_index]
+                for nfa_index, states in child_projected
+                if any(nfas[nfa_index].is_final(state) for state in states)
+            )
+            if support >= self.sigma and self._should_output(child_prefix):
+                if len(patterns) >= self.max_patterns:
+                    raise MiningError(
+                        f"more than {self.max_patterns} patterns produced; "
+                        "lower sigma or tighten the constraint"
+                    )
+                patterns[child_prefix] = support
+            self._expand(child_prefix, child_projected, nfas, weights, patterns)
+
+    def _should_output(self, prefix: tuple[int, ...]) -> bool:
+        if self.pivot is None:
+            return True
+        return max(prefix) == self.pivot

@@ -1,0 +1,279 @@
+"""Pivot search: the ⊕ merge operator and the position–state grid (Sec. V-A).
+
+Determining the set of partitions ``K(T)`` for which an input sequence ``T``
+is relevant is the key map-side computation of item-based partitioning.  The
+naive approach enumerates the (possibly exponential) candidate set; this
+module implements the paper's two ideas:
+
+* the commutative/associative **pivot merge** operator ⊕ (Theorem 1), which
+  computes the pivot items of a single run in time linear in the run length;
+* the **position–state grid**, a dynamic program over (position, FST state)
+  pairs that shares work across the possibly exponential number of accepting
+  runs and computes ``K(T)`` in ``O(|T| · |Q| · |Δ|)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.dictionary import EPSILON_FID, Dictionary
+from repro.errors import CandidateExplosionError
+from repro.fst import Fst, accepting_runs, reachability_table, run_output_sets
+from repro.fst.fst import Transition
+
+
+# ----------------------------------------------------------------- pivot merge
+def pivot_merge(left: set[int], right: Iterable[int]) -> set[int]:
+    """The ⊕ operator: pivot items of the concatenation of two output sets.
+
+    ``U ⊕ Q = {ω ∈ U | ω ≥ min(Q)} ∪ {ω ∈ Q | ω ≥ min(U)}`` with ε (fid 0)
+    smaller than every item.  An empty operand annihilates the merge: no
+    candidate can pass through an output set that lost all its items to the
+    frequency filter.
+    """
+    right_set = set(right)
+    if not left or not right_set:
+        return set()
+    min_left = min(left)
+    min_right = min(right_set)
+    merged = {item for item in left if item >= min_right}
+    merged.update(item for item in right_set if item >= min_left)
+    return merged
+
+
+def pivots_of_output_sets(output_sets: Iterable[Iterable[int]]) -> set[int]:
+    """Pivot items ``K(r)`` of one run, given its (filtered) output sets.
+
+    Implements Theorem 1 by folding ⊕ over the output sets; ε is stripped from
+    the final result.  Returns the empty set if any output set is empty.
+    """
+    accumulator: set[int] = {EPSILON_FID}
+    for outputs in output_sets:
+        accumulator = pivot_merge(accumulator, outputs)
+        if not accumulator:
+            return set()
+    accumulator.discard(EPSILON_FID)
+    return accumulator
+
+
+def pivots_by_run_enumeration(
+    fst: Fst,
+    sequence: Sequence[int],
+    dictionary: Dictionary,
+    max_frequent_fid: int | None = None,
+    max_runs: int = 100_000,
+) -> set[int]:
+    """Pivot search without the grid: enumerate runs and merge their pivots.
+
+    Used by the D-SEQ "no grid" ablation and by D-CAND (which needs the runs
+    anyway to build its NFAs).  Raises
+    :class:`~repro.errors.CandidateExplosionError` when ``max_runs`` is hit.
+    """
+    pivots: set[int] = set()
+    for run in accepting_runs(fst, sequence, dictionary, max_runs=max_runs):
+        output_sets = run_output_sets(run, sequence, dictionary, max_frequent_fid)
+        pivots.update(pivots_of_output_sets(output_sets))
+    return pivots
+
+
+# ------------------------------------------------------------------------ grid
+@dataclass(frozen=True)
+class GridEdge:
+    """One live edge of the position–state grid.
+
+    The edge consumes the input item at ``position`` (1-based), moving the FST
+    from ``source`` to ``target`` via ``transition`` and producing
+    ``outputs`` (already frequency-filtered; ``(0,)`` denotes ε).
+    """
+
+    position: int
+    source: int
+    target: int
+    transition: Transition
+    outputs: tuple[int, ...]
+
+    @property
+    def changes_state(self) -> bool:
+        return self.source != self.target
+
+    @property
+    def produces_items(self) -> bool:
+        return self.outputs != (EPSILON_FID,) and bool(self.outputs)
+
+
+class PositionStateGrid:
+    """The position–state grid of one input sequence (Fig. 5b).
+
+    The grid records, for every (position, state) coordinate on an accepting
+    run, the live incoming edges and the pivot set ``K(i, q)`` of the partial
+    runs ending there.  It is the workhorse of D-SEQ's map phase: pivot
+    search, sequence rewriting and the early-stopping heuristic all read it.
+    """
+
+    def __init__(
+        self,
+        fst: Fst,
+        sequence: Sequence[int],
+        dictionary: Dictionary,
+        max_frequent_fid: int | None = None,
+    ) -> None:
+        self.fst = fst
+        self.sequence = tuple(sequence)
+        self.dictionary = dictionary
+        self.max_frequent_fid = max_frequent_fid
+        self._alive = reachability_table(fst, self.sequence, dictionary)
+        self._edges: list[list[GridEdge]] = [[] for _ in range(len(self.sequence) + 1)]
+        self._pivot_sets: list[dict[int, set[int]]] = [
+            {} for _ in range(len(self.sequence) + 1)
+        ]
+        self._has_accepting_run = (
+            self._alive[0][fst.initial_state] if self.sequence else fst.is_final(fst.initial_state)
+        )
+        if self._has_accepting_run and self.sequence:
+            self._build()
+
+    # ------------------------------------------------------------ construction
+    def _build(self) -> None:
+        fst = self.fst
+        dictionary = self.dictionary
+        sequence = self.sequence
+        n = len(sequence)
+        reachable = [set() for _ in range(n + 1)]
+        reachable[0].add(fst.initial_state)
+        self._pivot_sets[0][fst.initial_state] = {EPSILON_FID}
+
+        for position in range(1, n + 1):
+            item = sequence[position - 1]
+            alive_row = self._alive[position]
+            for source in reachable[position - 1]:
+                source_pivots = self._pivot_sets[position - 1].get(source)
+                if source_pivots is None or not source_pivots:
+                    continue
+                for transition in fst.outgoing(source):
+                    if not alive_row[transition.target]:
+                        continue
+                    if not transition.label.matches(item, dictionary):
+                        continue
+                    outputs = transition.label.outputs(item, dictionary)
+                    if self.max_frequent_fid is not None and outputs != (EPSILON_FID,):
+                        outputs = tuple(
+                            fid for fid in outputs if fid <= self.max_frequent_fid
+                        )
+                    edge = GridEdge(
+                        position=position,
+                        source=source,
+                        target=transition.target,
+                        transition=transition,
+                        outputs=outputs,
+                    )
+                    self._edges[position].append(edge)
+                    reachable[position].add(transition.target)
+                    contribution = pivot_merge(source_pivots, outputs)
+                    if contribution:
+                        bucket = self._pivot_sets[position].setdefault(
+                            transition.target, set()
+                        )
+                        bucket.update(contribution)
+                    else:
+                        # Keep the coordinate reachable even if no frequent
+                        # candidate passes through this particular edge.
+                        self._pivot_sets[position].setdefault(transition.target, set())
+
+    # ------------------------------------------------------------------ access
+    @property
+    def has_accepting_run(self) -> bool:
+        """True iff the FST accepts the sequence at all."""
+        return self._has_accepting_run
+
+    def edges_at(self, position: int) -> list[GridEdge]:
+        """Live edges consuming the item at 1-based ``position``."""
+        return self._edges[position]
+
+    def live_edges(self) -> Iterable[GridEdge]:
+        """All live edges in position order."""
+        for position in range(1, len(self.sequence) + 1):
+            yield from self._edges[position]
+
+    def pivot_set(self, position: int, state: int) -> set[int]:
+        """``K(i, q)``: pivots of the partial runs ending at (position, state)."""
+        return set(self._pivot_sets[position].get(state, set()))
+
+    def pivot_items(self) -> set[int]:
+        """``K(T)``: the pivot items of the whole input sequence."""
+        if not self._has_accepting_run:
+            return set()
+        n = len(self.sequence)
+        pivots: set[int] = set()
+        for state in self.fst.final_states:
+            pivots.update(self._pivot_sets[n].get(state, set()))
+        pivots.discard(EPSILON_FID)
+        return pivots
+
+    # ------------------------------------------------ rewriting & early stopping
+    def relevant_range(self, pivot: int) -> tuple[int, int]:
+        """First and last relevant 1-based positions for ``pivot`` (Sec. V-B).
+
+        A position is relevant if some live edge at that position changes the
+        FST state or can produce an output item ``<= pivot``.  Positions
+        outside the returned range can be dropped from the representation sent
+        to partition ``pivot`` without changing its pivot sequences.
+        """
+        n = len(self.sequence)
+        first = None
+        last = 0
+        for position in range(1, n + 1):
+            if self._position_relevant(position, pivot):
+                if first is None:
+                    first = position
+                last = position
+        if first is None:
+            return 1, n
+        return first, last
+
+    def _position_relevant(self, position: int, pivot: int) -> bool:
+        for edge in self._edges[position]:
+            if edge.changes_state:
+                return True
+            if edge.produces_items and any(
+                output <= pivot for output in edge.outputs if output != EPSILON_FID
+            ):
+                return True
+        return False
+
+    def last_pivot_producing_position(self, pivot: int) -> int:
+        """The last 1-based position whose live edges can output ``pivot``.
+
+        Used by the early-stopping heuristic of the pivot-aware local miner:
+        an input sequence cannot contribute ``pivot`` to a prefix any more
+        once mining has consumed items beyond this position.  Returns 0 when
+        no position can produce the pivot.
+        """
+        for position in range(len(self.sequence), 0, -1):
+            for edge in self._edges[position]:
+                if pivot in edge.outputs:
+                    return position
+        return 0
+
+
+def pivot_items(
+    fst: Fst,
+    sequence: Sequence[int],
+    dictionary: Dictionary,
+    sigma: int | None = None,
+    use_grid: bool = True,
+    max_runs: int = 100_000,
+) -> set[int]:
+    """Compute ``K(T)`` with either the grid or run enumeration."""
+    max_frequent_fid = (
+        dictionary.largest_frequent_fid(sigma) if sigma is not None else None
+    )
+    if use_grid:
+        return PositionStateGrid(fst, sequence, dictionary, max_frequent_fid).pivot_items()
+    try:
+        return pivots_by_run_enumeration(
+            fst, sequence, dictionary, max_frequent_fid, max_runs=max_runs
+        )
+    except CandidateExplosionError:
+        # Fall back to the grid, which never enumerates runs explicitly.
+        return PositionStateGrid(fst, sequence, dictionary, max_frequent_fid).pivot_items()

@@ -1,0 +1,69 @@
+"""Mining results: frequent patterns with frequencies plus job metrics."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.dictionary import Dictionary
+from repro.mapreduce.metrics import JobMetrics
+
+
+class MiningResult(Mapping):
+    """The output of one mining run.
+
+    Behaves like a read-only mapping from pattern (tuple of fids) to frequency,
+    and additionally carries the :class:`JobMetrics` of the run (if any).
+    """
+
+    def __init__(
+        self,
+        patterns: Mapping[tuple[int, ...], int],
+        metrics: JobMetrics | None = None,
+        algorithm: str = "",
+    ) -> None:
+        self._patterns = dict(patterns)
+        self.metrics = metrics if metrics is not None else JobMetrics()
+        self.algorithm = algorithm
+
+    # ------------------------------------------------------------- mapping API
+    def __getitem__(self, pattern: tuple[int, ...]) -> int:
+        return self._patterns[tuple(pattern)]
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._patterns)
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    # ------------------------------------------------------------ conveniences
+    def patterns(self) -> dict[tuple[int, ...], int]:
+        """A copy of the pattern -> frequency mapping."""
+        return dict(self._patterns)
+
+    def sorted_patterns(self) -> list[tuple[tuple[int, ...], int]]:
+        """Patterns sorted by decreasing frequency, then lexicographically."""
+        return sorted(self._patterns.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def decoded(self, dictionary: Dictionary) -> dict[tuple[str, ...], int]:
+        """Patterns rendered as gid tuples (for display and examples)."""
+        return {
+            dictionary.decode(pattern): frequency
+            for pattern, frequency in self._patterns.items()
+        }
+
+    def top(self, k: int, dictionary: Dictionary | None = None) -> list[tuple]:
+        """The ``k`` most frequent patterns, optionally decoded."""
+        ranked = self.sorted_patterns()[:k]
+        if dictionary is None:
+            return ranked
+        return [(dictionary.decode(pattern), frequency) for pattern, frequency in ranked]
+
+    def same_patterns_as(self, other: "MiningResult | Mapping") -> bool:
+        """True if both results contain exactly the same patterns and counts."""
+        other_patterns = dict(other)
+        return self._patterns == other_patterns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MiningResult(algorithm={self.algorithm!r}, patterns={len(self._patterns)})"
+        )

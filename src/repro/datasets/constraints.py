@@ -1,0 +1,235 @@
+"""The subsequence-constraint catalogue of Table III.
+
+Each factory returns a :class:`Constraint` bundling the pattern expression,
+the minimum support, the dataset it is meant for, and (for the "traditional"
+constraints T1–T3) the parameters of the equivalent specialised miners.
+
+Pattern expressions are written with explicit ``.*`` context at both ends:
+the DESQ formal model used in the paper requires the FST to consume the whole
+input sequence, and the application constraints of Table III are meant to
+match anywhere inside a sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.patex import PatEx
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named subsequence constraint instance."""
+
+    key: str
+    expression: str
+    sigma: int
+    dataset: str
+    description: str
+    #: Parameters for the equivalent specialised (LASH/MG-FSM/PrefixSpan) miner,
+    #: present only for the traditional constraints T1–T3.
+    specialized: dict | None = field(default=None)
+
+    def patex(self) -> PatEx:
+        """The parsed pattern expression."""
+        return PatEx(self.expression)
+
+    @property
+    def name(self) -> str:
+        """Paper-style label, e.g. ``N1(10)`` or ``T3(100,1,5)``.
+
+        The traditional constraints carry their gap/length parameters in the
+        label (as in the paper's T1(σ,λ) / T2(σ,γ,λ) / T3(σ,γ,λ) notation) so
+        that differently parameterised instances are never confused.
+        """
+        if not self.specialized:
+            return f"{self.key}({self.sigma})"
+        max_gap = self.specialized.get("max_gap")
+        max_length = self.specialized.get("max_length")
+        if max_gap is None:
+            return f"{self.key}({self.sigma},{max_length})"
+        return f"{self.key}({self.sigma},{max_gap},{max_length})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# ------------------------------------------------------------------ text mining
+def n1(sigma: int = 10) -> Constraint:
+    """Relational phrases between entities (N1)."""
+    return Constraint(
+        key="N1",
+        expression=".*ENTITY (VERB+ NOUN+? PREP?) ENTITY.*",
+        sigma=sigma,
+        dataset="NYT",
+        description="Relational phrases between entities",
+    )
+
+
+def n2(sigma: int = 100) -> Constraint:
+    """Typed relational phrases (N2)."""
+    return Constraint(
+        key="N2",
+        expression=".*(ENTITY^ VERB+ NOUN+? PREP? ENTITY^).*",
+        sigma=sigma,
+        dataset="NYT",
+        description="Typed relational phrases",
+    )
+
+
+def n3(sigma: int = 10) -> Constraint:
+    """Copular relations for an entity (N3)."""
+    return Constraint(
+        key="N3",
+        expression=".*(ENTITY^ be^=) DET? (ADV? ADJ? NOUN).*",
+        sigma=sigma,
+        dataset="NYT",
+        description="Copular relation for an entity",
+    )
+
+
+def n4(sigma: int = 1000) -> Constraint:
+    """Generalized 3-grams before a noun (N4)."""
+    return Constraint(
+        key="N4",
+        expression=".*(.^){3} NOUN.*",
+        sigma=sigma,
+        dataset="NYT",
+        description="Generalized 3-grams before a noun",
+    )
+
+
+def n5(sigma: int = 1000) -> Constraint:
+    """3-grams with exactly one generalized item (N5)."""
+    return Constraint(
+        key="N5",
+        expression=".*([.^ . .]|[. .^ .]|[. . .^]).*",
+        sigma=sigma,
+        dataset="NYT",
+        description="3-grams, one item generalized",
+    )
+
+
+# --------------------------------------------------------------- recommendation
+def a1(sigma: int = 500) -> Constraint:
+    """Up to five electronics items with gap at most 2 (A1)."""
+    return Constraint(
+        key="A1",
+        expression=".*(Electronics^)[.{0,2}(Electronics^)]{1,4}.*",
+        sigma=sigma,
+        dataset="AMZN",
+        description="Max. 5 electronics items, max. gap 2",
+    )
+
+
+def a2(sigma: int = 100) -> Constraint:
+    """Sequences of books (A2)."""
+    return Constraint(
+        key="A2",
+        expression=".*(Books)[.{0,2}(Books)]{1,4}.*",
+        sigma=sigma,
+        dataset="AMZN",
+        description="Sequences of books",
+    )
+
+
+def a3(sigma: int = 100) -> Constraint:
+    """Generalized items bought after a digital camera (A3)."""
+    return Constraint(
+        key="A3",
+        expression=".*DigitalCamera[.{0,3}(.^)]{1,4}.*",
+        sigma=sigma,
+        dataset="AMZN",
+        description="Generalized items after a digital camera",
+    )
+
+
+def a4(sigma: int = 100) -> Constraint:
+    """Sequences of musical instruments (A4)."""
+    return Constraint(
+        key="A4",
+        expression=".*(MusicInstr^)[.{0,2}(MusicInstr^)]{1,4}.*",
+        sigma=sigma,
+        dataset="AMZN",
+        description="Musical instruments",
+    )
+
+
+# ----------------------------------------------------------------- traditional
+def t1(sigma: int, max_length: int = 5) -> Constraint:
+    """PrefixSpan / MLlib setting: maximum length, arbitrary gaps, no hierarchy."""
+    return Constraint(
+        key="T1",
+        expression=f".*(.)[.*(.)]{{0,{max_length - 1}}}.*",
+        sigma=sigma,
+        dataset="AMZN",
+        description=f"PrefixSpan setting: max. length {max_length}",
+        specialized={
+            "kind": "prefixspan",
+            "max_length": max_length,
+            "min_length": 1,
+            "max_gap": None,
+            "use_hierarchy": False,
+        },
+    )
+
+
+def t2(sigma: int, max_gap: int = 1, max_length: int = 5) -> Constraint:
+    """MG-FSM setting: maximum gap and maximum length, no hierarchy."""
+    return Constraint(
+        key="T2",
+        expression=f".*(.)[.{{0,{max_gap}}}(.)]{{1,{max_length - 1}}}.*",
+        sigma=sigma,
+        dataset="CW",
+        description=f"MG-FSM setting: max. length {max_length}, max. gap {max_gap}",
+        specialized={
+            "kind": "mgfsm",
+            "max_length": max_length,
+            "min_length": 2,
+            "max_gap": max_gap,
+            "use_hierarchy": False,
+        },
+    )
+
+
+def t3(sigma: int, max_gap: int = 1, max_length: int = 5) -> Constraint:
+    """LASH setting: maximum gap, maximum length, and hierarchy generalizations."""
+    return Constraint(
+        key="T3",
+        expression=f".*(.^)[.{{0,{max_gap}}}(.^)]{{1,{max_length - 1}}}.*",
+        sigma=sigma,
+        dataset="AMZN-F",
+        description=f"LASH setting: max. length {max_length}, max. gap {max_gap}, hierarchy",
+        specialized={
+            "kind": "lash",
+            "max_length": max_length,
+            "min_length": 2,
+            "max_gap": max_gap,
+            "use_hierarchy": True,
+        },
+    )
+
+
+#: All constraint factories keyed by their Table III name.
+CONSTRAINT_FACTORIES = {
+    "N1": n1,
+    "N2": n2,
+    "N3": n3,
+    "N4": n4,
+    "N5": n5,
+    "A1": a1,
+    "A2": a2,
+    "A3": a3,
+    "A4": a4,
+    "T1": t1,
+    "T2": t2,
+    "T3": t3,
+}
+
+
+def constraint(key: str, *args, **kwargs) -> Constraint:
+    """Instantiate a Table III constraint by name, e.g. ``constraint("T3", 100, 1, 5)``."""
+    factory = CONSTRAINT_FACTORIES.get(key.upper())
+    if factory is None:
+        raise KeyError(f"unknown constraint {key!r}; choose from {sorted(CONSTRAINT_FACTORIES)}")
+    return factory(*args, **kwargs)

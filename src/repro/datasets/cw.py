@@ -1,0 +1,53 @@
+"""ClueWeb-like synthetic corpus generator.
+
+CW50 in the paper is a 50% sample of ClueWeb09 sentences mined *without* a
+hierarchy.  The stand-in is a flat Zipfian word corpus with NYT-like sentence
+lengths but no generalizations, used for the T2 constraints in Table V and
+Fig. 12b.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.synthetic import SyntheticDataset, ZipfSampler, truncated_geometric
+from repro.dictionary import Hierarchy
+
+
+class ClueWebLikeGenerator:
+    """Generates a flat (hierarchy-free) web-text-like corpus."""
+
+    def __init__(
+        self,
+        num_sentences: int = 4000,
+        vocabulary_size: int = 800,
+        mean_sentence_length: int = 16,
+        max_sentence_length: int = 60,
+        seed: int = 47,
+    ) -> None:
+        self.num_sentences = num_sentences
+        self.vocabulary_size = max(vocabulary_size, 20)
+        self.mean_sentence_length = mean_sentence_length
+        self.max_sentence_length = max_sentence_length
+        self.seed = seed
+
+    def generate(self) -> SyntheticDataset:
+        """Generate the corpus; the hierarchy contains no generalization edges."""
+        rng = random.Random(self.seed)
+        words = [f"w{index}" for index in range(self.vocabulary_size)]
+        sampler = ZipfSampler(words, exponent=1.08, rng=rng)
+        hierarchy = Hierarchy()
+        for word in words:
+            hierarchy.add_item(word)
+        sequences = []
+        for _ in range(self.num_sentences):
+            length = truncated_geometric(
+                rng, self.mean_sentence_length, 2, self.max_sentence_length
+            )
+            sequences.append(tuple(sampler.sample_many(length)))
+        return SyntheticDataset("CW", sequences, hierarchy)
+
+
+def cw_like(num_sentences: int = 4000, seed: int = 47, **kwargs) -> SyntheticDataset:
+    """Convenience constructor for the ClueWeb-like corpus."""
+    return ClueWebLikeGenerator(num_sentences=num_sentences, seed=seed, **kwargs).generate()

@@ -1,0 +1,14 @@
+"""Item dictionaries and hierarchies (Sec. II of the paper)."""
+
+from repro.dictionary.builder import DictionaryBuilder, build_dictionary
+from repro.dictionary.dictionary import EPSILON_FID, Dictionary, Item
+from repro.dictionary.hierarchy import Hierarchy
+
+__all__ = [
+    "Dictionary",
+    "DictionaryBuilder",
+    "EPSILON_FID",
+    "Hierarchy",
+    "Item",
+    "build_dictionary",
+]

@@ -1,0 +1,130 @@
+"""Mutable item hierarchy (a DAG over item gids).
+
+The hierarchy expresses how items generalize: an edge ``child -> parent`` means
+that ``child`` directly generalizes to ``parent`` (``child => parent`` in the
+paper).  A :class:`Hierarchy` is the raw, string-keyed structure used while
+building a :class:`~repro.dictionary.dictionary.Dictionary`; the dictionary then
+freezes it into integer fids ordered by document frequency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import DictionaryError, UnknownItemError
+
+
+class Hierarchy:
+    """A directed acyclic graph over item gids.
+
+    Items are identified by arbitrary strings ("gids").  Edges point from an
+    item to its direct generalization (parent).  Items may have zero, one, or
+    multiple parents (the AMZN product hierarchy in the paper is a DAG, the
+    AMZN-F variant is a forest).
+    """
+
+    def __init__(self) -> None:
+        self._parents: dict[str, set[str]] = {}
+        self._children: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------ basic
+    def add_item(self, gid: str) -> None:
+        """Register an item; adding an existing item is a no-op."""
+        if not isinstance(gid, str) or not gid:
+            raise DictionaryError(f"item gid must be a non-empty string, got {gid!r}")
+        self._parents.setdefault(gid, set())
+        self._children.setdefault(gid, set())
+
+    def add_edge(self, child: str, parent: str) -> None:
+        """Add a generalization edge ``child => parent``.
+
+        Both endpoints are registered if they are new.  Self-loops and edges
+        that would create a cycle raise :class:`DictionaryError`.
+        """
+        if child == parent:
+            raise DictionaryError(f"self-generalization is not allowed: {child!r}")
+        self.add_item(child)
+        self.add_item(parent)
+        if child in self.ancestors(parent):
+            raise DictionaryError(
+                f"adding edge {child!r} => {parent!r} would create a cycle"
+            )
+        self._parents[child].add(parent)
+        self._children[parent].add(child)
+
+    def __contains__(self, gid: str) -> bool:
+        return gid in self._parents
+
+    def __len__(self) -> int:
+        return len(self._parents)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._parents)
+
+    def items(self) -> Iterator[str]:
+        """Iterate over all registered gids."""
+        return iter(self._parents)
+
+    # --------------------------------------------------------------- structure
+    def parents(self, gid: str) -> frozenset[str]:
+        """Direct generalizations of ``gid``."""
+        self._check(gid)
+        return frozenset(self._parents[gid])
+
+    def children(self, gid: str) -> frozenset[str]:
+        """Direct specializations of ``gid``."""
+        self._check(gid)
+        return frozenset(self._children[gid])
+
+    def ancestors(self, gid: str) -> frozenset[str]:
+        """All ancestors of ``gid`` including ``gid`` itself (reflexive closure)."""
+        self._check(gid)
+        return frozenset(self._closure(gid, self._parents))
+
+    def descendants(self, gid: str) -> frozenset[str]:
+        """All descendants of ``gid`` including ``gid`` itself (reflexive closure)."""
+        self._check(gid)
+        return frozenset(self._closure(gid, self._children))
+
+    def roots(self) -> frozenset[str]:
+        """Items with no parent."""
+        return frozenset(g for g, ps in self._parents.items() if not ps)
+
+    def leaves(self) -> frozenset[str]:
+        """Items with no children."""
+        return frozenset(g for g, cs in self._children.items() if not cs)
+
+    def is_forest(self) -> bool:
+        """Return True if every item has at most one parent."""
+        return all(len(ps) <= 1 for ps in self._parents.values())
+
+    # ----------------------------------------------------------------- helpers
+    def update(self, items: Iterable[str] = (), edges: Iterable[tuple[str, str]] = ()) -> None:
+        """Bulk-add items and ``(child, parent)`` edges."""
+        for gid in items:
+            self.add_item(gid)
+        for child, parent in edges:
+            self.add_edge(child, parent)
+
+    def copy(self) -> "Hierarchy":
+        """Return a deep copy of this hierarchy."""
+        clone = Hierarchy()
+        clone._parents = {g: set(ps) for g, ps in self._parents.items()}
+        clone._children = {g: set(cs) for g, cs in self._children.items()}
+        return clone
+
+    def _check(self, gid: str) -> None:
+        if gid not in self._parents:
+            raise UnknownItemError(gid)
+
+    @staticmethod
+    def _closure(start: str, adjacency: dict[str, set[str]]) -> set[str]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nxt in adjacency[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen

@@ -1,0 +1,61 @@
+"""Shared exception types for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DictionaryError(ReproError):
+    """Raised for inconsistent dictionaries or hierarchies (cycles, unknown items)."""
+
+
+class UnknownItemError(DictionaryError):
+    """Raised when an item (gid or fid) is not present in a dictionary."""
+
+    def __init__(self, item: object) -> None:
+        super().__init__(f"unknown item: {item!r}")
+        self.item = item
+
+
+class PatExSyntaxError(ReproError):
+    """Raised when a pattern expression cannot be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        location = "" if position is None else f" at position {position}"
+        super().__init__(f"{message}{location}")
+        self.position = position
+
+
+class FstError(ReproError):
+    """Raised for invalid FST constructions or simulations."""
+
+
+class NfaError(ReproError):
+    """Raised for invalid output-NFA constructions or serializations."""
+
+
+class MiningError(ReproError):
+    """Raised when a mining run cannot be completed."""
+
+
+class CandidateExplosionError(MiningError):
+    """Raised when candidate or run enumeration exceeds a configured safety cap.
+
+    The paper's NAIVE/SEMI-NAIVE baselines and D-CAND run out of memory for very
+    loose constraints.  The reproduction reports those outcomes as this explicit
+    error instead of exhausting host memory.
+    """
+
+    def __init__(self, what: str, limit: int) -> None:
+        super().__init__(
+            f"{what} exceeded the configured limit of {limit}; "
+            "the constraint is too loose for this algorithm (paper reports OOM)"
+        )
+        self.what = what
+        self.limit = limit
+
+
+class MapReduceError(ReproError):
+    """Raised when a simulated MapReduce job fails."""

@@ -1,0 +1,166 @@
+"""Experiment harness: run one algorithm on one constraint and record metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core import DCandMiner, DSeqMiner, NaiveMiner, SemiNaiveMiner
+from repro.datasets import Constraint
+from repro.dictionary import Dictionary
+from repro.errors import CandidateExplosionError, MiningError
+from repro.sequences import SequenceDatabase
+from repro.sequential import (
+    GapConstrainedMiner,
+    PrefixSpanMiner,
+    SequentialDesqCount,
+    SequentialDesqDfs,
+)
+
+
+@dataclass
+class RunRecord:
+    """Measurements of one (algorithm, constraint, dataset) run."""
+
+    algorithm: str
+    constraint: str
+    dataset: str
+    status: str = "ok"  # "ok" or "oom" (candidate/run explosion)
+    total_seconds: float = 0.0
+    map_seconds: float = 0.0
+    mine_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    shuffle_bytes: int = 0
+    shuffle_records: int = 0
+    num_patterns: int = 0
+    num_workers: int = 1
+    extra: dict = field(default_factory=dict)
+
+    def as_row(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "constraint": self.constraint,
+            "dataset": self.dataset,
+            "status": self.status,
+            "total_s": round(self.total_seconds, 3),
+            "map_s": round(self.map_seconds, 3),
+            "mine_s": round(self.mine_seconds, 3),
+            "shuffle_bytes": self.shuffle_bytes,
+            "patterns": self.num_patterns,
+        }
+
+
+#: Caps used to emulate the paper's out-of-memory failures on loose constraints.
+OOM_MAX_RUNS = 20_000
+OOM_MAX_CANDIDATES = 50_000
+
+
+def build_miner(
+    algorithm: str,
+    constraint: Constraint,
+    dictionary: Dictionary,
+    num_workers: int,
+    **options,
+):
+    """Instantiate a miner by algorithm name for the given constraint."""
+    name = algorithm.lower()
+    patex = constraint.expression
+    sigma = constraint.sigma
+    if name in ("dseq", "d-seq"):
+        return DSeqMiner(patex, sigma, dictionary, num_workers=num_workers, **options)
+    if name in ("dcand", "d-cand"):
+        return DCandMiner(
+            patex, sigma, dictionary, num_workers=num_workers,
+            max_runs=options.pop("max_runs", OOM_MAX_RUNS), **options,
+        )
+    if name == "naive":
+        return NaiveMiner(
+            patex, sigma, dictionary, num_workers=num_workers,
+            max_candidates_per_sequence=OOM_MAX_CANDIDATES, max_runs=OOM_MAX_RUNS,
+        )
+    if name in ("semi-naive", "seminaive"):
+        return SemiNaiveMiner(
+            patex, sigma, dictionary, num_workers=num_workers,
+            max_candidates_per_sequence=OOM_MAX_CANDIDATES, max_runs=OOM_MAX_RUNS,
+        )
+    if name == "desq-dfs":
+        return SequentialDesqDfs(patex, sigma, dictionary)
+    if name == "desq-count":
+        return SequentialDesqCount(patex, sigma, dictionary)
+    if name in ("lash", "mg-fsm", "mgfsm"):
+        spec = constraint.specialized or {}
+        return GapConstrainedMiner(
+            sigma,
+            dictionary,
+            max_gap=spec.get("max_gap", 1),
+            max_length=spec.get("max_length", 5),
+            min_length=spec.get("min_length", 2),
+            use_hierarchy=spec.get("use_hierarchy", name == "lash"),
+            num_workers=num_workers,
+        )
+    if name in ("prefixspan", "mllib"):
+        spec = constraint.specialized or {}
+        return PrefixSpanMiner(sigma, spec.get("max_length", 5), dictionary)
+    raise MiningError(f"unknown algorithm {algorithm!r}")
+
+
+def run_algorithm(
+    algorithm: str,
+    constraint: Constraint,
+    dictionary: Dictionary,
+    database: SequenceDatabase,
+    num_workers: int = 8,
+    dataset_name: str | None = None,
+    **options,
+) -> RunRecord:
+    """Run one algorithm and collect a :class:`RunRecord`.
+
+    Candidate or run explosions (the reproduction's analogue of the paper's
+    out-of-memory failures) are caught and reported as ``status="oom"``.
+    """
+    record = RunRecord(
+        algorithm=algorithm,
+        constraint=constraint.name,
+        dataset=dataset_name or constraint.dataset,
+        num_workers=num_workers,
+    )
+    miner = build_miner(algorithm, constraint, dictionary, num_workers, **options)
+    started = time.perf_counter()
+    try:
+        result = miner.mine(database)
+    except CandidateExplosionError as error:
+        record.status = "oom"
+        record.wall_seconds = time.perf_counter() - started
+        record.extra["error"] = str(error)
+        return record
+    record.wall_seconds = time.perf_counter() - started
+    metrics = result.metrics
+    record.total_seconds = metrics.total_seconds
+    record.map_seconds = metrics.map_seconds
+    record.mine_seconds = metrics.reduce_seconds
+    record.shuffle_bytes = metrics.shuffle_bytes
+    record.shuffle_records = metrics.shuffle_records
+    record.num_patterns = len(result)
+    return record
+
+
+def run_comparison(
+    algorithms: list[str],
+    constraint: Constraint,
+    dictionary: Dictionary,
+    database: SequenceDatabase,
+    num_workers: int = 8,
+    dataset_name: str | None = None,
+) -> list[RunRecord]:
+    """Run several algorithms on the same constraint and dataset."""
+    return [
+        run_algorithm(
+            algorithm,
+            constraint,
+            dictionary,
+            database,
+            num_workers=num_workers,
+            dataset_name=dataset_name,
+        )
+        for algorithm in algorithms
+    ]

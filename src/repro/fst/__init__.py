@@ -1,0 +1,50 @@
+"""Finite state transducers for DESQ subsequence constraints (Sec. IV)."""
+
+from repro.fst.compiler import compile_ast, compile_expression
+from repro.fst.export import (
+    FstStatistics,
+    NfaStatistics,
+    fst_statistics,
+    fst_to_dot,
+    nfa_statistics,
+    nfa_to_dot,
+    reachable_states,
+)
+from repro.fst.fst import Fst, Transition
+from repro.fst.labels import EPSILON_OUTPUT, Label
+from repro.fst.simulation import (
+    DEFAULT_MAX_CANDIDATES,
+    DEFAULT_MAX_RUNS,
+    accepting_runs,
+    expand_output_sets,
+    generate_candidates,
+    generates,
+    matches,
+    reachability_table,
+    run_output_sets,
+)
+
+__all__ = [
+    "DEFAULT_MAX_CANDIDATES",
+    "DEFAULT_MAX_RUNS",
+    "EPSILON_OUTPUT",
+    "Fst",
+    "FstStatistics",
+    "Label",
+    "NfaStatistics",
+    "Transition",
+    "accepting_runs",
+    "compile_ast",
+    "compile_expression",
+    "expand_output_sets",
+    "fst_statistics",
+    "fst_to_dot",
+    "generate_candidates",
+    "generates",
+    "matches",
+    "nfa_statistics",
+    "nfa_to_dot",
+    "reachability_table",
+    "reachable_states",
+    "run_output_sets",
+]

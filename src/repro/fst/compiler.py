@@ -1,0 +1,149 @@
+"""Compilation of pattern expression ASTs into FSTs.
+
+The compiler follows a Thompson-style construction: each AST node becomes a
+small FST fragment with a single entry and a single exit state, glued together
+with structural ε-moves.  The ε-moves are removed afterwards
+(:mod:`repro.fst.operations`), yielding a compact FST such as the one in
+Fig. 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.dictionary import Dictionary
+from repro.errors import FstError, UnknownItemError
+from repro.fst.fst import Fst
+from repro.fst.labels import Label
+from repro.fst.operations import MutableFst
+from repro.patex.ast import (
+    Capture,
+    Concatenation,
+    ItemExpression,
+    PatExNode,
+    Repetition,
+    Union,
+    Wildcard,
+)
+from repro.patex.parser import parse
+
+#: Upper bound on the expansion factor of bounded repetitions ``E{n,m}``.
+MAX_REPETITION = 256
+
+
+def compile_expression(expression: str, dictionary: Dictionary) -> Fst:
+    """Parse and compile a pattern expression string against ``dictionary``."""
+    return compile_ast(parse(expression), dictionary)
+
+
+def compile_ast(root: PatExNode, dictionary: Dictionary) -> Fst:
+    """Compile an AST into an ε-free FST."""
+    builder = MutableFst()
+    compiler = _Compiler(builder, dictionary)
+    start, end = compiler.compile(root, captured=False)
+    builder.initial_state = start
+    builder.final_states = {end}
+    return builder.freeze()
+
+
+class _Compiler:
+    def __init__(self, builder: MutableFst, dictionary: Dictionary) -> None:
+        self._builder = builder
+        self._dictionary = dictionary
+
+    def compile(self, node: PatExNode, captured: bool) -> tuple[int, int]:
+        """Compile ``node`` into a fragment; returns (entry state, exit state)."""
+        if isinstance(node, ItemExpression):
+            return self._atom(self._item_label(node, captured))
+        if isinstance(node, Wildcard):
+            return self._atom(
+                Label(
+                    fid=None,
+                    exact=node.exact,
+                    generalize=node.generalize,
+                    captured=captured,
+                )
+            )
+        if isinstance(node, Capture):
+            return self.compile(node.child, captured=True)
+        if isinstance(node, Concatenation):
+            return self._concatenation(node, captured)
+        if isinstance(node, Union):
+            return self._union(node, captured)
+        if isinstance(node, Repetition):
+            return self._repetition(node, captured)
+        raise FstError(f"unsupported AST node: {node!r}")
+
+    # ------------------------------------------------------------- fragments
+    def _atom(self, label: Label) -> tuple[int, int]:
+        start = self._builder.add_state()
+        end = self._builder.add_state()
+        self._builder.add_transition(start, label, end)
+        return start, end
+
+    def _item_label(self, node: ItemExpression, captured: bool) -> Label:
+        try:
+            fid = self._dictionary.fid_of(node.gid)
+        except UnknownItemError:
+            raise UnknownItemError(node.gid) from None
+        return Label(
+            fid=fid,
+            exact=node.exact,
+            generalize=node.generalize,
+            captured=captured,
+            gid=node.gid,
+        )
+
+    def _concatenation(self, node: Concatenation, captured: bool) -> tuple[int, int]:
+        if not node.parts:
+            return self._empty_fragment()
+        start, end = self.compile(node.parts[0], captured)
+        for part in node.parts[1:]:
+            next_start, next_end = self.compile(part, captured)
+            self._builder.add_transition(end, None, next_start)
+            end = next_end
+        return start, end
+
+    def _union(self, node: Union, captured: bool) -> tuple[int, int]:
+        start = self._builder.add_state()
+        end = self._builder.add_state()
+        for option in node.options:
+            option_start, option_end = self.compile(option, captured)
+            self._builder.add_transition(start, None, option_start)
+            self._builder.add_transition(option_end, None, end)
+        return start, end
+
+    def _repetition(self, node: Repetition, captured: bool) -> tuple[int, int]:
+        min_count, max_count = node.min_count, node.max_count
+        copies = min_count if max_count is None else max_count
+        if copies > MAX_REPETITION:
+            raise FstError(
+                f"repetition bound {copies} exceeds the supported maximum "
+                f"of {MAX_REPETITION}"
+            )
+        start = self._builder.add_state()
+        end = start
+        # Mandatory copies.
+        for _ in range(min_count):
+            child_start, child_end = self.compile(node.child, captured)
+            self._builder.add_transition(end, None, child_start)
+            end = child_end
+        if max_count is None:
+            # Kleene tail: loop on one more copy of the child.
+            loop_entry = self._builder.add_state()
+            self._builder.add_transition(end, None, loop_entry)
+            child_start, child_end = self.compile(node.child, captured)
+            self._builder.add_transition(loop_entry, None, child_start)
+            self._builder.add_transition(child_end, None, loop_entry)
+            return start, loop_entry
+        # Optional copies up to max_count.
+        exit_state = self._builder.add_state()
+        self._builder.add_transition(end, None, exit_state)
+        for _ in range(max_count - min_count):
+            child_start, child_end = self.compile(node.child, captured)
+            self._builder.add_transition(end, None, child_start)
+            self._builder.add_transition(child_end, None, exit_state)
+            end = child_end
+        return start, exit_state
+
+    def _empty_fragment(self) -> tuple[int, int]:
+        state = self._builder.add_state()
+        return state, state

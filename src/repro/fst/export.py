@@ -1,0 +1,189 @@
+"""Exports and structural statistics for FSTs and output NFAs.
+
+Rendering the compiled FST of a pattern expression (Fig. 4 of the paper) and
+the per-pivot output NFAs of D-CAND (Fig. 7/8) makes constraints much easier
+to debug.  This module produces Graphviz ``dot`` text for both, plus summary
+statistics used by the CLI's ``inspect`` command and by tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.dictionary import Dictionary
+from repro.fst.fst import Fst
+from repro.nfa.nfa import OutputNfa
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+# ------------------------------------------------------------------------ FST
+def fst_to_dot(fst: Fst, dictionary: Dictionary | None = None, title: str = "fst") -> str:
+    """Render an FST as Graphviz ``dot`` text.
+
+    Transition labels use the compact pattern-expression notation of the
+    paper's Fig. 4 (e.g. ``.``, ``(A)``, ``(.^)``).
+    """
+    lines = [
+        f'digraph "{_escape(title)}" {{',
+        "  rankdir=LR;",
+        '  node [shape=circle, fontsize=11];',
+        '  __start [shape=point];',
+        f"  __start -> q{fst.initial_state};",
+    ]
+    for state in fst.states():
+        shape = "doublecircle" if fst.is_final(state) else "circle"
+        lines.append(f'  q{state} [label="q{state}", shape={shape}];')
+    for transition in fst.transitions:
+        label = transition.label.describe() if transition.label is not None else "ε"
+        lines.append(
+            f'  q{transition.source} -> q{transition.target} [label="{_escape(label)}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FstStatistics:
+    """Structural summary of a compiled FST."""
+
+    num_states: int
+    num_final_states: int
+    num_transitions: int
+    num_capturing_transitions: int
+    num_generalizing_transitions: int
+    max_fanout: int
+    is_deterministic_on_states: bool
+
+    def as_dict(self) -> dict[str, int | bool]:
+        return {
+            "states": self.num_states,
+            "final_states": self.num_final_states,
+            "transitions": self.num_transitions,
+            "capturing_transitions": self.num_capturing_transitions,
+            "generalizing_transitions": self.num_generalizing_transitions,
+            "max_fanout": self.max_fanout,
+            "deterministic_on_states": self.is_deterministic_on_states,
+        }
+
+
+def fst_statistics(fst: Fst) -> FstStatistics:
+    """Compute structural statistics of an FST.
+
+    ``is_deterministic_on_states`` is a weak determinism check: it is True when
+    no state has two outgoing transitions, which is sufficient (but not
+    necessary) for the FST simulation to visit each position–state pair once.
+    """
+    fanout: dict[int, int] = {}
+    capturing = 0
+    generalizing = 0
+    for transition in fst.transitions:
+        fanout[transition.source] = fanout.get(transition.source, 0) + 1
+        label = transition.label
+        if label is not None and label.produces_output():
+            capturing += 1
+            if label.generalize:
+                generalizing += 1
+    return FstStatistics(
+        num_states=fst.num_states,
+        num_final_states=sum(1 for state in fst.states() if fst.is_final(state)),
+        num_transitions=len(fst.transitions),
+        num_capturing_transitions=capturing,
+        num_generalizing_transitions=generalizing,
+        max_fanout=max(fanout.values(), default=0),
+        is_deterministic_on_states=all(count <= 1 for count in fanout.values()),
+    )
+
+
+def reachable_states(fst: Fst) -> set[int]:
+    """States reachable from the initial state following any transition."""
+    seen = {fst.initial_state}
+    queue = deque([fst.initial_state])
+    outgoing: dict[int, list[int]] = {}
+    for transition in fst.transitions:
+        outgoing.setdefault(transition.source, []).append(transition.target)
+    while queue:
+        state = queue.popleft()
+        for target in outgoing.get(state, ()):
+            if target not in seen:
+                seen.add(target)
+                queue.append(target)
+    return seen
+
+
+# ------------------------------------------------------------------------ NFA
+def nfa_to_dot(
+    nfa: OutputNfa, dictionary: Dictionary | None = None, title: str = "nfa"
+) -> str:
+    """Render an output NFA (Fig. 7/8 of the paper) as Graphviz ``dot`` text.
+
+    Edge labels show the output sets; items are decoded to gids when a
+    dictionary is given.
+    """
+
+    def render_label(label: tuple[int, ...]) -> str:
+        if dictionary is None:
+            rendered = ",".join(str(fid) for fid in label)
+        else:
+            rendered = ",".join(
+                dictionary.gid_of(fid) if fid in dictionary else str(fid) for fid in label
+            )
+        return "{" + rendered + "}"
+
+    lines = [
+        f'digraph "{_escape(title)}" {{',
+        "  rankdir=LR;",
+        '  node [shape=circle, fontsize=11];',
+        '  __start [shape=point];',
+        "  __start -> s0;",
+    ]
+    for state in range(nfa.num_states):
+        shape = "doublecircle" if nfa.is_final(state) else "circle"
+        lines.append(f'  s{state} [label="s{state}", shape={shape}];')
+    for state in range(nfa.num_states):
+        for label, target in nfa.outgoing(state):
+            lines.append(
+                f'  s{state} -> s{target} [label="{_escape(render_label(label))}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class NfaStatistics:
+    """Structural summary of an output NFA."""
+
+    num_states: int
+    num_final_states: int
+    num_transitions: int
+    num_candidates: int
+    max_label_size: int
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "states": self.num_states,
+            "final_states": self.num_final_states,
+            "transitions": self.num_transitions,
+            "candidates": self.num_candidates,
+            "max_label_size": self.max_label_size,
+        }
+
+
+def nfa_statistics(nfa: OutputNfa, candidate_limit: int = 100_000) -> NfaStatistics:
+    """Compute structural statistics of an output NFA."""
+    max_label = 0
+    transitions = 0
+    for state in range(nfa.num_states):
+        for label, _target in nfa.outgoing(state):
+            transitions += 1
+            max_label = max(max_label, len(label))
+    return NfaStatistics(
+        num_states=nfa.num_states,
+        num_final_states=sum(1 for state in range(nfa.num_states) if nfa.is_final(state)),
+        num_transitions=transitions,
+        num_candidates=len(nfa.candidates(limit=candidate_limit)),
+        max_label_size=max_label,
+    )

@@ -1,0 +1,95 @@
+"""Transition labels: input predicates and output functions (Table I).
+
+A label describes, for one FST transition, which input items it matches
+(``in_δ``) and which output items it may produce for a matched input item
+(``out_δ(t)``).  Outputs follow the DESQ semantics:
+
+* uncaptured labels always output ε (represented by fid ``0``);
+* ``(w)`` / ``(.)`` output the matched item;
+* ``(w^)`` / ``(.^)`` output generalizations (ancestors) of the matched item,
+  restricted to descendants of ``w`` for item labels;
+* ``(w^=)`` outputs ``w`` itself (full generalization);
+* ``(.^=)`` outputs the root ancestors of the matched item.
+
+Every produced output item is an ancestor of the input item, as required by
+the paper (Sec. IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dictionary import Dictionary, EPSILON_FID
+
+#: Output tuple of uncaptured transitions.
+EPSILON_OUTPUT: tuple[int, ...] = (EPSILON_FID,)
+
+
+@dataclass(frozen=True)
+class Label:
+    """Input/output behaviour of one FST transition.
+
+    ``fid is None`` denotes a wildcard (dot) label that matches every item.
+    """
+
+    fid: int | None = None
+    exact: bool = False
+    generalize: bool = False
+    captured: bool = False
+    gid: str | None = None
+
+    # ----------------------------------------------------------------- inputs
+    def matches(self, item_fid: int, dictionary: Dictionary) -> bool:
+        """True if the transition accepts input item ``item_fid``."""
+        if self.fid is None:
+            return True
+        if self.exact and not self.generalize:
+            return item_fid == self.fid
+        return dictionary.generalizes_to(item_fid, self.fid)
+
+    def input_items(self, dictionary: Dictionary) -> frozenset[int]:
+        """The full input set ``in_δ`` (potentially the whole vocabulary)."""
+        if self.fid is None:
+            return frozenset(dictionary.fids())
+        if self.exact and not self.generalize:
+            return frozenset((self.fid,))
+        return dictionary.descendants(self.fid)
+
+    # ---------------------------------------------------------------- outputs
+    def outputs(self, item_fid: int, dictionary: Dictionary) -> tuple[int, ...]:
+        """The output set ``out_δ(t)`` for matched item ``item_fid``.
+
+        Returns a sorted tuple of fids; uncaptured labels return ``(0,)``
+        (ε).  The caller is responsible for having checked :meth:`matches`.
+        """
+        if not self.captured:
+            return EPSILON_OUTPUT
+        if self.fid is None:
+            if not self.generalize:
+                return (item_fid,)
+            if self.exact:
+                return tuple(sorted(dictionary.root_ancestors(item_fid)))
+            return tuple(sorted(dictionary.ancestors(item_fid)))
+        if self.generalize:
+            if self.exact:
+                return (self.fid,)
+            allowed = dictionary.descendants(self.fid)
+            return tuple(sorted(a for a in dictionary.ancestors(item_fid) if a in allowed))
+        if self.exact:
+            return (self.fid,)
+        return (item_fid,)
+
+    # ------------------------------------------------------------------ misc
+    def produces_output(self) -> bool:
+        """True if the label can produce a non-ε output item."""
+        return self.captured
+
+    def describe(self) -> str:
+        """Human-readable rendering (used in FST dumps and error messages)."""
+        core = "." if self.fid is None else (self.gid or str(self.fid))
+        core += "^" if self.generalize else ""
+        core += "=" if self.exact else ""
+        return f"({core})" if self.captured else core
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,211 @@
+"""FST structural operations: ε-removal and pruning.
+
+The pattern-expression compiler first produces an FST with structural ε-moves
+(transitions that consume no input); these are removed here so that the final
+FST consumes exactly one input item per transition, as required by the run
+semantics of Sec. IV.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import FstError
+from repro.fst.fst import Fst
+from repro.fst.labels import Label
+
+
+class MutableFst:
+    """A small mutable FST used during compilation.
+
+    Transitions with ``label is None`` are structural ε-moves.
+    """
+
+    def __init__(self) -> None:
+        self.num_states = 0
+        self.initial_state: int | None = None
+        self.final_states: set[int] = set()
+        self.transitions: list[tuple[int, Label | None, int]] = []
+
+    def add_state(self) -> int:
+        state = self.num_states
+        self.num_states += 1
+        return state
+
+    def add_transition(self, source: int, label: Label | None, target: int) -> None:
+        self.transitions.append((source, label, target))
+
+    # ------------------------------------------------------------------ build
+    def freeze(self) -> Fst:
+        """Remove ε-moves, prune useless states, and return an immutable FST."""
+        if self.initial_state is None:
+            raise FstError("initial state not set")
+        closures = self._epsilon_closures()
+
+        final_states = {
+            state
+            for state in range(self.num_states)
+            if closures[state] & self.final_states
+        }
+        labelled: dict[int, list[tuple[Label, int]]] = {
+            state: [] for state in range(self.num_states)
+        }
+        for source, label, target in self.transitions:
+            if label is not None:
+                labelled[source].append((label, target))
+        new_transitions: list[tuple[int, Label, int]] = []
+        seen: set[tuple[int, Label, int]] = set()
+        for state in range(self.num_states):
+            for reachable in closures[state]:
+                for label, target in labelled[reachable]:
+                    key = (state, label, target)
+                    if key not in seen:
+                        seen.add(key)
+                        new_transitions.append(key)
+
+        keep = self._useful_states(new_transitions, final_states)
+        if self.initial_state not in keep:
+            # The expression matches nothing; keep a minimal one-state FST.
+            return Fst(1, 0, [], [])
+        order = self._bfs_order(new_transitions, keep)
+        renumber = {old: new for new, old in enumerate(order)}
+        transitions = [
+            (renumber[s], label, renumber[t])
+            for s, label, t in new_transitions
+            if s in renumber and t in renumber
+        ]
+        finals = [renumber[s] for s in final_states if s in renumber]
+        fst = Fst(len(order), renumber[self.initial_state], finals, transitions)
+        return reduce_bisimulation(fst)
+
+    # ---------------------------------------------------------------- helpers
+    def _epsilon_closures(self) -> list[set[int]]:
+        eps_adjacent: list[list[int]] = [[] for _ in range(self.num_states)]
+        for source, label, target in self.transitions:
+            if label is None:
+                eps_adjacent[source].append(target)
+        closures: list[set[int]] = []
+        for state in range(self.num_states):
+            seen = {state}
+            stack = [state]
+            while stack:
+                node = stack.pop()
+                for nxt in eps_adjacent[node]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            closures.append(seen)
+        return closures
+
+    def _useful_states(
+        self,
+        transitions: list[tuple[int, Label, int]],
+        final_states: set[int],
+    ) -> set[int]:
+        """States reachable from the initial state that can reach a final state."""
+        forward: dict[int, list[int]] = {}
+        backward: dict[int, list[int]] = {}
+        for source, _label, target in transitions:
+            forward.setdefault(source, []).append(target)
+            backward.setdefault(target, []).append(source)
+
+        reachable = self._reach({self.initial_state}, forward)
+        productive = self._reach(set(final_states), backward)
+        return reachable & productive
+
+    @staticmethod
+    def _reach(start: set[int], adjacency: dict[int, list[int]]) -> set[int]:
+        seen = set(start)
+        stack = list(start)
+        while stack:
+            node = stack.pop()
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def _bfs_order(
+        self, transitions: list[tuple[int, Label, int]], keep: set[int]
+    ) -> list[int]:
+        adjacency: dict[int, list[int]] = {}
+        for source, _label, target in transitions:
+            if source in keep and target in keep:
+                adjacency.setdefault(source, []).append(target)
+        order: list[int] = []
+        seen = {self.initial_state}
+        queue: deque[int] = deque([self.initial_state])
+        while queue:
+            state = queue.popleft()
+            order.append(state)
+            for nxt in adjacency.get(state, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return order
+
+
+def reduce_bisimulation(fst: Fst) -> Fst:
+    """Merge forward-bisimilar states of an FST.
+
+    Two states are merged when they agree on finality and, recursively, on
+    their outgoing (label, successor-class) sets.  The reduction is computed
+    by partition refinement and preserves the set of accepting label paths,
+    hence the candidate subsequences generated for every input sequence.  It
+    collapses the duplicated structure introduced by the Thompson-style
+    compiler (e.g. leading ``.*`` loops become self-loops on the initial
+    state, as in the paper's Fig. 4), which both speeds up simulation and
+    makes the "state change" relevance test of the D-SEQ rewriter effective.
+    """
+    blocks = [1 if fst.is_final(state) else 0 for state in range(fst.num_states)]
+    while True:
+        signatures: dict[tuple, int] = {}
+        new_blocks = [0] * fst.num_states
+        for state in range(fst.num_states):
+            signature = (
+                blocks[state],
+                frozenset(
+                    (transition.label, blocks[transition.target])
+                    for transition in fst.outgoing(state)
+                ),
+            )
+            block = signatures.setdefault(signature, len(signatures))
+            new_blocks[state] = block
+        if new_blocks == blocks:
+            break
+        blocks = new_blocks
+
+    # Renumber blocks so that the initial state's block is 0 and ordering is
+    # stable (breadth-first from the initial block).
+    block_transitions: dict[int, set[tuple[Label, int]]] = {}
+    for state in range(fst.num_states):
+        block_transitions.setdefault(blocks[state], set()).update(
+            (transition.label, blocks[transition.target])
+            for transition in fst.outgoing(state)
+        )
+    order: list[int] = []
+    seen = {blocks[fst.initial_state]}
+    queue = deque([blocks[fst.initial_state]])
+    while queue:
+        block = queue.popleft()
+        order.append(block)
+        for _label, target in sorted(
+            block_transitions.get(block, ()), key=lambda edge: edge[1]
+        ):
+            if target not in seen:
+                seen.add(target)
+                queue.append(target)
+    renumber = {block: index for index, block in enumerate(order)}
+
+    transitions = [
+        (renumber[block], label, renumber[target])
+        for block in order
+        for label, target in sorted(
+            block_transitions.get(block, ()), key=lambda edge: (edge[1], str(edge[0]))
+        )
+        if target in renumber
+    ]
+    finals = {
+        renumber[blocks[state]] for state in fst.final_states if blocks[state] in renumber
+    }
+    return Fst(len(order), renumber[blocks[fst.initial_state]], sorted(finals), transitions)

@@ -1,0 +1,224 @@
+"""FST simulation: accepting runs and candidate generation (Sec. IV).
+
+The functions in this module implement the reference (non-distributed)
+semantics of the DESQ computational model:
+
+* :func:`matches` -- does any accepting run exist for an input sequence?
+* :func:`accepting_runs` -- enumerate accepting runs (Fig. 5a);
+* :func:`run_output_sets` -- the output sets produced by one run;
+* :func:`generate_candidates` -- the candidate set ``G_π(T)`` (or ``G^σ_π(T)``).
+
+Run enumeration and candidate expansion can be exponential for loose
+constraints; both carry explicit caps that raise
+:class:`~repro.errors.CandidateExplosionError` when exceeded.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.dictionary import EPSILON_FID, Dictionary
+from repro.errors import CandidateExplosionError
+from repro.fst.fst import Fst, Transition
+
+#: Default safety cap for enumerated accepting runs per input sequence.
+DEFAULT_MAX_RUNS = 100_000
+#: Default safety cap for generated candidate subsequences per input sequence.
+DEFAULT_MAX_CANDIDATES = 1_000_000
+
+
+def reachability_table(
+    fst: Fst, sequence: Sequence[int], dictionary: Dictionary
+) -> list[list[bool]]:
+    """``alive[i][q]`` is True iff an accepting run exists from position i, state q.
+
+    Position ``i`` means "the first ``i`` items have been consumed"; the table
+    therefore has ``len(sequence) + 1`` rows.
+    """
+    n = len(sequence)
+    alive = [[False] * fst.num_states for _ in range(n + 1)]
+    for state in fst.final_states:
+        alive[n][state] = True
+    for i in range(n - 1, -1, -1):
+        item = sequence[i]
+        row = alive[i]
+        next_row = alive[i + 1]
+        for state in range(fst.num_states):
+            for transition in fst.outgoing(state):
+                if next_row[transition.target] and transition.label.matches(
+                    item, dictionary
+                ):
+                    row[state] = True
+                    break
+    return alive
+
+
+def matches(fst: Fst, sequence: Sequence[int], dictionary: Dictionary) -> bool:
+    """True iff the FST has at least one accepting run for ``sequence``."""
+    if len(sequence) == 0:
+        return fst.is_final(fst.initial_state)
+    return reachability_table(fst, sequence, dictionary)[0][fst.initial_state]
+
+
+def accepting_runs(
+    fst: Fst,
+    sequence: Sequence[int],
+    dictionary: Dictionary,
+    max_runs: int = DEFAULT_MAX_RUNS,
+    alive: list[list[bool]] | None = None,
+) -> Iterator[tuple[Transition, ...]]:
+    """Enumerate the accepting runs ``R(T)`` for an input sequence.
+
+    Runs are yielded as tuples of transitions, one per input position.  The
+    enumeration is guided by the reachability table so that no dead branches
+    are explored.  Raises :class:`CandidateExplosionError` if more than
+    ``max_runs`` runs are produced.
+    """
+    n = len(sequence)
+    if alive is None:
+        alive = reachability_table(fst, sequence, dictionary)
+    if n == 0:
+        if fst.is_final(fst.initial_state):
+            yield ()
+        return
+    if not alive[0][fst.initial_state]:
+        return
+
+    produced = 0
+    stack: list[Transition] = []
+
+    def walk(position: int, state: int) -> Iterator[tuple[Transition, ...]]:
+        nonlocal produced
+        if position == n:
+            if fst.is_final(state):
+                produced += 1
+                if produced > max_runs:
+                    raise CandidateExplosionError("accepting runs", max_runs)
+                yield tuple(stack)
+            return
+        item = sequence[position]
+        next_alive = alive[position + 1]
+        for transition in fst.outgoing(state):
+            if next_alive[transition.target] and transition.label.matches(
+                item, dictionary
+            ):
+                stack.append(transition)
+                yield from walk(position + 1, transition.target)
+                stack.pop()
+
+    yield from walk(0, fst.initial_state)
+
+
+def run_output_sets(
+    run: Sequence[Transition],
+    sequence: Sequence[int],
+    dictionary: Dictionary,
+    max_frequent_fid: int | None = None,
+) -> list[tuple[int, ...]]:
+    """The output sets produced by ``run`` on ``sequence``.
+
+    Each element is a sorted tuple of fids; ``(0,)`` denotes an ε output.
+    If ``max_frequent_fid`` is given, items with a larger fid (i.e. infrequent
+    items, because fids are frequency ordered) are removed; a captured set may
+    then become empty, which callers treat as "no frequent candidate passes
+    through this run".
+    """
+    sets: list[tuple[int, ...]] = []
+    for transition, item in zip(run, sequence):
+        outputs = transition.label.outputs(item, dictionary)
+        if max_frequent_fid is not None and outputs != (EPSILON_FID,):
+            outputs = tuple(fid for fid in outputs if fid <= max_frequent_fid)
+        sets.append(outputs)
+    return sets
+
+
+def expand_output_sets(
+    output_sets: Sequence[tuple[int, ...]],
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> set[tuple[int, ...]]:
+    """Cartesian-product expansion of output sets into candidate subsequences.
+
+    ε outputs contribute nothing to a candidate; an empty output set (possible
+    after frequency filtering) yields no candidates at all.
+    """
+    candidates: set[tuple[int, ...]] = {()}
+    for outputs in output_sets:
+        if not outputs:
+            return set()
+        if outputs == (EPSILON_FID,):
+            continue
+        expanded: set[tuple[int, ...]] = set()
+        for prefix in candidates:
+            for fid in outputs:
+                if fid == EPSILON_FID:
+                    expanded.add(prefix)
+                else:
+                    expanded.add(prefix + (fid,))
+                if len(expanded) > max_candidates:
+                    raise CandidateExplosionError("candidate subsequences", max_candidates)
+        candidates = expanded
+    return candidates
+
+
+def generate_candidates(
+    fst: Fst,
+    sequence: Sequence[int],
+    dictionary: Dictionary,
+    sigma: int | None = None,
+    max_runs: int = DEFAULT_MAX_RUNS,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> set[tuple[int, ...]]:
+    """Compute ``G_π(T)`` (or ``G^σ_π(T)`` when ``sigma`` is given).
+
+    The empty subsequence is never reported as a candidate (it cannot be a
+    pattern).  Raises :class:`CandidateExplosionError` if enumeration exceeds
+    the configured caps.
+    """
+    max_frequent_fid = (
+        dictionary.largest_frequent_fid(sigma) if sigma is not None else None
+    )
+    candidates: set[tuple[int, ...]] = set()
+    for run in accepting_runs(fst, sequence, dictionary, max_runs=max_runs):
+        output_sets = run_output_sets(run, sequence, dictionary, max_frequent_fid)
+        if any(not outputs for outputs in output_sets):
+            continue
+        for candidate in expand_output_sets(output_sets, max_candidates=max_candidates):
+            if candidate:
+                candidates.add(candidate)
+        if len(candidates) > max_candidates:
+            raise CandidateExplosionError("candidate subsequences", max_candidates)
+    return candidates
+
+
+def generates(
+    fst: Fst,
+    candidate: Sequence[int],
+    sequence: Sequence[int],
+    dictionary: Dictionary,
+) -> bool:
+    """True iff ``candidate`` is π-generated by ``sequence`` (``S ∈ G_π(T)``).
+
+    Decided by a joint dynamic program over (input position, FST state,
+    candidate position) without materializing ``G_π(T)``.
+    """
+    candidate = tuple(candidate)
+    n = len(sequence)
+    m = len(candidate)
+    # states of the DP: frozenset of (fst state, matched prefix length)
+    current: set[tuple[int, int]] = {(fst.initial_state, 0)}
+    for position in range(n):
+        item = sequence[position]
+        following: set[tuple[int, int]] = set()
+        for state, matched in current:
+            for transition in fst.outgoing(state):
+                if not transition.label.matches(item, dictionary):
+                    continue
+                for output in transition.label.outputs(item, dictionary):
+                    if output == EPSILON_FID:
+                        following.add((transition.target, matched))
+                    elif matched < m and candidate[matched] == output:
+                        following.add((transition.target, matched + 1))
+        current = following
+        if not current:
+            return False
+    return any(fst.is_final(state) and matched == m for state, matched in current)

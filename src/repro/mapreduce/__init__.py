@@ -1,0 +1,16 @@
+"""Simulated MapReduce / bulk-synchronous-parallel substrate."""
+
+from repro.mapreduce.engine import JobResult, SimulatedCluster, run_job
+from repro.mapreduce.job import MapReduceJob, iter_map_output
+from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.parallel import ProcessPoolCluster
+
+__all__ = [
+    "JobMetrics",
+    "JobResult",
+    "MapReduceJob",
+    "ProcessPoolCluster",
+    "SimulatedCluster",
+    "iter_map_output",
+    "run_job",
+]

@@ -1,0 +1,62 @@
+"""MapReduce job interface (Alg. 1 of the paper).
+
+A distributed FSM algorithm with one round of communication is expressed as a
+:class:`MapReduceJob`: the ``map`` function decides which partitions need to
+know about an input sequence and what representation to send, an optional
+``combine`` function pre-aggregates map output per map task, and the ``reduce``
+function mines one partition locally.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+
+class MapReduceJob:
+    """Base class for single-round MapReduce jobs.
+
+    Subclasses must implement :meth:`map` and :meth:`reduce`; :meth:`combine`
+    is optional and disabled unless :attr:`use_combiner` is True.
+    """
+
+    #: Enable the per-map-task combiner.
+    use_combiner: bool = False
+
+    # ------------------------------------------------------------------ hooks
+    def map(self, record: Any) -> Iterable[tuple[Any, Any]]:
+        """Process one input record into ``(partition key, value)`` pairs."""
+        raise NotImplementedError
+
+    def combine(self, key: Any, values: list[Any]) -> Iterable[tuple[Any, Any]]:
+        """Pre-aggregate values of one key within a single map task.
+
+        The default implementation passes values through unchanged.
+        """
+        return ((key, value) for value in values)
+
+    def reduce(self, key: Any, values: list[Any]) -> Iterable[Any]:
+        """Mine one partition: all values shuffled to ``key``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- accounting
+    def record_size(self, key: Any, value: Any) -> int:
+        """Size in bytes charged to the shuffle for one ``(key, value)`` pair.
+
+        The default charges the pickled size, which is what a generic
+        serializer would write.  Jobs with custom wire formats (e.g. the
+        NFA byte strings of D-CAND) override this with their exact size.
+        """
+        return len(pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL))
+
+    # -------------------------------------------------------------- utilities
+    def partition(self, key: Any, num_reduce_tasks: int) -> int:
+        """Assign a key to a reduce task (hash partitioning by default)."""
+        return hash(key) % num_reduce_tasks
+
+
+def iter_map_output(job: MapReduceJob, records: Iterable[Any]) -> Iterator[tuple[Any, Any]]:
+    """Flatten the map output of a job over some records (testing helper)."""
+    for record in records:
+        yield from job.map(record)

@@ -1,0 +1,82 @@
+"""Metrics collected by the simulated MapReduce engine.
+
+The paper reports end-to-end run time, the split between the map and the mine
+(reduce) stage, and the shuffle size written by the map stage
+(``shuffleWriteBytes``).  :class:`JobMetrics` captures the equivalents for the
+simulated cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JobMetrics:
+    """Timing and communication measurements of one simulated job."""
+
+    num_workers: int = 1
+    map_task_seconds: list[float] = field(default_factory=list)
+    reduce_task_seconds: list[float] = field(default_factory=list)
+    shuffle_bytes: int = 0
+    shuffle_records: int = 0
+    map_output_records: int = 0
+    combined_records: int = 0
+    input_records: int = 0
+    output_records: int = 0
+
+    # ------------------------------------------------------------------ times
+    @property
+    def map_seconds(self) -> float:
+        """Simulated wall-clock time of the map stage (max over workers)."""
+        return max(self.map_task_seconds, default=0.0)
+
+    @property
+    def reduce_seconds(self) -> float:
+        """Simulated wall-clock time of the reduce (mine) stage."""
+        return max(self.reduce_task_seconds, default=0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        """Simulated end-to-end time: map barrier followed by reduce barrier."""
+        return self.map_seconds + self.reduce_seconds
+
+    @property
+    def sequential_seconds(self) -> float:
+        """Total compute time summed over all tasks (1-worker equivalent)."""
+        return sum(self.map_task_seconds) + sum(self.reduce_task_seconds)
+
+    @property
+    def combine_ratio(self) -> float:
+        """Fraction of map output records removed by the combiner."""
+        if self.map_output_records == 0:
+            return 0.0
+        return 1.0 - self.combined_records / self.map_output_records
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary view used by the experiment reports."""
+        return {
+            "num_workers": self.num_workers,
+            "map_seconds": self.map_seconds,
+            "reduce_seconds": self.reduce_seconds,
+            "total_seconds": self.total_seconds,
+            "sequential_seconds": self.sequential_seconds,
+            "shuffle_bytes": self.shuffle_bytes,
+            "shuffle_records": self.shuffle_records,
+            "input_records": self.input_records,
+            "output_records": self.output_records,
+        }
+
+    def merge(self, other: "JobMetrics") -> "JobMetrics":
+        """Combine metrics of two jobs executed back to back (rarely needed)."""
+        return JobMetrics(
+            num_workers=max(self.num_workers, other.num_workers),
+            map_task_seconds=self.map_task_seconds + other.map_task_seconds,
+            reduce_task_seconds=self.reduce_task_seconds + other.reduce_task_seconds,
+            shuffle_bytes=self.shuffle_bytes + other.shuffle_bytes,
+            shuffle_records=self.shuffle_records + other.shuffle_records,
+            map_output_records=self.map_output_records + other.map_output_records,
+            combined_records=self.combined_records + other.combined_records,
+            input_records=self.input_records + other.input_records,
+            output_records=self.output_records + other.output_records,
+        )

@@ -1,0 +1,13 @@
+"""Output NFAs for candidate representation (Sec. VI)."""
+
+from repro.nfa.nfa import OutputNfa, TrieBuilder, minimize_acyclic
+from repro.nfa.serializer import deserialize, serialize, serialized_size
+
+__all__ = [
+    "OutputNfa",
+    "TrieBuilder",
+    "deserialize",
+    "minimize_acyclic",
+    "serialize",
+    "serialized_size",
+]

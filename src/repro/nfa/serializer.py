@@ -1,0 +1,140 @@
+"""Compact serialization of output NFAs (Sec. VI-A, "Serialization").
+
+The format follows the paper's scheme: transitions are written in DFS order;
+the source state is written only when it differs from the target of the
+previously written transition, the target state is written only when it was
+visited before, and a "final" marker is attached when a newly visited target
+state is final.  Integers are encoded as unsigned LEB128 varints.
+
+The serialization is canonical (edges are visited in sorted label order), so
+identical NFAs produce identical byte strings — which is what makes the
+MapReduce combine-style aggregation of D-CAND effective.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NfaError
+from repro.nfa.nfa import OutputNfa
+
+_FLAG_HAS_SOURCE = 1
+_FLAG_HAS_TARGET = 2
+_FLAG_TARGET_FINAL = 4
+
+
+# ------------------------------------------------------------------- varints
+def _write_varint(buffer: bytearray, value: int) -> None:
+    if value < 0:
+        raise NfaError(f"cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buffer.append(byte | 0x80)
+        else:
+            buffer.append(byte)
+            return
+
+
+def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise NfaError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+# --------------------------------------------------------------- serialization
+def serialize(nfa: OutputNfa) -> bytes:
+    """Serialize an output NFA into a compact canonical byte string."""
+    buffer = bytearray()
+    buffer.append(1 if nfa.is_final(0) else 0)
+
+    visit_number: dict[int, int] = {0: 0}
+    current = 0
+
+    def emit(source: int) -> None:
+        nonlocal current
+        for label, target in sorted(nfa.outgoing(source)):
+            flags = 0
+            if source != current:
+                flags |= _FLAG_HAS_SOURCE
+            target_known = target in visit_number
+            if target_known:
+                flags |= _FLAG_HAS_TARGET
+            elif nfa.is_final(target):
+                flags |= _FLAG_TARGET_FINAL
+            buffer.append(flags)
+            if flags & _FLAG_HAS_SOURCE:
+                _write_varint(buffer, visit_number[source])
+            _write_varint(buffer, len(label))
+            previous = 0
+            for fid in label:
+                _write_varint(buffer, fid - previous)  # delta-encode sorted fids
+                previous = fid
+            if target_known:
+                _write_varint(buffer, visit_number[target])
+                current = target
+            else:
+                visit_number[target] = len(visit_number)
+                current = target
+                emit(target)
+                # After returning from the recursion we are conceptually back at
+                # ``target``'s last descendant; ``current`` already tracks it.
+
+    emit(0)
+    return bytes(buffer)
+
+
+def deserialize(data: bytes) -> OutputNfa:
+    """Reconstruct an output NFA from :func:`serialize` output."""
+    if not data:
+        raise NfaError("empty NFA serialization")
+    root_final = bool(data[0])
+    offset = 1
+
+    transitions: list[list[tuple[tuple[int, ...], int]]] = [[]]
+    finals: set[int] = {0} if root_final else set()
+    current = 0  # the implied source: target of the previously read transition
+
+    while offset < len(data):
+        flags = data[offset]
+        offset += 1
+        if flags & _FLAG_HAS_SOURCE:
+            source, offset = _read_varint(data, offset)
+            if source >= len(transitions):
+                raise NfaError(f"forward reference to unknown source state {source}")
+        else:
+            source = current
+        label_length, offset = _read_varint(data, offset)
+        if label_length == 0:
+            raise NfaError("empty edge label in serialization")
+        label = []
+        previous = 0
+        for _ in range(label_length):
+            delta, offset = _read_varint(data, offset)
+            previous += delta
+            label.append(previous)
+        if flags & _FLAG_HAS_TARGET:
+            target, offset = _read_varint(data, offset)
+            if target >= len(transitions):
+                raise NfaError(f"forward reference to unknown target state {target}")
+        else:
+            target = len(transitions)
+            transitions.append([])
+            if flags & _FLAG_TARGET_FINAL:
+                finals.add(target)
+        transitions[source].append((tuple(label), target))
+        current = target
+
+    return OutputNfa(transitions, finals)
+
+
+def serialized_size(nfa: OutputNfa) -> int:
+    """Size in bytes of the canonical serialization (shuffle accounting)."""
+    return len(serialize(nfa))

@@ -1,0 +1,29 @@
+"""DESQ pattern expression language (Sec. II and IV)."""
+
+from repro.patex.ast import (
+    Capture,
+    Concatenation,
+    ItemExpression,
+    PatExNode,
+    Repetition,
+    Union,
+    Wildcard,
+    iter_nodes,
+    referenced_items,
+)
+from repro.patex.parser import parse
+from repro.patex.patex import PatEx
+
+__all__ = [
+    "Capture",
+    "Concatenation",
+    "ItemExpression",
+    "PatEx",
+    "PatExNode",
+    "Repetition",
+    "Union",
+    "Wildcard",
+    "iter_nodes",
+    "parse",
+    "referenced_items",
+]

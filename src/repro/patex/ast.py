@@ -1,0 +1,131 @@
+"""Abstract syntax tree for DESQ-style pattern expressions.
+
+The grammar follows Sec. II of the paper:
+
+* item expressions ``w``, ``w=``, ``w^`` (``w↑``), ``w^=`` (``w↑=``),
+* wildcards ``.`` and ``.^`` (``.↑``),
+* capture groups ``( E )``,
+* grouping ``[ E ]``,
+* repetition ``E*``, ``E+``, ``E?``, ``E{n}``, ``E{n,}``, ``E{n,m}``,
+* concatenation ``E1 E2`` and union ``E1 | E2``.
+
+The ASCII caret ``^`` is accepted as a synonym for the paper's ``↑``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class PatExNode:
+    """Base class for AST nodes."""
+
+    def children(self) -> tuple["PatExNode", ...]:
+        """Child nodes (empty for leaves)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class ItemExpression(PatExNode):
+    """An item atom ``w``, ``w=``, ``w^``, or ``w^=``.
+
+    ``exact``       -- ``=`` modifier: match only the item itself (no descendants).
+    ``generalize``  -- ``^`` modifier: when captured, output generalizations.
+    """
+
+    gid: str
+    exact: bool = False
+    generalize: bool = False
+
+    def __str__(self) -> str:
+        suffix = ("^" if self.generalize else "") + ("=" if self.exact else "")
+        return f"{self.gid}{suffix}"
+
+
+@dataclass(frozen=True)
+class Wildcard(PatExNode):
+    """The wildcard atom ``.`` or ``.^`` (optionally ``.^=``)."""
+
+    generalize: bool = False
+    exact: bool = False
+
+    def __str__(self) -> str:
+        return "." + ("^" if self.generalize else "") + ("=" if self.exact else "")
+
+
+@dataclass(frozen=True)
+class Capture(PatExNode):
+    """A capture group ``( E )``: items matched inside are output."""
+
+    child: PatExNode
+
+    def children(self) -> tuple[PatExNode, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"({self.child})"
+
+
+@dataclass(frozen=True)
+class Concatenation(PatExNode):
+    """Juxtaposition ``E1 E2 ... En``."""
+
+    parts: tuple[PatExNode, ...] = field(default_factory=tuple)
+
+    def children(self) -> tuple[PatExNode, ...]:
+        return self.parts
+
+    def __str__(self) -> str:
+        return " ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Union(PatExNode):
+    """Alternation ``E1 | E2 | ... | En``."""
+
+    options: tuple[PatExNode, ...] = field(default_factory=tuple)
+
+    def children(self) -> tuple[PatExNode, ...]:
+        return self.options
+
+    def __str__(self) -> str:
+        return "[" + "|".join(str(o) for o in self.options) + "]"
+
+
+@dataclass(frozen=True)
+class Repetition(PatExNode):
+    """Repetition ``E{min,max}`` where ``max is None`` means unbounded."""
+
+    child: PatExNode
+    min_count: int
+    max_count: int | None
+
+    def children(self) -> tuple[PatExNode, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        if self.min_count == 0 and self.max_count is None:
+            suffix = "*"
+        elif self.min_count == 1 and self.max_count is None:
+            suffix = "+"
+        elif self.min_count == 0 and self.max_count == 1:
+            suffix = "?"
+        elif self.max_count is None:
+            suffix = f"{{{self.min_count},}}"
+        elif self.min_count == self.max_count:
+            suffix = f"{{{self.min_count}}}"
+        else:
+            suffix = f"{{{self.min_count},{self.max_count}}}"
+        return f"[{self.child}]{suffix}"
+
+
+def iter_nodes(node: PatExNode):
+    """Yield ``node`` and all its descendants in pre-order."""
+    yield node
+    for child in node.children():
+        yield from iter_nodes(child)
+
+
+def referenced_items(node: PatExNode) -> set[str]:
+    """All item gids mentioned anywhere in the expression."""
+    return {n.gid for n in iter_nodes(node) if isinstance(n, ItemExpression)}

@@ -1,0 +1,130 @@
+"""Tokenizer for pattern expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import PatExSyntaxError
+
+
+class TokenType(Enum):
+    ITEM = auto()          # bare or quoted item gid
+    DOT = auto()           # .
+    CARET = auto()         # ^ or ↑
+    EQUALS = auto()        # =
+    LPAREN = auto()        # (
+    RPAREN = auto()        # )
+    LBRACKET = auto()      # [
+    RBRACKET = auto()      # ]
+    STAR = auto()          # *
+    PLUS = auto()          # +
+    QMARK = auto()         # ?
+    PIPE = auto()          # |
+    REPEAT = auto()        # {n}, {n,}, {n,m}  -- value is (min, max|None)
+    END = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: object
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, pos={self.position})"
+
+
+_SINGLE_CHAR_TOKENS = {
+    ".": TokenType.DOT,
+    "^": TokenType.CARET,
+    "↑": TokenType.CARET,
+    "=": TokenType.EQUALS,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "*": TokenType.STAR,
+    "+": TokenType.PLUS,
+    "?": TokenType.QMARK,
+    "|": TokenType.PIPE,
+}
+
+
+def _is_item_start(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+def _is_item_char(char: str) -> bool:
+    return char.isalnum() or char in "_-&"
+
+
+def tokenize(expression: str) -> list[Token]:
+    """Split a pattern expression into tokens.
+
+    Item gids are either bare identifiers (letters, digits, ``_``, ``-``,
+    ``&``) or single-quoted strings (which may contain arbitrary characters
+    except the quote itself).
+    """
+    tokens: list[Token] = []
+    i = 0
+    length = len(expression)
+    while i < length:
+        char = expression[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char in _SINGLE_CHAR_TOKENS:
+            tokens.append(Token(_SINGLE_CHAR_TOKENS[char], char, i))
+            i += 1
+            continue
+        if char == "{":
+            end = expression.find("}", i)
+            if end < 0:
+                raise PatExSyntaxError("unterminated repetition '{'", i)
+            body = expression[i + 1 : end].replace(" ", "")
+            tokens.append(Token(TokenType.REPEAT, _parse_repeat(body, i), i))
+            i = end + 1
+            continue
+        if char == "'":
+            end = expression.find("'", i + 1)
+            if end < 0:
+                raise PatExSyntaxError("unterminated quoted item", i)
+            gid = expression[i + 1 : end]
+            if not gid:
+                raise PatExSyntaxError("empty quoted item", i)
+            tokens.append(Token(TokenType.ITEM, gid, i))
+            i = end + 1
+            continue
+        if _is_item_start(char):
+            start = i
+            while i < length and _is_item_char(expression[i]):
+                i += 1
+            tokens.append(Token(TokenType.ITEM, expression[start:i], start))
+            continue
+        raise PatExSyntaxError(f"unexpected character {char!r}", i)
+    tokens.append(Token(TokenType.END, None, length))
+    return tokens
+
+
+def _parse_repeat(body: str, position: int) -> tuple[int, int | None]:
+    """Parse the inside of ``{...}`` into ``(min, max)``; max None = unbounded."""
+    if not body:
+        raise PatExSyntaxError("empty repetition '{}'", position)
+    if "," not in body:
+        if not body.isdigit():
+            raise PatExSyntaxError(f"invalid repetition {{{body}}}", position)
+        count = int(body)
+        return count, count
+    lo, _, hi = body.partition(",")
+    if lo and not lo.isdigit():
+        raise PatExSyntaxError(f"invalid repetition {{{body}}}", position)
+    if hi and not hi.isdigit():
+        raise PatExSyntaxError(f"invalid repetition {{{body}}}", position)
+    min_count = int(lo) if lo else 0
+    max_count = int(hi) if hi else None
+    if max_count is not None and max_count < min_count:
+        raise PatExSyntaxError(
+            f"repetition upper bound below lower bound in {{{body}}}", position
+        )
+    return min_count, max_count

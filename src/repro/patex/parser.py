@@ -1,0 +1,141 @@
+"""Recursive-descent parser for pattern expressions."""
+
+from __future__ import annotations
+
+from repro.errors import PatExSyntaxError
+from repro.patex.ast import (
+    Capture,
+    Concatenation,
+    ItemExpression,
+    PatExNode,
+    Repetition,
+    Union,
+    Wildcard,
+)
+from repro.patex.lexer import Token, TokenType, tokenize
+
+_PRIMARY_START = {
+    TokenType.ITEM,
+    TokenType.DOT,
+    TokenType.LPAREN,
+    TokenType.LBRACKET,
+}
+
+_POSTFIX = {
+    TokenType.STAR,
+    TokenType.PLUS,
+    TokenType.QMARK,
+    TokenType.REPEAT,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------ utils
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise PatExSyntaxError(
+                f"expected {token_type.name}, found {token.type.name}", token.position
+            )
+        return self._advance()
+
+    # ---------------------------------------------------------------- grammar
+    def parse(self) -> PatExNode:
+        node = self._union()
+        end = self._peek()
+        if end.type is not TokenType.END:
+            raise PatExSyntaxError(
+                f"unexpected trailing {end.type.name}", end.position
+            )
+        return node
+
+    def _union(self) -> PatExNode:
+        options = [self._concat()]
+        while self._peek().type is TokenType.PIPE:
+            self._advance()
+            options.append(self._concat())
+        if len(options) == 1:
+            return options[0]
+        return Union(tuple(options))
+
+    def _concat(self) -> PatExNode:
+        parts = [self._repeat()]
+        while self._peek().type in _PRIMARY_START:
+            parts.append(self._repeat())
+        if len(parts) == 1:
+            return parts[0]
+        return Concatenation(tuple(parts))
+
+    def _repeat(self) -> PatExNode:
+        node = self._primary()
+        while self._peek().type in _POSTFIX:
+            token = self._advance()
+            if token.type is TokenType.STAR:
+                node = Repetition(node, 0, None)
+            elif token.type is TokenType.PLUS:
+                node = Repetition(node, 1, None)
+            elif token.type is TokenType.QMARK:
+                node = Repetition(node, 0, 1)
+            else:
+                min_count, max_count = token.value
+                node = Repetition(node, min_count, max_count)
+        return node
+
+    def _primary(self) -> PatExNode:
+        token = self._peek()
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            inner = self._union()
+            self._expect(TokenType.RPAREN)
+            return Capture(inner)
+        if token.type is TokenType.LBRACKET:
+            self._advance()
+            inner = self._union()
+            self._expect(TokenType.RBRACKET)
+            return inner
+        if token.type is TokenType.DOT:
+            self._advance()
+            generalize, exact = self._modifiers()
+            return Wildcard(generalize=generalize, exact=exact)
+        if token.type is TokenType.ITEM:
+            self._advance()
+            generalize, exact = self._modifiers()
+            return ItemExpression(str(token.value), exact=exact, generalize=generalize)
+        raise PatExSyntaxError(
+            f"expected an item, '.', '(' or '[', found {token.type.name}",
+            token.position,
+        )
+
+    def _modifiers(self) -> tuple[bool, bool]:
+        """Parse an optional ``^`` followed by an optional ``=``."""
+        generalize = False
+        exact = False
+        if self._peek().type is TokenType.CARET:
+            self._advance()
+            generalize = True
+        if self._peek().type is TokenType.EQUALS:
+            self._advance()
+            exact = True
+        return generalize, exact
+
+
+def parse(expression: str) -> PatExNode:
+    """Parse a pattern expression string into an AST.
+
+    Raises :class:`~repro.errors.PatExSyntaxError` on malformed input.
+    """
+    if not expression or not expression.strip():
+        raise PatExSyntaxError("empty pattern expression")
+    return _Parser(tokenize(expression)).parse()

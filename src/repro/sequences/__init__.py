@@ -1,0 +1,40 @@
+"""Sequence databases and I/O."""
+
+from repro.sequences.database import DatabaseStatistics, SequenceDatabase
+from repro.sequences.formats import (
+    detect_format,
+    load_sequences,
+    read_binary_database,
+    read_jsonl_sequences,
+    save_sequences,
+    write_binary_database,
+    write_jsonl_sequences,
+)
+from repro.sequences.io import (
+    preprocess,
+    read_database,
+    read_dictionary,
+    read_gid_sequences,
+    write_database,
+    write_dictionary,
+    write_gid_sequences,
+)
+
+__all__ = [
+    "DatabaseStatistics",
+    "SequenceDatabase",
+    "detect_format",
+    "load_sequences",
+    "preprocess",
+    "read_binary_database",
+    "read_database",
+    "read_dictionary",
+    "read_gid_sequences",
+    "read_jsonl_sequences",
+    "save_sequences",
+    "write_binary_database",
+    "write_database",
+    "write_dictionary",
+    "write_gid_sequences",
+    "write_jsonl_sequences",
+]

@@ -1,0 +1,120 @@
+"""In-memory sequence databases.
+
+A :class:`SequenceDatabase` stores input sequences as tuples of fids.  The
+library always mines over fid-encoded sequences; raw gid sequences are encoded
+through a :class:`~repro.dictionary.dictionary.Dictionary`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.dictionary import Dictionary
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class DatabaseStatistics:
+    """Dataset characteristics in the style of Table II of the paper."""
+
+    sequence_count: int
+    total_items: int
+    unique_items: int
+    max_length: int
+    mean_length: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "sequence_count": self.sequence_count,
+            "total_items": self.total_items,
+            "unique_items": self.unique_items,
+            "max_length": self.max_length,
+            "mean_length": self.mean_length,
+        }
+
+
+class SequenceDatabase:
+    """A list of fid-encoded input sequences.
+
+    The database is append-only; mining algorithms never mutate it.  Sequences
+    are plain tuples of positive integers (fids).
+    """
+
+    def __init__(self, sequences: Iterable[Sequence[int]] = ()) -> None:
+        self._sequences: list[tuple[int, ...]] = []
+        for sequence in sequences:
+            self.append(sequence)
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def from_gid_sequences(
+        cls, dictionary: Dictionary, sequences: Iterable[Sequence[str]]
+    ) -> "SequenceDatabase":
+        """Encode raw gid sequences through ``dictionary`` into a database."""
+        return cls(dictionary.encode(sequence) for sequence in sequences)
+
+    def append(self, sequence: Sequence[int]) -> None:
+        """Add one fid-encoded sequence."""
+        encoded = tuple(int(fid) for fid in sequence)
+        if any(fid <= 0 for fid in encoded):
+            raise ReproError(f"sequence contains non-positive fid: {encoded}")
+        self._sequences.append(encoded)
+
+    def extend(self, sequences: Iterable[Sequence[int]]) -> None:
+        """Add many fid-encoded sequences."""
+        for sequence in sequences:
+            self.append(sequence)
+
+    # ----------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._sequences)
+
+    def __getitem__(self, index: int) -> tuple[int, ...]:
+        return self._sequences[index]
+
+    def sequences(self) -> list[tuple[int, ...]]:
+        """A shallow copy of the stored sequences."""
+        return list(self._sequences)
+
+    def decode(self, dictionary: Dictionary) -> list[tuple[str, ...]]:
+        """Translate all sequences back into gid tuples (for display/tests)."""
+        return [dictionary.decode(sequence) for sequence in self._sequences]
+
+    # ------------------------------------------------------------------ tools
+    def sample(self, fraction: float, seed: int = 0) -> "SequenceDatabase":
+        """Return a random sample containing ``fraction`` of the sequences.
+
+        Sampling is deterministic for a given ``seed`` (used by the data
+        scalability experiment, Fig. 11a).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ReproError(f"fraction must be in (0, 1], got {fraction}")
+        if fraction == 1.0:
+            return SequenceDatabase(self._sequences)
+        rng = random.Random(seed)
+        count = max(1, round(len(self._sequences) * fraction))
+        picked = rng.sample(range(len(self._sequences)), count)
+        return SequenceDatabase(self._sequences[i] for i in sorted(picked))
+
+    def statistics(self) -> DatabaseStatistics:
+        """Compute Table-II-style dataset characteristics."""
+        lengths = [len(sequence) for sequence in self._sequences]
+        unique: set[int] = set()
+        for sequence in self._sequences:
+            unique.update(sequence)
+        total = sum(lengths)
+        return DatabaseStatistics(
+            sequence_count=len(self._sequences),
+            total_items=total,
+            unique_items=len(unique),
+            max_length=max(lengths, default=0),
+            mean_length=(total / len(lengths)) if lengths else 0.0,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SequenceDatabase(sequences={len(self._sequences)})"

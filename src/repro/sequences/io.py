@@ -1,0 +1,117 @@
+"""Simple text and JSON I/O for sequence databases and dictionaries.
+
+The on-disk formats are intentionally minimal:
+
+* sequence text format: one sequence per line, items separated by whitespace;
+* dictionary JSON format: a list of item records with gid, frequency and
+  parent gids.
+
+These formats are sufficient to persist the synthetic datasets used by the
+experiment harness and to exchange data with external tools.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.dictionary import Dictionary, DictionaryBuilder, Hierarchy, Item
+from repro.sequences.database import SequenceDatabase
+
+
+# --------------------------------------------------------------------- sequences
+def write_gid_sequences(path: str | Path, sequences: Iterable[Sequence[str]]) -> int:
+    """Write raw gid sequences, one per line.  Returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for sequence in sequences:
+            handle.write(" ".join(sequence))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_gid_sequences(path: str | Path) -> list[tuple[str, ...]]:
+    """Read raw gid sequences written by :func:`write_gid_sequences`."""
+    sequences: list[tuple[str, ...]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            tokens = tuple(line.split())
+            if tokens:
+                sequences.append(tokens)
+    return sequences
+
+
+def write_database(
+    path: str | Path, database: SequenceDatabase, dictionary: Dictionary
+) -> int:
+    """Write a fid-encoded database as gid text lines."""
+    return write_gid_sequences(path, database.decode(dictionary))
+
+
+def read_database(path: str | Path, dictionary: Dictionary) -> SequenceDatabase:
+    """Read gid text lines and encode them through ``dictionary``."""
+    return SequenceDatabase.from_gid_sequences(dictionary, read_gid_sequences(path))
+
+
+# -------------------------------------------------------------------- dictionary
+def write_dictionary(path: str | Path, dictionary: Dictionary) -> None:
+    """Persist a dictionary (gids, frequencies, parent links) as JSON."""
+    records = [
+        {
+            "gid": item.gid,
+            "document_frequency": item.document_frequency,
+            "parents": sorted(dictionary.gid_of(p) for p in item.parent_fids),
+        }
+        for item in dictionary
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(records, handle, indent=2)
+
+
+def read_dictionary(path: str | Path) -> Dictionary:
+    """Load a dictionary written by :func:`write_dictionary`.
+
+    fids are re-assigned from the stored frequencies, so round-tripping
+    preserves gids, frequencies and hierarchy, and produces the same fid order.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        records = json.load(handle)
+    hierarchy = Hierarchy()
+    frequencies: dict[str, int] = {}
+    for record in records:
+        hierarchy.add_item(record["gid"])
+        frequencies[record["gid"]] = int(record["document_frequency"])
+    for record in records:
+        for parent in record["parents"]:
+            hierarchy.add_edge(record["gid"], parent)
+    return Dictionary.from_hierarchy(hierarchy, frequencies)
+
+
+# ------------------------------------------------------------------- preprocess
+def preprocess(
+    raw_sequences: Iterable[Sequence[str]], hierarchy: Hierarchy | None = None
+) -> tuple[Dictionary, SequenceDatabase]:
+    """Run the paper's preprocessing step: build the f-list and encode the data.
+
+    Returns the frequency-ordered dictionary and the fid-encoded database.
+    """
+    materialized = [tuple(sequence) for sequence in raw_sequences]
+    builder = DictionaryBuilder(hierarchy)
+    builder.add_sequences(materialized)
+    dictionary = builder.build()
+    database = SequenceDatabase.from_gid_sequences(dictionary, materialized)
+    return dictionary, database
+
+
+__all__ = [
+    "Item",
+    "preprocess",
+    "read_database",
+    "read_dictionary",
+    "read_gid_sequences",
+    "write_database",
+    "write_dictionary",
+    "write_gid_sequences",
+]

@@ -1,0 +1,23 @@
+"""Sequential and specialised reference miners used for comparison."""
+
+from repro.sequential.desq_count import SequentialDesqCount
+from repro.sequential.desq_dfs import SequentialDesqDfs
+from repro.sequential.gsp import GspMiner
+from repro.sequential.lash import (
+    GapConstrainedJob,
+    GapConstrainedMiner,
+    LashMiner,
+    MgFsmMiner,
+)
+from repro.sequential.prefixspan import PrefixSpanMiner
+
+__all__ = [
+    "GapConstrainedJob",
+    "GapConstrainedMiner",
+    "GspMiner",
+    "LashMiner",
+    "MgFsmMiner",
+    "PrefixSpanMiner",
+    "SequentialDesqCount",
+    "SequentialDesqDfs",
+]

@@ -1,0 +1,90 @@
+"""Shared fixtures: the paper's running example (Fig. 2) and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dictionary import Dictionary, Item
+from repro.patex import PatEx
+from repro.sequences import SequenceDatabase
+
+
+def make_running_example_dictionary() -> Dictionary:
+    """The dictionary of Fig. 2 with the paper's exact item order.
+
+    fids follow the paper's total order ``b < A < d < a1 < c < e < a2``
+    (most frequent first, ties broken as in the paper).
+    """
+    # gid -> (fid, document frequency, parents)
+    spec = {
+        "b": (1, 5, ()),
+        "A": (2, 4, ()),
+        "d": (3, 3, ()),
+        "a1": (4, 3, ("A",)),
+        "c": (5, 2, ()),
+        "e": (6, 1, ()),
+        "a2": (7, 1, ("A",)),
+    }
+    fid_of = {gid: fid for gid, (fid, _, _) in spec.items()}
+    children: dict[str, set[str]] = {gid: set() for gid in spec}
+    for gid, (_, _, parents) in spec.items():
+        for parent in parents:
+            children[parent].add(gid)
+    items = [
+        Item(
+            gid=gid,
+            fid=fid,
+            document_frequency=freq,
+            parent_fids=frozenset(fid_of[p] for p in parents),
+            children_fids=frozenset(fid_of[c] for c in children[gid]),
+        )
+        for gid, (fid, freq, parents) in spec.items()
+    ]
+    return Dictionary(items)
+
+
+def make_running_example_database(dictionary: Dictionary) -> SequenceDatabase:
+    """The sequence database Dex of Fig. 2a."""
+    raw = [
+        ["a1", "c", "d", "c", "b"],
+        ["e", "e", "a1", "e", "a1", "e", "b"],
+        ["c", "d", "c", "b"],
+        ["a2", "d", "b"],
+        ["a1", "a1", "b"],
+    ]
+    return SequenceDatabase.from_gid_sequences(dictionary, raw)
+
+
+#: The example subsequence constraint π_ex of Sec. II.
+#:
+#: The paper writes π_ex = ``.*(A)[(.↑).*]*(b).*`` but its FST (Fig. 4) and the
+#: candidate sets of Fig. 3 allow *every* item between the captured ``A`` and the
+#: captured ``b`` to be skipped uncaptured (e.g. ``a1b ∈ G_πex(T1)``), which
+#: corresponds to the expression below.  We use the form that reproduces the
+#: paper's FST and candidate sets exactly.
+RUNNING_EXAMPLE_PATEX = ".*(A)[(.^)|.]*(b).*"
+
+
+@pytest.fixture(scope="session")
+def ex_dictionary() -> Dictionary:
+    return make_running_example_dictionary()
+
+
+@pytest.fixture(scope="session")
+def ex_database(ex_dictionary) -> SequenceDatabase:
+    return make_running_example_database(ex_dictionary)
+
+
+@pytest.fixture(scope="session")
+def ex_patex() -> PatEx:
+    return PatEx(RUNNING_EXAMPLE_PATEX)
+
+
+@pytest.fixture(scope="session")
+def ex_fst(ex_patex, ex_dictionary):
+    return ex_patex.compile(ex_dictionary)
+
+
+def gids(dictionary: Dictionary, candidates) -> set[str]:
+    """Render a set of fid tuples as space-less gid strings, e.g. ``a1Ab``."""
+    return {"".join(dictionary.decode(candidate)) for candidate in candidates}

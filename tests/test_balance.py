@@ -1,0 +1,166 @@
+"""Tests for the partition-balance analysis (Sec. III-B's balance claim)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DSeqMiner,
+    PartitionBalance,
+    dcand_partition_balance,
+    dseq_partition_balance,
+    measure_partition_balance,
+)
+from repro.core.dseq import DSeqJob
+from repro.errors import MiningError
+from repro.mapreduce import MapReduceJob
+
+from tests.conftest import RUNNING_EXAMPLE_PATEX
+
+
+class _WordCountJob(MapReduceJob):
+    """A tiny job used to test the generic balance measurement."""
+
+    use_combiner = True
+
+    def map(self, record):
+        for item in record:
+            yield item, 1
+
+    def combine(self, key, values):
+        yield key, sum(values)
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+    def record_size(self, key, value):
+        return 10
+
+
+# ----------------------------------------------------------- generic measuring
+class TestMeasurePartitionBalance:
+    def test_word_count_with_combiner(self):
+        balance = measure_partition_balance(_WordCountJob(), [(1, 1, 2), (2, 3)])
+        # With the combiner, each key contributes exactly one 10-byte record.
+        assert balance.records_by_partition == {1: 1, 2: 1, 3: 1}
+        assert balance.bytes_by_partition == {1: 10, 2: 10, 3: 10}
+        assert balance.total_bytes == 30
+        assert balance.total_records == 3
+
+    def test_word_count_without_combiner(self):
+        balance = measure_partition_balance(
+            _WordCountJob(), [(1, 1, 2), (2, 3)], use_combiner=False
+        )
+        assert balance.records_by_partition == {1: 2, 2: 2, 3: 1}
+        assert balance.total_records == 5
+
+    def test_empty_input(self):
+        balance = measure_partition_balance(_WordCountJob(), [])
+        assert balance.num_partitions == 0
+        assert balance.total_bytes == 0
+        assert balance.imbalance == 1.0
+        assert balance.gini() == 0.0
+        assert balance.histogram() == []
+
+
+# ------------------------------------------------------------------ statistics
+class TestPartitionBalanceStatistics:
+    def make(self, sizes: dict) -> PartitionBalance:
+        return PartitionBalance(
+            bytes_by_partition=dict(sizes),
+            records_by_partition={key: 1 for key in sizes},
+        )
+
+    def test_perfectly_balanced(self):
+        balance = self.make({1: 100, 2: 100, 3: 100, 4: 100})
+        assert balance.imbalance == pytest.approx(1.0)
+        assert balance.gini() == pytest.approx(0.0)
+
+    def test_skewed(self):
+        balance = self.make({1: 1000, 2: 10, 3: 10, 4: 10})
+        assert balance.imbalance == pytest.approx(1000 / 257.5)
+        assert balance.gini() > 0.5
+        assert balance.max_bytes == 1000
+        assert balance.mean_bytes == pytest.approx(257.5)
+
+    def test_top(self):
+        balance = self.make({5: 50, 2: 200, 9: 10})
+        assert balance.top(2) == [(2, 200, 1), (5, 50, 1)]
+
+    def test_top_decodes_fids(self, ex_dictionary):
+        pivot_b = ex_dictionary.fid_of("b")
+        pivot_c = ex_dictionary.fid_of("c")
+        balance = self.make({pivot_b: 10, pivot_c: 90})
+        assert balance.top(2, ex_dictionary) == [("c", 90, 1), ("b", 10, 1)]
+
+    def test_histogram_is_logarithmic(self):
+        balance = self.make({1: 1, 2: 3, 3: 5, 4: 200})
+        histogram = balance.histogram()
+        # Bins: [1,1] -> 1 partition, [2,3] -> 1, [4,7] -> 1, [128,255] -> 1.
+        assert histogram == [(1, 1, 1), (2, 3, 1), (4, 7, 1), (128, 255, 1)]
+
+    def test_largest_worker_share(self):
+        balance = self.make({1: 4, 2: 3, 3: 2, 4: 1})
+        # Greedy LPT on 2 workers: {4,1} vs {3,2} -> perfectly split.
+        assert balance.largest_worker_share(2) == pytest.approx(0.5)
+        assert balance.largest_worker_share(1) == pytest.approx(1.0)
+
+    def test_largest_worker_share_rejects_bad_worker_count(self):
+        with pytest.raises(MiningError):
+            self.make({1: 1}).largest_worker_share(0)
+
+    def test_as_dict_keys(self):
+        summary = self.make({1: 10, 2: 30}).as_dict()
+        assert summary["partitions"] == 2
+        assert summary["total_bytes"] == 40
+        assert summary["imbalance"] == 1.5
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.dictionaries(st.integers(1, 50), st.integers(0, 10_000), min_size=1))
+    def test_gini_is_between_zero_and_one(self, sizes):
+        balance = self.make(sizes)
+        assert 0.0 <= balance.gini() <= 1.0
+        assert balance.imbalance >= 1.0 or balance.total_bytes == 0
+
+
+# -------------------------------------------------------- algorithm-level APIs
+class TestAlgorithmBalance:
+    def test_dseq_balance_on_running_example(self, ex_dictionary, ex_database):
+        balance = dseq_partition_balance(
+            RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, ex_database
+        )
+        # With σ=2 the pivot partitions are exactly a1 and c (Fig. 3).
+        expected_keys = {ex_dictionary.fid_of("a1"), ex_dictionary.fid_of("c")}
+        assert set(balance.bytes_by_partition) == expected_keys
+        assert balance.total_bytes > 0
+
+    def test_dcand_balance_on_running_example(self, ex_dictionary, ex_database):
+        balance = dcand_partition_balance(
+            RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, ex_database
+        )
+        expected_keys = {ex_dictionary.fid_of("a1"), ex_dictionary.fid_of("c")}
+        assert set(balance.bytes_by_partition) == expected_keys
+
+    def test_balance_bytes_match_cluster_shuffle(self, ex_dictionary, ex_database):
+        """The balance measurement agrees with the cluster's shuffle accounting."""
+        miner = DSeqMiner(RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=1)
+        result = miner.mine(ex_database)
+        balance = measure_partition_balance(
+            DSeqJob(
+                miner.patex.compile(ex_dictionary), ex_dictionary, 2
+            ),
+            list(ex_database),
+        )
+        assert balance.total_bytes == result.metrics.shuffle_bytes
+
+    def test_frequency_order_balances_partitions(self, ex_dictionary, ex_database):
+        """The most frequent pivot item receives the least data (Sec. III-B)."""
+        balance = dseq_partition_balance(
+            RUNNING_EXAMPLE_PATEX, 1, ex_dictionary, ex_database
+        )
+        sizes = balance.bytes_by_partition
+        pivot_b = ex_dictionary.fid_of("b")
+        if pivot_b in sizes:
+            assert sizes[pivot_b] <= max(sizes.values())

@@ -1,0 +1,310 @@
+"""End-to-end tests of the ``repro`` command-line interface.
+
+Each test drives :func:`repro.cli.main.main` exactly like the console script
+would, using temporary files for inputs and outputs.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cli.common import read_hierarchy_file
+from repro.cli.experiment import parse_sizes
+from repro.errors import ReproError
+from repro.sequences import read_binary_database, read_dictionary
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    """Run the CLI and capture stdout written through the stream argument."""
+    stream = io.StringIO()
+    code = main(list(argv), stream=stream)
+    return code, stream.getvalue()
+
+
+@pytest.fixture()
+def small_dataset(tmp_path):
+    """A tiny generated NYT-like dataset on disk (sequences + dictionary)."""
+    output_dir = tmp_path / "nyt"
+    code, _ = run_cli(
+        "generate", "--dataset", "NYT", "--size", "80", "--seed", "7",
+        "--output-dir", str(output_dir),
+    )
+    assert code == 0
+    return output_dir
+
+
+# -------------------------------------------------------------------- general
+class TestParser:
+    def test_help_without_command(self):
+        code, output = run_cli()
+        assert code == 2
+        assert "COMMAND" in output
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("generate", "stats", "mine", "inspect", "constraints", "convert", "experiment"):
+            assert command in text
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+# ------------------------------------------------------------------- generate
+class TestGenerate:
+    def test_writes_sequences_and_dictionary(self, tmp_path):
+        output_dir = tmp_path / "data"
+        code, output = run_cli(
+            "generate", "--dataset", "PROT", "--size", "50",
+            "--output-dir", str(output_dir), "--binary",
+        )
+        assert code == 0
+        assert (output_dir / "sequences.txt").exists()
+        assert (output_dir / "dictionary.json").exists()
+        assert (output_dir / "sequences.rsdb").exists()
+        assert "50 sequences" in output
+        database = read_binary_database(output_dir / "sequences.rsdb")
+        assert len(database) == 50
+
+    def test_jsonl_format(self, tmp_path):
+        output_dir = tmp_path / "data"
+        code, _ = run_cli(
+            "generate", "--dataset", "AMZN", "--size", "30",
+            "--output-dir", str(output_dir), "--format", "jsonl",
+        )
+        assert code == 0
+        lines = (output_dir / "sequences.jsonl").read_text().splitlines()
+        assert len(lines) == 30
+        assert json.loads(lines[0])["items"]
+
+    def test_rejects_bad_size(self, tmp_path):
+        code, _ = run_cli(
+            "generate", "--dataset", "NYT", "--size", "0", "--output-dir", str(tmp_path)
+        )
+        assert code == 2
+
+    def test_dictionary_round_trips(self, small_dataset):
+        dictionary = read_dictionary(small_dataset / "dictionary.json")
+        assert len(dictionary) > 0
+
+
+# ----------------------------------------------------------------------- stats
+class TestStats:
+    def test_prints_table(self, small_dataset):
+        code, output = run_cli(
+            "stats",
+            "--sequences", str(small_dataset / "sequences.txt"),
+            "--dictionary", str(small_dataset / "dictionary.json"),
+            "--flist", "5",
+        )
+        assert code == 0
+        assert "sequences" in output
+        assert "mean_length" in output
+        assert "f-list" in output
+
+    def test_without_dictionary(self, small_dataset):
+        code, output = run_cli(
+            "stats", "--sequences", str(small_dataset / "sequences.txt")
+        )
+        assert code == 0
+        assert "unique_items" in output
+
+    def test_missing_file(self, tmp_path):
+        code, _ = run_cli("stats", "--sequences", str(tmp_path / "missing.txt"))
+        assert code == 2
+
+
+# ------------------------------------------------------------------------ mine
+class TestMine:
+    def test_mine_running_example(self, tmp_path):
+        sequences = tmp_path / "dex.txt"
+        sequences.write_text(
+            "a1 c d c b\ne e a1 e a1 e b\nc d c b\na2 d b\na1 a1 b\n"
+        )
+        hierarchy = tmp_path / "hierarchy.txt"
+        hierarchy.write_text("a1 A\na2 A\n")
+        output = tmp_path / "patterns.tsv"
+        code, text = run_cli(
+            "mine",
+            "--sequences", str(sequences),
+            "--hierarchy", str(hierarchy),
+            "--pattern", ".*(A)[(.^)|.]*(b).*",
+            "--sigma", "2",
+            "--algorithm", "dseq",
+            "--output", str(output),
+            "--metrics",
+        )
+        assert code == 0
+        rows = dict(
+            (line.split("\t")[0], int(line.split("\t")[1]))
+            for line in output.read_text().splitlines()
+        )
+        # The paper's running example result (Sec. II).
+        assert rows == {"a1 b": 3, "a1 a1 b": 2, "a1 A b": 2}
+        assert "3 frequent patterns" in text
+        assert "shuffle" in text
+
+    def test_algorithms_agree(self, tmp_path):
+        sequences = tmp_path / "dex.txt"
+        sequences.write_text("a c b\na b\nc b\na c c b\n")
+        results = {}
+        for algorithm in ("dseq", "dcand", "naive", "semi-naive", "desq-dfs"):
+            stream_path = tmp_path / f"{algorithm}.tsv"
+            code, _ = run_cli(
+                "mine",
+                "--sequences", str(sequences),
+                "--pattern", ".*(a)[.*(b)]?.*",
+                "--sigma", "2",
+                "--algorithm", algorithm,
+                "--output", str(stream_path),
+            )
+            assert code == 0
+            results[algorithm] = sorted(stream_path.read_text().splitlines())
+        assert len(set(map(tuple, results.values()))) == 1
+
+    def test_constraint_by_name(self, small_dataset):
+        code, output = run_cli(
+            "mine",
+            "--sequences", str(small_dataset / "sequences.txt"),
+            "--dictionary", str(small_dataset / "dictionary.json"),
+            "--constraint", "N4",
+            "--sigma", "5",
+            "--top", "3",
+            "--output-format", "jsonl",
+        )
+        assert code == 0
+        assert "frequent patterns" in output
+
+    def test_rejects_bad_sigma(self, small_dataset):
+        code, _ = run_cli(
+            "mine",
+            "--sequences", str(small_dataset / "sequences.txt"),
+            "--pattern", "(.)",
+            "--sigma", "0",
+        )
+        assert code == 2
+
+
+# --------------------------------------------------------------------- inspect
+class TestInspect:
+    def test_statistics_and_dot(self, tmp_path):
+        sequences = tmp_path / "dex.txt"
+        sequences.write_text("a1 c d c b\na1 a1 b\n")
+        hierarchy = tmp_path / "hierarchy.txt"
+        hierarchy.write_text("a1 A\na2 A\n")
+        dot_path = tmp_path / "fst.dot"
+        code, output = run_cli(
+            "inspect",
+            "--sequences", str(sequences),
+            "--hierarchy", str(hierarchy),
+            "--pattern", ".*(A)[(.^)|.]*(b).*",
+            "--dot", str(dot_path),
+            "--candidates", "2",
+            "--sigma", "1",
+        )
+        assert code == 0
+        assert "transitions" in output
+        assert "T1 (" in output and "T2 (" in output
+        assert dot_path.read_text().startswith("digraph")
+
+
+# ----------------------------------------------------------------- constraints
+class TestConstraints:
+    def test_listing(self):
+        code, output = run_cli("constraints")
+        assert code == 0
+        for name in ("N1", "A4", "T3"):
+            assert name in output
+
+    def test_expressions_flag(self):
+        code, output = run_cli("constraints", "--expressions")
+        assert code == 0
+        assert "ENTITY" in output
+
+
+# --------------------------------------------------------------------- convert
+class TestConvert:
+    def test_text_to_jsonl(self, tmp_path):
+        source = tmp_path / "data.txt"
+        source.write_text("a b c\nb c\n")
+        target = tmp_path / "data.jsonl"
+        code, output = run_cli("convert", "--input", str(source), "--output", str(target))
+        assert code == 0
+        assert "converted 2 sequences" in output
+        assert len(target.read_text().splitlines()) == 2
+
+    def test_text_to_binary_and_back(self, small_dataset, tmp_path):
+        binary = tmp_path / "data.rsdb"
+        code, _ = run_cli(
+            "convert",
+            "--input", str(small_dataset / "sequences.txt"),
+            "--output", str(binary),
+            "--dictionary", str(small_dataset / "dictionary.json"),
+        )
+        assert code == 0
+        text_again = tmp_path / "back.txt"
+        code, _ = run_cli(
+            "convert",
+            "--input", str(binary),
+            "--output", str(text_again),
+            "--dictionary", str(small_dataset / "dictionary.json"),
+        )
+        assert code == 0
+        original = (small_dataset / "sequences.txt").read_text().strip().splitlines()
+        restored = text_again.read_text().strip().splitlines()
+        assert restored == original
+
+    def test_binary_requires_dictionary(self, tmp_path):
+        source = tmp_path / "data.txt"
+        source.write_text("a b\n")
+        code, _ = run_cli(
+            "convert", "--input", str(source), "--output", str(tmp_path / "out.rsdb")
+        )
+        assert code == 2
+
+
+# ------------------------------------------------------------------ experiment
+class TestExperiment:
+    def test_list(self):
+        code, output = run_cli("experiment", "--list")
+        assert code == 0
+        assert "table5" in output and "fig11" in output
+
+    def test_table2_with_small_sizes(self):
+        code, output = run_cli(
+            "experiment", "--name", "table2",
+            "--sizes", "NYT=60,AMZN=60,AMZN-F=60,CW=60",
+        )
+        assert code == 0
+        assert "hierarchy_items" in output
+
+    def test_parse_sizes(self):
+        assert parse_sizes("NYT=500, amzn=1200") == {"NYT": 500, "AMZN": 1200}
+        assert parse_sizes(None) is None
+        with pytest.raises(ReproError):
+            parse_sizes("NYT:500")
+        with pytest.raises(ReproError):
+            parse_sizes("NYT=lots")
+
+
+# --------------------------------------------------------------------- helpers
+class TestHierarchyFile:
+    def test_read(self, tmp_path):
+        path = tmp_path / "hierarchy.txt"
+        path.write_text("# comment\na1 A\na2 A\nB\n\n")
+        hierarchy = read_hierarchy_file(path)
+        assert hierarchy.parents("a1") == frozenset({"A"})
+        assert "B" in hierarchy
+
+    def test_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "hierarchy.txt"
+        path.write_text("a b c\n")
+        with pytest.raises(ReproError):
+            read_hierarchy_file(path)

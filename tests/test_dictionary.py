@@ -1,0 +1,287 @@
+"""Tests for hierarchies, dictionaries, and the dictionary builder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dictionary import (
+    Dictionary,
+    DictionaryBuilder,
+    Hierarchy,
+    Item,
+    build_dictionary,
+)
+from repro.errors import DictionaryError, UnknownItemError
+
+
+# --------------------------------------------------------------------- hierarchy
+class TestHierarchy:
+    def test_add_item_and_contains(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_item("x")
+        assert "x" in hierarchy
+        assert "y" not in hierarchy
+        assert len(hierarchy) == 1
+
+    def test_add_item_idempotent(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_item("x")
+        hierarchy.add_item("x")
+        assert len(hierarchy) == 1
+
+    def test_add_edge_registers_endpoints(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_edge("a1", "A")
+        assert "a1" in hierarchy and "A" in hierarchy
+        assert hierarchy.parents("a1") == {"A"}
+        assert hierarchy.children("A") == {"a1"}
+
+    def test_rejects_self_loop(self):
+        hierarchy = Hierarchy()
+        with pytest.raises(DictionaryError):
+            hierarchy.add_edge("a", "a")
+
+    def test_rejects_cycle(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_edge("a", "b")
+        hierarchy.add_edge("b", "c")
+        with pytest.raises(DictionaryError):
+            hierarchy.add_edge("c", "a")
+
+    def test_rejects_empty_gid(self):
+        hierarchy = Hierarchy()
+        with pytest.raises(DictionaryError):
+            hierarchy.add_item("")
+
+    def test_ancestors_and_descendants_are_reflexive(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_edge("a1", "A")
+        hierarchy.add_edge("a2", "A")
+        assert hierarchy.ancestors("a1") == {"a1", "A"}
+        assert hierarchy.descendants("A") == {"A", "a1", "a2"}
+        assert hierarchy.ancestors("A") == {"A"}
+
+    def test_multi_parent_dag(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_edge("make", "make_lemma")
+        hierarchy.add_edge("make", "VERB")
+        assert hierarchy.ancestors("make") == {"make", "make_lemma", "VERB"}
+        assert not hierarchy.is_forest()
+
+    def test_forest_detection(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_edge("a1", "A")
+        hierarchy.add_edge("a2", "A")
+        assert hierarchy.is_forest()
+
+    def test_roots_and_leaves(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_edge("a1", "A")
+        hierarchy.add_item("b")
+        assert hierarchy.roots() == {"A", "b"}
+        assert hierarchy.leaves() == {"a1", "b"}
+
+    def test_unknown_item_raises(self):
+        hierarchy = Hierarchy()
+        with pytest.raises(UnknownItemError):
+            hierarchy.ancestors("nope")
+
+    def test_copy_is_independent(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_edge("a1", "A")
+        clone = hierarchy.copy()
+        clone.add_edge("a3", "A")
+        assert "a3" not in hierarchy
+        assert "a3" in clone
+
+    def test_update_bulk(self):
+        hierarchy = Hierarchy()
+        hierarchy.update(items=["x", "y"], edges=[("x", "y")])
+        assert hierarchy.parents("x") == {"y"}
+
+
+# -------------------------------------------------------------------- dictionary
+class TestDictionary:
+    def test_running_example_order(self, ex_dictionary):
+        # Paper order: b < A < d < a1 < c < e < a2 (Fig. 2c).
+        assert ex_dictionary.fid_of("b") == 1
+        assert ex_dictionary.fid_of("A") == 2
+        assert ex_dictionary.fid_of("a2") == 7
+        assert ex_dictionary.gid_of(4) == "a1"
+
+    def test_running_example_frequencies(self, ex_dictionary):
+        expected = {"b": 5, "A": 4, "d": 3, "a1": 3, "c": 2, "e": 1, "a2": 1}
+        for gid, frequency in expected.items():
+            assert ex_dictionary.frequency(ex_dictionary.fid_of(gid)) == frequency
+
+    def test_ancestors_of_running_example(self, ex_dictionary):
+        a1 = ex_dictionary.fid_of("a1")
+        big_a = ex_dictionary.fid_of("A")
+        a2 = ex_dictionary.fid_of("a2")
+        assert ex_dictionary.ancestors(a1) == {a1, big_a}
+        assert ex_dictionary.descendants(big_a) == {big_a, a1, a2}
+
+    def test_generalizes_to(self, ex_dictionary):
+        a1 = ex_dictionary.fid_of("a1")
+        big_a = ex_dictionary.fid_of("A")
+        b = ex_dictionary.fid_of("b")
+        assert ex_dictionary.generalizes_to(a1, big_a)
+        assert ex_dictionary.generalizes_to(a1, a1)
+        assert not ex_dictionary.generalizes_to(big_a, a1)
+        assert not ex_dictionary.generalizes_to(a1, b)
+
+    def test_largest_frequent_fid(self, ex_dictionary):
+        # sigma=2: b, A, d, a1, c are frequent (fids 1..5).
+        assert ex_dictionary.largest_frequent_fid(2) == 5
+        assert ex_dictionary.largest_frequent_fid(1) == 7
+        assert ex_dictionary.largest_frequent_fid(6) == 0
+
+    def test_is_frequent(self, ex_dictionary):
+        assert ex_dictionary.is_frequent(ex_dictionary.fid_of("c"), 2)
+        assert not ex_dictionary.is_frequent(ex_dictionary.fid_of("e"), 2)
+
+    def test_encode_decode_roundtrip(self, ex_dictionary):
+        raw = ("a1", "c", "d", "c", "b")
+        encoded = ex_dictionary.encode(raw)
+        assert ex_dictionary.decode(encoded) == raw
+
+    def test_flist(self, ex_dictionary):
+        flist = ex_dictionary.flist(sigma=2)
+        assert flist[0] == ("b", 5)
+        assert all(frequency >= 2 for _, frequency in flist)
+        assert len(flist) == 5
+
+    def test_roots_and_root_ancestors(self, ex_dictionary):
+        a1 = ex_dictionary.fid_of("a1")
+        big_a = ex_dictionary.fid_of("A")
+        assert big_a in ex_dictionary.roots()
+        assert a1 not in ex_dictionary.roots()
+        assert ex_dictionary.root_ancestors(a1) == {big_a}
+
+    def test_is_forest(self, ex_dictionary):
+        assert ex_dictionary.is_forest()
+
+    def test_hierarchy_stats(self, ex_dictionary):
+        stats = ex_dictionary.hierarchy_stats()
+        assert stats["items"] == 7
+        assert stats["max_ancestors"] == 2
+
+    def test_unknown_lookups_raise(self, ex_dictionary):
+        with pytest.raises(UnknownItemError):
+            ex_dictionary.fid_of("zz")
+        with pytest.raises(UnknownItemError):
+            ex_dictionary.gid_of(99)
+
+    def test_duplicate_fid_rejected(self):
+        items = [Item("x", 1, 1), Item("y", 1, 1)]
+        with pytest.raises(DictionaryError):
+            Dictionary(items)
+
+    def test_duplicate_gid_rejected(self):
+        items = [Item("x", 1, 1), Item("x", 2, 1)]
+        with pytest.raises(DictionaryError):
+            Dictionary(items)
+
+    def test_nonpositive_fid_rejected(self):
+        with pytest.raises(DictionaryError):
+            Dictionary([Item("x", 0, 1)])
+
+    def test_dangling_link_rejected(self):
+        with pytest.raises(DictionaryError):
+            Dictionary([Item("x", 1, 1, parent_fids=frozenset({9}))])
+
+
+# ----------------------------------------------------------------------- builder
+class TestDictionaryBuilder:
+    def _running_example_builder(self) -> DictionaryBuilder:
+        hierarchy = Hierarchy()
+        hierarchy.add_edge("a1", "A")
+        hierarchy.add_edge("a2", "A")
+        builder = DictionaryBuilder(hierarchy)
+        builder.add_sequences(
+            [
+                ["a1", "c", "d", "c", "b"],
+                ["e", "e", "a1", "e", "a1", "e", "b"],
+                ["c", "d", "c", "b"],
+                ["a2", "d", "b"],
+                ["a1", "a1", "b"],
+            ]
+        )
+        return builder
+
+    def test_document_frequencies_match_paper(self):
+        dictionary = self._running_example_builder().build()
+        expected = {"b": 5, "A": 4, "d": 3, "a1": 3, "c": 2, "e": 1, "a2": 1}
+        for gid, frequency in expected.items():
+            assert dictionary.frequency(dictionary.fid_of(gid)) == frequency
+
+    def test_fid_order_is_by_descending_frequency(self):
+        dictionary = self._running_example_builder().build()
+        frequencies = [dictionary.frequency(fid) for fid in dictionary.fids()]
+        assert frequencies == sorted(frequencies, reverse=True)
+        assert dictionary.fid_of("b") == 1
+
+    def test_duplicate_items_in_sequence_count_once(self):
+        builder = DictionaryBuilder()
+        builder.add_sequence(["x", "x", "x"])
+        dictionary = builder.build()
+        assert dictionary.frequency(dictionary.fid_of("x")) == 1
+
+    def test_sequence_count(self):
+        builder = self._running_example_builder()
+        assert builder.sequence_count == 5
+
+    def test_items_unseen_in_data_have_zero_frequency(self):
+        builder = DictionaryBuilder()
+        builder.add_item("ghost")
+        builder.add_sequence(["x"])
+        dictionary = builder.build()
+        assert dictionary.frequency(dictionary.fid_of("ghost")) == 0
+        # Frequent item gets the smaller fid.
+        assert dictionary.fid_of("x") < dictionary.fid_of("ghost")
+
+    def test_build_dictionary_convenience(self):
+        dictionary = build_dictionary([["x", "y"], ["y"]])
+        assert dictionary.frequency(dictionary.fid_of("y")) == 2
+        assert dictionary.frequency(dictionary.fid_of("x")) == 1
+
+    def test_hierarchy_passed_to_builder_not_mutated(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_edge("a1", "A")
+        builder = DictionaryBuilder(hierarchy)
+        builder.add_sequence(["new_item"])
+        assert "new_item" not in hierarchy
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from(["u", "v", "w", "x", "y"]), min_size=1, max_size=6),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_frequency_equals_containing_sequences(self, sequences):
+        dictionary = build_dictionary(sequences)
+        for item in dictionary:
+            containing = sum(1 for sequence in sequences if item.gid in sequence)
+            assert item.document_frequency == containing
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from(["a1", "a2", "b", "c"]), min_size=1, max_size=5),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fids_are_dense_and_frequency_ordered(self, sequences):
+        hierarchy = Hierarchy()
+        hierarchy.add_edge("a1", "A")
+        hierarchy.add_edge("a2", "A")
+        dictionary = build_dictionary(sequences, hierarchy)
+        fids = dictionary.fids()
+        assert fids == list(range(1, len(fids) + 1))
+        frequencies = [dictionary.frequency(fid) for fid in fids]
+        assert frequencies == sorted(frequencies, reverse=True)

@@ -1,0 +1,171 @@
+"""Differential and property-based tests across all mining algorithms.
+
+The strongest correctness argument the reproduction can make is that the four
+distributed algorithms (D-SEQ, D-CAND, NAÏVE, SEMI-NAÏVE) and the sequential
+reference miners (DESQ-DFS, DESQ-COUNT) — which share almost no code paths —
+produce identical results on arbitrary inputs.  These tests generate random
+databases over the running-example vocabulary with hypothesis and check this
+agreement for a spectrum of constraint shapes, plus a brute-force oracle for
+the semantics of π-generation itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import mine
+from repro.dictionary import Hierarchy
+from repro.fst import generate_candidates
+from repro.patex import PatEx
+from repro.sequences import SequenceDatabase, preprocess
+from repro.sequential import SequentialDesqCount, SequentialDesqDfs
+
+#: Constraint shapes exercised by the differential tests: captures, optional
+#: groups, generalization, repetition, alternation, and bounded gaps.
+EXPRESSIONS = [
+    ".*(A)[(.^)|.]*(b).*",        # the running example π_ex
+    ".*(a1)(b).*",                # plain bigram capture
+    ".*(A^)[.{0,2}(A^)]{1,2}.*",  # hierarchy with bounded gaps (A1/T3 shape)
+    ".*(.)[.*(.)]?.*",            # 1- or 2-item patterns with arbitrary gaps
+    ".*(e)?(d)(c|b).*",           # optional capture and alternation
+    "[.*(A^=)]+.*",               # forced generalization, repeated group
+]
+
+#: Items used to build random databases (the Fig. 2 vocabulary).
+VOCABULARY = ["a1", "a2", "b", "c", "d", "e"]
+
+#: One sequence containing every vocabulary item, appended to every random
+#: database so that all items referenced by the pattern expressions exist.
+ANCHOR_SEQUENCE = tuple(VOCABULARY)
+
+
+def sequences_strategy():
+    return st.lists(
+        st.lists(st.sampled_from(VOCABULARY), min_size=1, max_size=7),
+        min_size=1,
+        max_size=10,
+    )
+
+
+def encode(dictionary, sequences):
+    return SequenceDatabase([dictionary.encode(sequence) for sequence in sequences])
+
+
+def build_consistent(sequences):
+    """Preprocess random sequences into a dictionary whose f-list matches them.
+
+    The distributed algorithms assume the f-list is consistent with the mined
+    database (restricted support antimonotonicity, Sec. III-A); building the
+    dictionary from the generated sequences keeps that invariant.
+    """
+    hierarchy = Hierarchy()
+    hierarchy.add_edge("a1", "A")
+    hierarchy.add_edge("a2", "A")
+    raw = [tuple(sequence) for sequence in sequences] + [ANCHOR_SEQUENCE]
+    return preprocess(raw, hierarchy)
+
+
+class TestAlgorithmsAgree:
+    """All algorithms produce the same patterns and frequencies."""
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    @settings(max_examples=20, deadline=None)
+    @given(sequences=sequences_strategy(), sigma=st.integers(min_value=1, max_value=3))
+    def test_distributed_algorithms_agree(self, expression, sequences, sigma):
+        dictionary, database = build_consistent(sequences)
+        results = {
+            algorithm: mine(
+                database, dictionary, expression, sigma=sigma,
+                algorithm=algorithm, num_workers=3,
+            ).patterns()
+            for algorithm in ("dseq", "dcand", "naive", "semi-naive")
+        }
+        reference = results["dseq"]
+        for algorithm, patterns in results.items():
+            assert patterns == reference, f"{algorithm} disagrees with dseq"
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    @settings(max_examples=15, deadline=None)
+    @given(sequences=sequences_strategy(), sigma=st.integers(min_value=1, max_value=3))
+    def test_sequential_miners_agree_with_dseq(self, expression, sequences, sigma):
+        dictionary, database = build_consistent(sequences)
+        distributed = mine(
+            database, dictionary, expression, sigma=sigma, algorithm="dseq",
+            num_workers=2,
+        ).patterns()
+        dfs = SequentialDesqDfs(expression, sigma, dictionary).mine(database).patterns()
+        count = SequentialDesqCount(expression, sigma, dictionary).mine(database).patterns()
+        assert dfs == distributed
+        assert count == distributed
+
+
+class TestSemanticsOracle:
+    """FST candidate generation agrees with a brute-force subsequence oracle
+    for a constraint whose semantics are easy to state directly."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(sequence=st.lists(st.sampled_from(VOCABULARY), min_size=1, max_size=6))
+    def test_bigram_constraint_oracle(self, ex_dictionary, sequence):
+        """'.*(.)[.{0,1}(.)].*': pairs of items at distance at most 2."""
+        fst = PatEx(".*(.)[.{0,1}(.)].*").compile(ex_dictionary)
+        encoded = ex_dictionary.encode(sequence)
+        candidates = generate_candidates(fst, encoded, ex_dictionary)
+
+        expected = set()
+        for i in range(len(encoded)):
+            for j in (i + 1, i + 2):
+                if j < len(encoded):
+                    expected.add((encoded[i], encoded[j]))
+        assert candidates == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(sequence=st.lists(st.sampled_from(VOCABULARY), min_size=1, max_size=6))
+    def test_generalizing_unigram_oracle(self, ex_dictionary, sequence):
+        """'.*(.^).*' outputs every ancestor of every position's item."""
+        fst = PatEx(".*(.^).*").compile(ex_dictionary)
+        encoded = ex_dictionary.encode(sequence)
+        candidates = generate_candidates(fst, encoded, ex_dictionary)
+
+        expected = set()
+        for fid in encoded:
+            for ancestor in ex_dictionary.ancestors(fid):
+                expected.add((ancestor,))
+        assert candidates == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(sequences=sequences_strategy(), sigma=st.integers(min_value=1, max_value=3))
+    def test_frequencies_match_explicit_support_counting(
+        self, ex_dictionary, sequences, sigma
+    ):
+        """f_π(S, D) equals the number of sequences whose candidate set contains S."""
+        expression = ".*(A)[(.^)|.]*(b).*"
+        database = encode(ex_dictionary, sequences)
+        fst = PatEx(expression).compile(ex_dictionary)
+        result = mine(database, ex_dictionary, expression, sigma=sigma, algorithm="dcand")
+        for pattern, frequency in result.patterns().items():
+            support = sum(
+                1
+                for sequence in database
+                if pattern in generate_candidates(fst, sequence, ex_dictionary)
+            )
+            assert support == frequency
+            assert frequency >= sigma
+
+    @settings(max_examples=25, deadline=None)
+    @given(sequences=sequences_strategy(), sigma=st.integers(min_value=1, max_value=3))
+    def test_no_frequent_pattern_is_missed(self, ex_dictionary, sequences, sigma):
+        """Every candidate generated at least σ times appears in the result."""
+        expression = ".*(a1)[.*(b)]?.*"
+        database = encode(ex_dictionary, sequences)
+        fst = PatEx(expression).compile(ex_dictionary)
+        support: dict[tuple[int, ...], int] = {}
+        for sequence in database:
+            for candidate in generate_candidates(fst, sequence, ex_dictionary):
+                support[candidate] = support.get(candidate, 0) + 1
+        expected = {
+            candidate: count for candidate, count in support.items() if count >= sigma
+        }
+        mined = mine(database, ex_dictionary, expression, sigma=sigma, algorithm="dseq")
+        assert mined.patterns() == expected

@@ -1,0 +1,194 @@
+"""Tests for the JSON-lines and binary sequence formats."""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.sequences import SequenceDatabase
+from repro.sequences.formats import (
+    detect_format,
+    load_sequences,
+    read_binary_database,
+    read_jsonl_sequences,
+    save_sequences,
+    write_binary_database,
+    write_jsonl_sequences,
+)
+
+
+RAW = [
+    ("a1", "c", "d", "c", "b"),
+    ("e", "e", "a1", "e", "a1", "e", "b"),
+    ("a2", "d", "b"),
+]
+
+
+# ------------------------------------------------------------------ detection
+class TestDetectFormat:
+    def test_text_default(self):
+        assert detect_format("data.txt") == "text"
+        assert detect_format("data") == "text"
+
+    def test_jsonl(self):
+        assert detect_format("data.jsonl") == "jsonl"
+        assert detect_format("data.JSONL") == "jsonl"
+
+    def test_binary(self):
+        assert detect_format("data.rsdb") == "binary"
+        assert detect_format("data.bin") == "binary"
+
+    def test_gz_suffix_is_transparent(self):
+        assert detect_format("data.jsonl.gz") == "jsonl"
+        assert detect_format("data.rsdb.gz") == "binary"
+        assert detect_format("data.txt.gz") == "text"
+
+
+# ----------------------------------------------------------------- JSON lines
+class TestJsonlFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        written = write_jsonl_sequences(path, RAW)
+        assert written == len(RAW)
+        assert read_jsonl_sequences(path) == list(RAW)
+
+    def test_round_trip_gzip(self, tmp_path):
+        path = tmp_path / "data.jsonl.gz"
+        write_jsonl_sequences(path, RAW)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            first = json.loads(handle.readline())
+        assert first["items"] == list(RAW[0])
+        assert read_jsonl_sequences(path) == list(RAW)
+
+    def test_ids_are_sequential(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        write_jsonl_sequences(path, RAW, start_id=5)
+        with open(path, encoding="utf-8") as handle:
+            ids = [json.loads(line)["id"] for line in handle]
+        assert ids == [5, 6, 7]
+
+    def test_empty_lines_and_empty_items_are_skipped(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"id": 0, "items": ["a"]}\n\n{"id": 1, "items": []}\n')
+        assert read_jsonl_sequences(path) == [("a",)]
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ReproError, match="invalid JSON"):
+            read_jsonl_sequences(path)
+
+    def test_missing_items_field_raises(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"id": 0}\n')
+        with pytest.raises(ReproError, match="missing 'items'"):
+            read_jsonl_sequences(path)
+
+    def test_numeric_items_are_stringified(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"items": [1, 2, 3]}\n')
+        assert read_jsonl_sequences(path) == [("1", "2", "3")]
+
+
+# --------------------------------------------------------------------- binary
+class TestBinaryFormat:
+    def test_round_trip(self, tmp_path):
+        database = SequenceDatabase([(1, 2, 3), (4, 5), (300, 128, 1)])
+        path = tmp_path / "data.rsdb"
+        size = write_binary_database(path, database)
+        assert size == path.stat().st_size
+        restored = read_binary_database(path)
+        assert restored.sequences() == database.sequences()
+
+    def test_round_trip_gzip(self, tmp_path):
+        database = SequenceDatabase([(1, 2, 3), (4, 5)])
+        path = tmp_path / "data.rsdb.gz"
+        write_binary_database(path, database)
+        assert read_binary_database(path).sequences() == database.sequences()
+
+    def test_empty_database(self, tmp_path):
+        path = tmp_path / "empty.rsdb"
+        write_binary_database(path, SequenceDatabase())
+        assert len(read_binary_database(path)) == 0
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "data.rsdb"
+        path.write_bytes(b"NOPE\x01\x00")
+        with pytest.raises(ReproError, match="bad magic"):
+            read_binary_database(path)
+
+    def test_bad_version_raises(self, tmp_path):
+        path = tmp_path / "data.rsdb"
+        path.write_bytes(b"RSDB\x63\x00")
+        with pytest.raises(ReproError, match="version"):
+            read_binary_database(path)
+
+    def test_trailing_bytes_raise(self, tmp_path):
+        database = SequenceDatabase([(1, 2)])
+        path = tmp_path / "data.rsdb"
+        write_binary_database(path, database)
+        path.write_bytes(path.read_bytes() + b"\x01")
+        with pytest.raises(ReproError, match="trailing"):
+            read_binary_database(path)
+
+    def test_truncated_file_raises(self, tmp_path):
+        database = SequenceDatabase([(1000, 2000, 3000)])
+        path = tmp_path / "data.rsdb"
+        write_binary_database(path, database)
+        path.write_bytes(path.read_bytes()[:-2])
+        with pytest.raises(ReproError):
+            read_binary_database(path)
+
+    def test_large_fids_use_varints(self, tmp_path):
+        database = SequenceDatabase([(1, 127, 128, 16384, 2**20)])
+        path = tmp_path / "data.rsdb"
+        write_binary_database(path, database)
+        assert read_binary_database(path).sequences() == database.sequences()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=1, max_value=2**24), min_size=1, max_size=20),
+            max_size=25,
+        )
+    )
+    def test_round_trip_property(self, tmp_path_factory, sequences):
+        database = SequenceDatabase(sequences)
+        path = tmp_path_factory.mktemp("binary") / "data.rsdb"
+        write_binary_database(path, database)
+        assert read_binary_database(path).sequences() == database.sequences()
+
+
+# ------------------------------------------------------------------- dispatch
+class TestDispatch:
+    def test_save_and_load_text(self, tmp_path):
+        path = tmp_path / "data.txt"
+        save_sequences(path, RAW)
+        assert load_sequences(path) == list(RAW)
+
+    def test_save_and_load_jsonl(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        save_sequences(path, RAW)
+        assert load_sequences(path) == list(RAW)
+
+    def test_explicit_format_overrides_suffix(self, tmp_path):
+        path = tmp_path / "data.dat"
+        save_sequences(path, RAW, file_format="jsonl")
+        assert load_sequences(path, file_format="jsonl") == list(RAW)
+
+    def test_binary_dispatch_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="binary"):
+            save_sequences(tmp_path / "data.rsdb", RAW)
+        with pytest.raises(ReproError, match="binary"):
+            load_sequences(tmp_path / "data.rsdb")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="unknown sequence format"):
+            save_sequences(tmp_path / "data.txt", RAW, file_format="parquet")
+        with pytest.raises(ReproError, match="unknown sequence format"):
+            load_sequences(tmp_path / "data.txt", file_format="parquet")

@@ -1,0 +1,176 @@
+"""Tests for the pivot-aware DESQ-DFS local miner and the NFA local miner."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.local_mining import DesqDfsMiner
+from repro.core.nfa_mining import NfaLocalMiner
+from repro.dictionary import build_dictionary
+from repro.dictionary.hierarchy import Hierarchy
+from repro.errors import MiningError
+from repro.fst import generate_candidates
+from repro.nfa import TrieBuilder
+from repro.patex import PatEx
+
+from tests.conftest import gids
+
+
+def reference_counts(fst, dictionary, database, sigma):
+    """Brute-force mining by candidate generation (ground truth)."""
+    counts = Counter()
+    for sequence in database:
+        counts.update(generate_candidates(fst, sequence, dictionary, sigma=sigma))
+    return {
+        pattern: frequency for pattern, frequency in counts.items() if frequency >= sigma
+    }
+
+
+class TestDesqDfsMiner:
+    def test_running_example_without_pivot(self, ex_fst, ex_dictionary, ex_database):
+        miner = DesqDfsMiner(ex_fst, ex_dictionary, sigma=2)
+        patterns = miner.mine(list(ex_database))
+        assert gids(ex_dictionary, patterns) == {"a1a1b", "a1Ab", "a1b"}
+        assert patterns[ex_dictionary.encode(("a1", "b"))] == 3
+
+    def test_matches_reference_for_sigma_1(self, ex_fst, ex_dictionary, ex_database):
+        miner = DesqDfsMiner(ex_fst, ex_dictionary, sigma=1)
+        patterns = miner.mine(list(ex_database))
+        assert patterns == reference_counts(ex_fst, ex_dictionary, ex_database, 1)
+
+    def test_pivot_restriction_fig6(self, ex_fst, ex_dictionary, ex_database):
+        # Partition P_a1 (Fig. 6) receives T1, T2, T5 and mines a1a1b, a1Ab, a1b.
+        a1 = ex_dictionary.fid_of("a1")
+        received = [ex_database[0], ex_database[1], ex_database[4]]
+        miner = DesqDfsMiner(ex_fst, ex_dictionary, sigma=2, pivot=a1)
+        patterns = miner.mine(received)
+        assert gids(ex_dictionary, patterns) == {"a1a1b", "a1Ab", "a1b"}
+
+    def test_pivot_partition_outputs_only_pivot_sequences(
+        self, ex_fst, ex_dictionary, ex_database
+    ):
+        # Partition P_c with σ=1: only sequences whose maximum item is c.
+        c = ex_dictionary.fid_of("c")
+        miner = DesqDfsMiner(ex_fst, ex_dictionary, sigma=1, pivot=c)
+        patterns = miner.mine([ex_database[0]])
+        assert all(max(pattern) == c for pattern in patterns)
+        assert gids(ex_dictionary, patterns) == {
+            "a1cdcb",
+            "a1cdb",
+            "a1cb",
+            "a1dcb",
+            "a1ccb",
+        }
+
+    def test_early_stopping_does_not_change_results(
+        self, ex_fst, ex_dictionary, ex_database
+    ):
+        a1 = ex_dictionary.fid_of("a1")
+        received = [ex_database[0], ex_database[1], ex_database[4]]
+        with_stop = DesqDfsMiner(
+            ex_fst, ex_dictionary, sigma=2, pivot=a1, use_early_stopping=True
+        ).mine(received)
+        without_stop = DesqDfsMiner(
+            ex_fst, ex_dictionary, sigma=2, pivot=a1, use_early_stopping=False
+        ).mine(received)
+        assert with_stop == without_stop
+
+    def test_weights_are_respected(self, ex_fst, ex_dictionary, ex_database):
+        miner = DesqDfsMiner(ex_fst, ex_dictionary, sigma=2)
+        patterns = miner.mine([ex_database[4]], weights=[3])
+        assert patterns[ex_dictionary.encode(("a1", "b"))] == 3
+
+    def test_weight_misalignment_rejected(self, ex_fst, ex_dictionary, ex_database):
+        miner = DesqDfsMiner(ex_fst, ex_dictionary, sigma=2)
+        with pytest.raises(MiningError):
+            miner.mine([ex_database[0]], weights=[1, 2])
+
+    def test_invalid_sigma_rejected(self, ex_fst, ex_dictionary):
+        with pytest.raises(MiningError):
+            DesqDfsMiner(ex_fst, ex_dictionary, sigma=0)
+
+    def test_high_sigma_yields_nothing(self, ex_fst, ex_dictionary, ex_database):
+        miner = DesqDfsMiner(ex_fst, ex_dictionary, sigma=10)
+        assert miner.mine(list(ex_database)) == {}
+
+    def test_no_matching_sequences(self, ex_fst, ex_dictionary, ex_database):
+        miner = DesqDfsMiner(ex_fst, ex_dictionary, sigma=1)
+        assert miner.mine([ex_database[2]]) == {}
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from(["a1", "a2", "b", "c"]), min_size=1, max_size=6),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_reference_counts_property(self, sequences, sigma):
+        hierarchy = Hierarchy()
+        hierarchy.add_edge("a1", "A")
+        hierarchy.add_edge("a2", "A")
+        hierarchy.add_item("b")
+        dictionary = build_dictionary(sequences, hierarchy)
+        fst = PatEx(".*(A^)[(.^)|.]*(.).*").compile(dictionary)
+        database = [dictionary.encode(raw) for raw in sequences]
+        mined = DesqDfsMiner(fst, dictionary, sigma=sigma).mine(database)
+        assert mined == reference_counts(fst, dictionary, database, sigma)
+
+
+class TestNfaLocalMiner:
+    def _nfas_for(self, fst, dictionary, sequences, sigma, pivot):
+        """Build per-sequence pivot NFAs the way D-CAND's map phase does."""
+        from repro.core.dcand import DCandJob
+
+        job = DCandJob(fst, dictionary, sigma)
+        nfas = []
+        for sequence in sequences:
+            for key, payload in job.map(sequence):
+                if key == pivot:
+                    from repro.nfa import deserialize
+
+                    nfas.append(deserialize(payload))
+        return nfas
+
+    def test_counts_on_running_example_partition(self, ex_fst, ex_dictionary, ex_database):
+        a1 = ex_dictionary.fid_of("a1")
+        nfas = self._nfas_for(ex_fst, ex_dictionary, list(ex_database), 2, a1)
+        miner = NfaLocalMiner(sigma=2, pivot=a1)
+        patterns = miner.mine(nfas)
+        assert gids(ex_dictionary, patterns) == {"a1a1b", "a1Ab", "a1b"}
+        assert patterns[ex_dictionary.encode(("a1", "b"))] == 3
+
+    def test_weights(self):
+        builder = TrieBuilder()
+        builder.add_run([(4,), (1,)])
+        nfa = builder.minimized()
+        miner = NfaLocalMiner(sigma=3, pivot=4)
+        assert miner.mine([nfa], weights=[3]) == {(4, 1): 3}
+        assert miner.mine([nfa], weights=[2]) == {}
+
+    def test_pivot_filter(self):
+        builder = TrieBuilder()
+        builder.add_run([(4,), (1,)])
+        builder.add_run([(1,)])
+        nfa = builder.minimized()
+        # Without a pivot, both candidates are counted; with pivot 4 only (4, 1).
+        assert set(NfaLocalMiner(sigma=1).mine([nfa])) == {(4, 1), (1,)}
+        assert set(NfaLocalMiner(sigma=1, pivot=4).mine([nfa])) == {(4, 1)}
+
+    def test_invalid_sigma(self):
+        with pytest.raises(MiningError):
+            NfaLocalMiner(sigma=0)
+
+    def test_weight_misalignment_rejected(self):
+        builder = TrieBuilder()
+        builder.add_run([(1,)])
+        with pytest.raises(MiningError):
+            NfaLocalMiner(sigma=1).mine([builder.trie()], weights=[1, 2])
+
+    def test_empty_input(self):
+        assert NfaLocalMiner(sigma=1).mine([]) == {}

@@ -1,0 +1,149 @@
+"""Tests for the simulated MapReduce substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MapReduceError
+from repro.mapreduce import (
+    JobMetrics,
+    MapReduceJob,
+    SimulatedCluster,
+    iter_map_output,
+    run_job,
+)
+
+
+class WordCountJob(MapReduceJob):
+    """Classic word count used as the reference job."""
+
+    use_combiner = True
+
+    def map(self, record):
+        for word in record.split():
+            yield word, 1
+
+    def combine(self, key, values):
+        yield key, sum(values)
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+class NoCombinerJob(WordCountJob):
+    use_combiner = False
+
+
+class TestSimulatedCluster:
+    RECORDS = ["a b a", "b c", "a", "c c c"]
+
+    def test_word_count_output(self):
+        result = run_job(WordCountJob(), self.RECORDS, num_workers=2)
+        assert dict(result.outputs) == {"a": 3, "b": 2, "c": 4}
+
+    def test_output_independent_of_worker_count(self):
+        expected = dict(run_job(WordCountJob(), self.RECORDS, num_workers=1).outputs)
+        for workers in (2, 3, 8):
+            observed = dict(run_job(WordCountJob(), self.RECORDS, num_workers=workers).outputs)
+            assert observed == expected
+
+    def test_combiner_reduces_shuffle_records(self):
+        with_combiner = run_job(WordCountJob(), self.RECORDS, num_workers=1)
+        without = run_job(NoCombinerJob(), self.RECORDS, num_workers=1)
+        assert dict(with_combiner.outputs) == dict(without.outputs)
+        assert with_combiner.metrics.shuffle_records < without.metrics.shuffle_records
+        assert with_combiner.metrics.shuffle_bytes < without.metrics.shuffle_bytes
+
+    def test_map_tasks_match_worker_count(self):
+        result = run_job(WordCountJob(), self.RECORDS, num_workers=2)
+        assert len(result.metrics.map_task_seconds) == 2
+
+    def test_empty_input(self):
+        result = run_job(WordCountJob(), [], num_workers=4)
+        assert result.outputs == []
+        assert result.metrics.input_records == 0
+
+    def test_metrics_counts(self):
+        result = run_job(WordCountJob(), self.RECORDS, num_workers=2)
+        metrics = result.metrics
+        assert metrics.input_records == 4
+        assert metrics.output_records == 3
+        assert metrics.map_output_records == 9  # one per word occurrence
+        assert metrics.shuffle_records == metrics.combined_records
+        assert metrics.shuffle_bytes > 0
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(MapReduceError):
+            SimulatedCluster(num_workers=0)
+
+    def test_iter_map_output(self):
+        pairs = list(iter_map_output(WordCountJob(), ["a b", "b"]))
+        assert pairs == [("a", 1), ("b", 1), ("b", 1)]
+
+    def test_custom_record_size(self):
+        class SizedJob(WordCountJob):
+            def record_size(self, key, value):
+                return 100
+
+        result = run_job(SizedJob(), ["a b"], num_workers=1)
+        assert result.metrics.shuffle_bytes == 100 * result.metrics.shuffle_records
+
+    def test_reduce_tasks_default_overpartitioning(self):
+        cluster = SimulatedCluster(num_workers=3)
+        assert cluster.num_reduce_tasks == 12
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abcdef"), min_size=0, max_size=6).map(" ".join),
+            min_size=0,
+            max_size=20,
+        ),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_word_count_matches_reference(self, records, workers):
+        from collections import Counter
+
+        expected = Counter(word for record in records for word in record.split())
+        observed = dict(run_job(WordCountJob(), records, num_workers=workers).outputs)
+        assert observed == dict(expected)
+
+
+class TestJobMetrics:
+    def test_total_is_map_plus_reduce_makespan(self):
+        metrics = JobMetrics(
+            num_workers=2,
+            map_task_seconds=[1.0, 3.0],
+            reduce_task_seconds=[2.0, 1.0],
+        )
+        assert metrics.map_seconds == 3.0
+        assert metrics.reduce_seconds == 2.0
+        assert metrics.total_seconds == 5.0
+        assert metrics.sequential_seconds == 7.0
+
+    def test_empty_metrics(self):
+        metrics = JobMetrics()
+        assert metrics.total_seconds == 0.0
+        assert metrics.combine_ratio == 0.0
+
+    def test_combine_ratio(self):
+        metrics = JobMetrics(map_output_records=10, combined_records=4)
+        assert metrics.combine_ratio == pytest.approx(0.6)
+
+    def test_as_dict_keys(self):
+        keys = set(JobMetrics().as_dict())
+        assert {"total_seconds", "shuffle_bytes", "map_seconds", "reduce_seconds"} <= keys
+
+    def test_merge(self):
+        a = JobMetrics(map_task_seconds=[1.0], shuffle_bytes=10, input_records=5)
+        b = JobMetrics(map_task_seconds=[2.0], shuffle_bytes=20, input_records=7)
+        merged = a.merge(b)
+        assert merged.shuffle_bytes == 30
+        assert merged.input_records == 12
+        assert merged.map_task_seconds == [1.0, 2.0]
+
+    def test_default_record_size_positive(self):
+        job = MapReduceJob()
+        assert job.record_size(("k",), (1, 2, 3)) > 0

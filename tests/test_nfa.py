@@ -1,0 +1,206 @@
+"""Tests for output NFAs: trie construction, minimization, serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NfaError
+from repro.nfa import OutputNfa, TrieBuilder, deserialize, minimize_acyclic, serialize
+from repro.nfa.serializer import serialized_size
+
+
+def build_trie(runs):
+    builder = TrieBuilder()
+    for run in runs:
+        builder.add_run(run)
+    return builder
+
+
+class TestTrieBuilder:
+    def test_single_run(self):
+        builder = build_trie([[(4,), (1,)]])
+        nfa = builder.trie()
+        assert nfa.candidates() == {(4, 1)}
+
+    def test_multiple_runs_share_prefix(self):
+        builder = build_trie([[(4,), (1,)], [(4,), (2,), (1,)]])
+        nfa = builder.trie()
+        assert nfa.candidates() == {(4, 1), (4, 2, 1)}
+        # Shared prefix (4,) is stored once: root has a single child.
+        assert len(nfa.outgoing(0)) == 1
+
+    def test_output_sets_expand_to_multiple_candidates(self):
+        # Label {a1, A} on one edge encodes two candidates.
+        builder = build_trie([[(4,), (2, 4), (1,)]])
+        assert builder.trie().candidates() == {(4, 2, 1), (4, 4, 1)}
+
+    def test_duplicate_runs_are_idempotent(self):
+        builder = build_trie([[(4,), (1,)], [(4,), (1,)]])
+        assert builder.trie().candidates() == {(4, 1)}
+
+    def test_empty_run_is_ignored(self):
+        builder = build_trie([[]])
+        assert builder.trie().candidates() == set()
+
+    def test_empty_label_rejected(self):
+        builder = TrieBuilder()
+        with pytest.raises(NfaError):
+            builder.add_run([()])
+
+    def test_fig7_trie_and_minimization_sizes(self):
+        # ρ_c(T1) of the running example (Fig. 7): candidates
+        # a1cdcb, a1cdb, a1cb, a1dcb, a1ccb with fids a1=4, c=5, d=3, b=1.
+        runs = [
+            [(4,), (5,), (3,), (5,), (1,)],
+            [(4,), (5,), (3,), (1,)],
+            [(4,), (5,), (1,)],
+            [(4,), (3,), (5,), (1,)],
+            [(4,), (5,), (5,), (1,)],
+        ]
+        builder = build_trie(runs)
+        trie = builder.trie()
+        minimized = builder.minimized()
+        # Paper: trie has 13 vertices / 12 edges, minimized NFA 7 vertices / 10 edges.
+        assert trie.num_states == 13
+        assert trie.num_transitions == 12
+        assert minimized.num_states == 7
+        assert minimized.num_transitions <= 10
+        assert minimized.candidates() == trie.candidates()
+
+
+class TestMinimization:
+    def test_minimization_preserves_language(self):
+        runs = [
+            [(4,), (2, 4), (1,)],
+            [(4,), (1,)],
+        ]
+        builder = build_trie(runs)
+        assert builder.minimized().candidates() == builder.trie().candidates()
+
+    def test_minimization_never_increases_size(self):
+        runs = [[(i % 3 + 1,), (1,)] for i in range(1, 6)]
+        builder = build_trie(runs)
+        trie, minimized = builder.trie(), builder.minimized()
+        assert minimized.num_states <= trie.num_states
+        assert minimized.num_transitions <= trie.num_transitions
+
+    def test_suffix_sharing(self):
+        # Two branches with identical suffixes collapse.
+        runs = [
+            [(5,), (3,), (1,)],
+            [(4,), (3,), (1,)],
+        ]
+        minimized = build_trie(runs).minimized()
+        assert minimized.candidates() == {(5, 3, 1), (4, 3, 1)}
+        assert minimized.num_states < build_trie(runs).trie().num_states
+
+    def test_cycle_detection(self):
+        nfa = OutputNfa([[((1,), 1)], [((1,), 0)]], final_states={1})
+        with pytest.raises(NfaError):
+            minimize_acyclic(nfa)
+
+
+class TestOutputNfa:
+    def test_accepts(self):
+        nfa = build_trie([[(4,), (2, 4), (1,)], [(4,), (1,)]]).minimized()
+        assert nfa.accepts((4, 2, 1))
+        assert nfa.accepts((4, 4, 1))
+        assert nfa.accepts((4, 1))
+        assert not nfa.accepts((4, 2))
+        assert not nfa.accepts((1,))
+        assert not nfa.accepts(())
+
+    def test_items(self):
+        nfa = build_trie([[(4,), (2, 4), (1,)]]).trie()
+        assert nfa.items() == {1, 2, 4}
+
+    def test_equality_and_hash(self):
+        a = build_trie([[(4,), (1,)]]).minimized()
+        b = build_trie([[(4,), (1,)]]).minimized()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(NfaError):
+            OutputNfa([[((1,), 5)]], final_states={0})
+
+    def test_invalid_final_state_rejected(self):
+        with pytest.raises(NfaError):
+            OutputNfa([[]], final_states={3})
+
+
+class TestSerialization:
+    def test_round_trip_simple(self):
+        nfa = build_trie([[(4,), (2, 4), (1,)], [(4,), (1,)]]).minimized()
+        assert deserialize(serialize(nfa)).candidates() == nfa.candidates()
+
+    def test_round_trip_preserves_finals(self):
+        nfa = build_trie([[(4,)], [(4,), (1,)]]).minimized()
+        restored = deserialize(serialize(nfa))
+        assert restored.candidates() == nfa.candidates()
+
+    def test_canonical_for_identical_nfas(self):
+        # Identical candidate sets built in different insertion orders serialize
+        # identically (this is what makes D-CAND's aggregation effective).
+        a = build_trie([[(4,), (1,)], [(4,), (2,), (1,)]]).minimized()
+        b = build_trie([[(4,), (2,), (1,)], [(4,), (1,)]]).minimized()
+        assert serialize(a) == serialize(b)
+
+    def test_minimized_is_smaller_or_equal(self):
+        runs = [
+            [(4,), (5,), (3,), (5,), (1,)],
+            [(4,), (5,), (3,), (1,)],
+            [(4,), (5,), (1,)],
+            [(4,), (3,), (5,), (1,)],
+            [(4,), (5,), (5,), (1,)],
+        ]
+        builder = build_trie(runs)
+        assert serialized_size(builder.minimized()) <= serialized_size(builder.trie())
+
+    def test_large_fids_varint(self):
+        nfa = build_trie([[(1_000_000,), (70, 200, 300_000)]]).trie()
+        assert deserialize(serialize(nfa)).candidates() == nfa.candidates()
+
+    def test_empty_serialization_rejected(self):
+        with pytest.raises(NfaError):
+            deserialize(b"")
+
+    @given(
+        st.lists(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=1, max_value=30), min_size=1, max_size=3
+                ).map(lambda items: tuple(sorted(set(items)))),
+                min_size=1,
+                max_size=5,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, runs):
+        builder = build_trie(runs)
+        for nfa in (builder.trie(), builder.minimized()):
+            restored = deserialize(serialize(nfa))
+            assert restored.candidates() == nfa.candidates()
+
+    @given(
+        st.lists(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=1, max_value=10), min_size=1, max_size=2
+                ).map(lambda items: tuple(sorted(set(items)))),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_minimization_preserves_candidates_property(self, runs):
+        builder = build_trie(runs)
+        assert builder.minimized().candidates() == builder.trie().candidates()

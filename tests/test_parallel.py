@@ -1,0 +1,91 @@
+"""Tests for the process-pool MapReduce cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DSeqMiner
+from repro.core.dseq import DSeqJob
+from repro.errors import MapReduceError
+from repro.mapreduce import MapReduceJob, ProcessPoolCluster, SimulatedCluster
+
+from tests.conftest import RUNNING_EXAMPLE_PATEX
+
+
+class WordCountJob(MapReduceJob):
+    """Top-level (picklable) word-count job used by the tests."""
+
+    use_combiner = True
+
+    def map(self, record):
+        for item in record:
+            yield item, 1
+
+    def combine(self, key, values):
+        yield key, sum(values)
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+    def record_size(self, key, value):
+        return 12
+
+
+class PlainWordCountJob(WordCountJob):
+    """Word count without a combiner (exercises the no-combine path)."""
+
+    use_combiner = False
+
+
+RECORDS = [(1, 2, 2, 3), (2, 3), (3, 3, 3), (1,)]
+EXPECTED = {1: 2, 2: 3, 3: 5}
+
+
+class TestProcessPoolCluster:
+    def test_word_count_matches_expected(self):
+        cluster = ProcessPoolCluster(num_workers=2)
+        result = cluster.run(WordCountJob(), RECORDS)
+        assert dict(result.outputs) == EXPECTED
+        assert result.metrics.input_records == len(RECORDS)
+        assert result.metrics.output_records == len(EXPECTED)
+        assert result.metrics.shuffle_bytes > 0
+        assert len(result.metrics.map_task_seconds) == 2
+
+    def test_matches_simulated_cluster_outputs(self):
+        job = WordCountJob()
+        parallel = ProcessPoolCluster(num_workers=2).run(job, RECORDS)
+        simulated = SimulatedCluster(num_workers=2).run(job, RECORDS)
+        assert dict(parallel.outputs) == dict(simulated.outputs)
+        assert parallel.metrics.shuffle_records == simulated.metrics.shuffle_records
+        assert parallel.metrics.shuffle_bytes == simulated.metrics.shuffle_bytes
+
+    def test_without_combiner(self):
+        result = ProcessPoolCluster(num_workers=2).run(PlainWordCountJob(), RECORDS)
+        assert dict(result.outputs) == EXPECTED
+        # Without a combiner every map output record is shuffled.
+        assert result.metrics.shuffle_records == sum(len(record) for record in RECORDS)
+
+    def test_single_worker(self):
+        result = ProcessPoolCluster(num_workers=1).run(WordCountJob(), RECORDS)
+        assert dict(result.outputs) == EXPECTED
+
+    def test_empty_input(self):
+        result = ProcessPoolCluster(num_workers=2).run(WordCountJob(), [])
+        assert result.outputs == []
+        assert result.metrics.total_seconds == 0.0
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(MapReduceError):
+            ProcessPoolCluster(num_workers=0)
+        with pytest.raises(MapReduceError):
+            ProcessPoolCluster(num_workers=2, num_reduce_tasks=-1)
+
+    def test_dseq_job_runs_on_process_pool(self, ex_dictionary, ex_database):
+        """The real D-SEQ job is picklable and produces the paper's result."""
+        miner = DSeqMiner(RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2)
+        expected = miner.mine(ex_database).patterns()
+
+        fst = miner.patex.compile(ex_dictionary)
+        job = DSeqJob(fst, ex_dictionary, 2)
+        result = ProcessPoolCluster(num_workers=2).run(job, list(ex_database))
+        assert dict(result.outputs) == expected

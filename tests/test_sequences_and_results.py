@@ -1,0 +1,156 @@
+"""Tests for sequence databases, I/O round trips, and mining results."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.results import MiningResult
+from repro.dictionary import Hierarchy
+from repro.errors import ReproError
+from repro.mapreduce import JobMetrics
+from repro.sequences import (
+    SequenceDatabase,
+    preprocess,
+    read_database,
+    read_dictionary,
+    read_gid_sequences,
+    write_database,
+    write_dictionary,
+    write_gid_sequences,
+)
+
+
+class TestSequenceDatabase:
+    def test_basic_properties(self, ex_database):
+        assert len(ex_database) == 5
+        assert ex_database[0][0] == 4  # a1
+        assert len(list(ex_database)) == 5
+
+    def test_statistics_match_running_example(self, ex_database):
+        stats = ex_database.statistics()
+        assert stats.sequence_count == 5
+        assert stats.total_items == 5 + 7 + 4 + 3 + 3
+        assert stats.max_length == 7
+        assert stats.unique_items == 6  # A never occurs literally
+        assert stats.mean_length == pytest.approx(22 / 5)
+
+    def test_append_and_extend(self):
+        database = SequenceDatabase()
+        database.append((1, 2))
+        database.extend([(3,), (4, 5)])
+        assert len(database) == 3
+
+    def test_rejects_non_positive_fids(self):
+        with pytest.raises(ReproError):
+            SequenceDatabase([(0, 1)])
+
+    def test_decode(self, ex_dictionary, ex_database):
+        decoded = ex_database.decode(ex_dictionary)
+        assert decoded[4] == ("a1", "a1", "b")
+
+    def test_sample_deterministic(self, ex_database):
+        a = ex_database.sample(0.6, seed=1).sequences()
+        b = ex_database.sample(0.6, seed=1).sequences()
+        assert a == b
+        assert len(a) == 3
+
+    def test_sample_full_fraction_returns_copy(self, ex_database):
+        sample = ex_database.sample(1.0)
+        assert sample.sequences() == ex_database.sequences()
+
+    def test_sample_invalid_fraction(self, ex_database):
+        with pytest.raises(ReproError):
+            ex_database.sample(0.0)
+        with pytest.raises(ReproError):
+            ex_database.sample(1.5)
+
+    def test_empty_statistics(self):
+        stats = SequenceDatabase().statistics()
+        assert stats.sequence_count == 0
+        assert stats.mean_length == 0.0
+        assert stats.as_dict()["max_length"] == 0
+
+
+class TestIo:
+    def test_gid_sequence_round_trip(self, tmp_path):
+        path = tmp_path / "sequences.txt"
+        sequences = [("a", "b"), ("c",), ("a", "a", "a")]
+        assert write_gid_sequences(path, sequences) == 3
+        assert read_gid_sequences(path) == sequences
+
+    def test_database_round_trip(self, tmp_path, ex_dictionary, ex_database):
+        path = tmp_path / "database.txt"
+        write_database(path, ex_database, ex_dictionary)
+        restored = read_database(path, ex_dictionary)
+        assert restored.sequences() == ex_database.sequences()
+
+    def test_dictionary_round_trip(self, tmp_path, ex_dictionary):
+        path = tmp_path / "dictionary.json"
+        write_dictionary(path, ex_dictionary)
+        restored = read_dictionary(path)
+        assert len(restored) == len(ex_dictionary)
+        for item in ex_dictionary:
+            restored_item = restored.item_by_gid(item.gid)
+            assert restored_item.document_frequency == item.document_frequency
+        # Hierarchy is preserved.
+        assert restored.ancestors(restored.fid_of("a1")) == {
+            restored.fid_of("a1"),
+            restored.fid_of("A"),
+        }
+
+    def test_preprocess(self):
+        hierarchy = Hierarchy()
+        hierarchy.add_edge("x1", "X")
+        dictionary, database = preprocess([("x1", "y"), ("y",)], hierarchy)
+        assert len(database) == 2
+        assert dictionary.frequency(dictionary.fid_of("y")) == 2
+        assert dictionary.frequency(dictionary.fid_of("X")) == 1
+
+    @given(
+        st.lists(
+            st.lists(
+                st.sampled_from(["alpha", "beta", "gamma", "delta"]), min_size=1, max_size=5
+            ).map(tuple),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_preprocess_encode_round_trip(self, sequences):
+        dictionary, database = preprocess(sequences)
+        assert database.decode(dictionary) == list(sequences)
+
+
+class TestMiningResult:
+    def make_result(self):
+        return MiningResult({(4, 1): 3, (4, 2, 1): 2}, JobMetrics(), algorithm="TEST")
+
+    def test_mapping_interface(self):
+        result = self.make_result()
+        assert len(result) == 2
+        assert result[(4, 1)] == 3
+        assert (4, 2, 1) in result
+        assert dict(result) == {(4, 1): 3, (4, 2, 1): 2}
+
+    def test_sorted_patterns(self):
+        result = self.make_result()
+        assert result.sorted_patterns()[0] == ((4, 1), 3)
+
+    def test_decoded_and_top(self, ex_dictionary):
+        result = self.make_result()
+        decoded = result.decoded(ex_dictionary)
+        assert decoded[("a1", "b")] == 3
+        assert result.top(1, ex_dictionary) == [(("a1", "b"), 3)]
+        assert result.top(1) == [((4, 1), 3)]
+
+    def test_same_patterns_as(self):
+        result = self.make_result()
+        assert result.same_patterns_as({(4, 1): 3, (4, 2, 1): 2})
+        assert not result.same_patterns_as({(4, 1): 3})
+
+    def test_default_metrics(self):
+        result = MiningResult({})
+        assert result.metrics.total_seconds == 0.0
+        assert len(result) == 0
