@@ -7,23 +7,42 @@ the reproduced tables/series.
 
 Dataset sizes are kept small enough for the whole suite to finish in a few
 minutes on a laptop; EXPERIMENTS.md records a run with these defaults.
+
+Two environment variables tune the suite without touching code:
+
+* ``REPRO_BENCH_SCALE`` — multiply every dataset size by this factor (the CI
+  smoke job uses 0.2 so each figure script runs in seconds);
+* ``REPRO_BACKEND`` — execution backend for the scalability benchmark
+  (``simulated`` models the cluster; ``threads``/``processes`` measure real
+  wall-clock behaviour on the local machine).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+#: Scale factor applied to every dataset size (e.g. 0.2 for the CI smoke run).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 #: Dataset sizes used by the benchmark suite (smaller than the library defaults
 #: so that the full suite stays fast).
 BENCH_SIZES = {
-    "NYT": 500,
-    "AMZN": 1200,
-    "AMZN-F": 1200,
-    "CW": 800,
+    name: max(80, round(size * BENCH_SCALE))
+    for name, size in {
+        "NYT": 500,
+        "AMZN": 1200,
+        "AMZN-F": 1200,
+        "CW": 800,
+    }.items()
 }
 
 #: Simulated worker count (the paper's cluster has 8 workers).
 BENCH_WORKERS = 8
+
+#: Execution backend exercised by the scalability benchmark.
+BENCH_BACKEND = os.environ.get("REPRO_BACKEND", "simulated")
 
 
 def run_once(benchmark, function, *args, **kwargs):

@@ -38,13 +38,20 @@ from repro.errors import (
     PatExSyntaxError,
     ReproError,
 )
-from repro.mapreduce import SimulatedCluster
+from repro.mapreduce import (
+    BACKENDS,
+    ProcessPoolCluster,
+    SimulatedCluster,
+    ThreadPoolCluster,
+    make_cluster,
+)
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase, preprocess
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BACKENDS",
     "CandidateExplosionError",
     "DCandMiner",
     "DSeqMiner",
@@ -57,12 +64,15 @@ __all__ = [
     "NaiveMiner",
     "PatEx",
     "PatExSyntaxError",
+    "ProcessPoolCluster",
     "ReproError",
     "SemiNaiveMiner",
     "SequenceDatabase",
     "SimulatedCluster",
+    "ThreadPoolCluster",
     "__version__",
     "build_dictionary",
+    "make_cluster",
     "mine",
     "preprocess",
 ]

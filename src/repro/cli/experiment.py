@@ -23,6 +23,7 @@ from repro.experiments import (
     table4_candidate_statistics,
     table5_speedup,
 )
+from repro.mapreduce import BACKENDS
 
 #: Experiment name -> short description (shown by ``--list``).
 EXPERIMENTS = {
@@ -64,7 +65,17 @@ def add_parser(subparsers) -> None:
         help="dataset sizes as 'NYT=500,AMZN=1200,AMZN-F=1200,CW=800'",
     )
     parser.add_argument(
-        "--workers", type=int, default=DEFAULT_WORKERS, help="simulated workers"
+        "--workers", type=int, default=DEFAULT_WORKERS, help="number of workers"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="simulated",
+        help=(
+            "execution backend: 'simulated' models the cluster makespan, "
+            "'threads'/'processes' execute on real local workers "
+            "(default: simulated)"
+        ),
     )
     parser.add_argument("--chart", action="store_true", help="also print an ASCII chart")
     parser.set_defaults(run=run)
@@ -100,26 +111,32 @@ def run(args: Namespace, stream=None) -> int:
 
     sizes = parse_sizes(args.sizes)
     workers = args.workers
+    backend = args.backend
     name = args.name
+
+    if name in ("table2", "table4") and backend != "simulated":
+        # These tables report dataset/candidate statistics; nothing is mined,
+        # so silently accepting --backend would misrepresent the numbers.
+        raise CliError(f"--backend does not apply to {name} (it runs no mining jobs)")
 
     if name == "table2":
         rows = table2_dataset_characteristics(sizes)
     elif name == "table4":
         rows = table4_candidate_statistics(sizes)
     elif name == "table5":
-        rows = table5_speedup(sizes=sizes)
+        rows = table5_speedup(sizes=sizes, backend=backend)
     elif name == "fig9a":
-        rows = figure9a(size=(sizes or {}).get("NYT"), num_workers=workers)
+        rows = figure9a(size=(sizes or {}).get("NYT"), num_workers=workers, backend=backend)
     elif name == "fig9b":
-        rows = figure9b(size=(sizes or {}).get("AMZN"), num_workers=workers)
+        rows = figure9b(size=(sizes or {}).get("AMZN"), num_workers=workers, backend=backend)
     elif name == "fig9c":
-        rows = figure9c(size=(sizes or {}).get("AMZN"), num_workers=workers)
+        rows = figure9c(size=(sizes or {}).get("AMZN"), num_workers=workers, backend=backend)
     elif name == "fig10a":
-        rows = figure10a(num_workers=workers, sizes=sizes)
+        rows = figure10a(num_workers=workers, sizes=sizes, backend=backend)
     elif name == "fig10b":
-        rows = figure10b(num_workers=workers, sizes=sizes)
+        rows = figure10b(num_workers=workers, sizes=sizes, backend=backend)
     elif name == "fig11":
-        results = figure11_scalability(base_size=(sizes or {}).get("AMZN-F"))
+        results = figure11_scalability(base_size=(sizes or {}).get("AMZN-F"), backend=backend)
         for kind, series_rows in results.items():
             stream.write(f"\nFig. 11 ({kind} scalability):\n")
             stream.write(format_table(series_rows))
@@ -133,9 +150,11 @@ def run(args: Namespace, stream=None) -> int:
                 stream.write("\n")
         return 0
     elif name == "fig12":
-        rows = figure12_lash_setting(num_workers=workers, sizes=sizes)
+        rows = figure12_lash_setting(num_workers=workers, sizes=sizes, backend=backend)
     elif name == "fig13":
-        rows = figure13_mllib_setting(num_workers=workers, size=(sizes or {}).get("AMZN"))
+        rows = figure13_mllib_setting(
+            num_workers=workers, size=(sizes or {}).get("AMZN"), backend=backend
+        )
     else:  # pragma: no cover - argparse restricts the choices
         raise CliError(f"unknown experiment {name!r}")
 

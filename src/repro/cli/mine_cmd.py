@@ -9,6 +9,7 @@ from repro.cli.common import CliError, add_input_arguments, load_input, print_me
 from repro.core import mine
 from repro.datasets import CONSTRAINT_FACTORIES, constraint as make_constraint
 from repro.errors import CandidateExplosionError
+from repro.mapreduce import BACKENDS
 from repro.sequential import SequentialDesqCount, SequentialDesqDfs
 
 #: Algorithms selectable on the command line.
@@ -48,7 +49,18 @@ def add_parser(subparsers) -> None:
         default="dseq",
         help="mining algorithm (default: dseq)",
     )
-    parser.add_argument("--workers", type=int, default=8, help="simulated workers")
+    parser.add_argument("--workers", type=int, default=8, help="number of workers")
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="simulated",
+        help=(
+            "execution backend for the distributed algorithms: 'simulated' "
+            "models the cluster makespan in-process, 'threads' runs on a "
+            "local thread pool, 'processes' runs on a local process pool for "
+            "real wall-clock speed-ups (default: simulated)"
+        ),
+    )
     parser.add_argument(
         "--output",
         metavar="FILE",
@@ -84,6 +96,13 @@ def run(args: Namespace, stream=None) -> int:
     dictionary, database, _raw = load_input(args)
     expression = _resolve_expression(args)
 
+    if args.algorithm in _SEQUENTIAL_MINERS and args.backend != "simulated":
+        # Sequential reference miners run in-process; silently accepting
+        # --backend would misrepresent where the timings came from.
+        raise CliError(
+            f"--backend does not apply to the sequential {args.algorithm} miner"
+        )
+
     try:
         if args.algorithm in _SEQUENTIAL_MINERS:
             miner = _SEQUENTIAL_MINERS[args.algorithm](expression, args.sigma, dictionary)
@@ -96,6 +115,7 @@ def run(args: Namespace, stream=None) -> int:
                 sigma=args.sigma,
                 algorithm=args.algorithm,
                 num_workers=args.workers,
+                backend=args.backend,
             )
     except CandidateExplosionError as error:
         raise CliError(

@@ -22,7 +22,7 @@ from repro.core.pivot_search import pivots_of_output_sets
 from repro.core.results import MiningResult
 from repro.dictionary import EPSILON_FID, Dictionary
 from repro.fst import Fst, accepting_runs, run_output_sets
-from repro.mapreduce import MapReduceJob, SimulatedCluster
+from repro.mapreduce import Cluster, MapReduceJob, resolve_cluster
 from repro.nfa import TrieBuilder, deserialize, serialize
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase
@@ -147,6 +147,7 @@ class DCandMiner:
         aggregate_nfas: bool = True,
         num_workers: int = 4,
         max_runs: int = 100_000,
+        backend: str | Cluster = "simulated",
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
         self.sigma = sigma
@@ -155,6 +156,7 @@ class DCandMiner:
         self.aggregate_nfas = aggregate_nfas
         self.num_workers = num_workers
         self.max_runs = max_runs
+        self.backend = backend
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent patterns of ``database`` under the constraint."""
@@ -167,7 +169,7 @@ class DCandMiner:
             aggregate_nfas=self.aggregate_nfas,
             max_runs=self.max_runs,
         )
-        cluster = SimulatedCluster(num_workers=self.num_workers)
+        cluster = resolve_cluster(self.backend, num_workers=self.num_workers)
         records = list(database)
         result = cluster.run(job, records)
         patterns = dict(result.outputs)

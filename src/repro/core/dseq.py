@@ -25,7 +25,7 @@ from repro.core.rewriting import rewrite_for_pivot
 from repro.dictionary import Dictionary
 from repro.errors import CandidateExplosionError
 from repro.fst import Fst
-from repro.mapreduce import MapReduceJob, SimulatedCluster
+from repro.mapreduce import Cluster, MapReduceJob, resolve_cluster
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase
 
@@ -144,6 +144,7 @@ class DSeqMiner:
         use_early_stopping: bool = True,
         num_workers: int = 4,
         max_runs: int = 100_000,
+        backend: str | Cluster = "simulated",
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
         self.sigma = sigma
@@ -153,6 +154,7 @@ class DSeqMiner:
         self.use_early_stopping = use_early_stopping
         self.num_workers = num_workers
         self.max_runs = max_runs
+        self.backend = backend
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent patterns of ``database`` under the constraint."""
@@ -166,7 +168,7 @@ class DSeqMiner:
             use_early_stopping=self.use_early_stopping,
             max_runs=self.max_runs,
         )
-        cluster = SimulatedCluster(num_workers=self.num_workers)
+        cluster = resolve_cluster(self.backend, num_workers=self.num_workers)
         records = list(database)
         result = cluster.run(job, records)
         patterns = dict(result.outputs)

@@ -54,7 +54,9 @@ def mine(
     algorithm:
         One of ``"dseq"``, ``"dcand"``, ``"naive"``, ``"semi-naive"``.
     options:
-        Forwarded to the chosen miner (e.g. ``num_workers``, ``use_rewriting``).
+        Forwarded to the chosen miner (e.g. ``num_workers``, ``use_rewriting``,
+        or ``backend`` — one of ``"simulated"``, ``"threads"``,
+        ``"processes"`` — to pick the execution backend).
 
     Returns
     -------

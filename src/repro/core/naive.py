@@ -18,7 +18,7 @@ from collections.abc import Iterable, Sequence
 from repro.core.results import MiningResult
 from repro.dictionary import Dictionary
 from repro.fst import Fst, generate_candidates
-from repro.mapreduce import MapReduceJob, SimulatedCluster
+from repro.mapreduce import Cluster, MapReduceJob, resolve_cluster
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase
 
@@ -86,6 +86,7 @@ class _SubsequenceBaselineMiner:
         num_workers: int = 4,
         max_candidates_per_sequence: int = 1_000_000,
         max_runs: int = 100_000,
+        backend: str | Cluster = "simulated",
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
         self.sigma = sigma
@@ -93,6 +94,7 @@ class _SubsequenceBaselineMiner:
         self.num_workers = num_workers
         self.max_candidates_per_sequence = max_candidates_per_sequence
         self.max_runs = max_runs
+        self.backend = backend
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent patterns; may raise ``CandidateExplosionError``."""
@@ -105,7 +107,7 @@ class _SubsequenceBaselineMiner:
             max_candidates_per_sequence=self.max_candidates_per_sequence,
             max_runs=self.max_runs,
         )
-        cluster = SimulatedCluster(num_workers=self.num_workers)
+        cluster = resolve_cluster(self.backend, num_workers=self.num_workers)
         result = cluster.run(job, list(database))
         return MiningResult(dict(result.outputs), result.metrics, self.algorithm_name)
 

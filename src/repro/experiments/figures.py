@@ -19,33 +19,45 @@ FIGURE9_ALGORITHMS = ("naive", "semi-naive", "dseq", "dcand")
 
 
 # --------------------------------------------------------------------- Fig. 9
-def figure9a(size: int | None = None, num_workers: int = DEFAULT_WORKERS) -> list[dict]:
+def figure9a(
+    size: int | None = None,
+    num_workers: int = DEFAULT_WORKERS,
+    backend: str = "simulated",
+) -> list[dict]:
     """Fig. 9a: total time per algorithm for N1–N5 on the NYT-like dataset."""
     prepared = prepare_dataset("NYT", size)
     rows = []
     for constraint in figure9a_constraints():
         for record in run_comparison(
             list(FIGURE9_ALGORITHMS), constraint, prepared.dictionary, prepared.database,
-            num_workers=num_workers, dataset_name="NYT",
+            num_workers=num_workers, dataset_name="NYT", backend=backend,
         ):
             rows.append(record.as_row())
     return rows
 
 
-def figure9b(size: int | None = None, num_workers: int = DEFAULT_WORKERS) -> list[dict]:
+def figure9b(
+    size: int | None = None,
+    num_workers: int = DEFAULT_WORKERS,
+    backend: str = "simulated",
+) -> list[dict]:
     """Fig. 9b: total time per algorithm for A1–A4 on the AMZN-like dataset."""
     prepared = prepare_dataset("AMZN", size)
     rows = []
     for constraint in figure9b_constraints():
         for record in run_comparison(
             list(FIGURE9_ALGORITHMS), constraint, prepared.dictionary, prepared.database,
-            num_workers=num_workers, dataset_name="AMZN",
+            num_workers=num_workers, dataset_name="AMZN", backend=backend,
         ):
             rows.append(record.as_row())
     return rows
 
 
-def figure9c(size: int | None = None, num_workers: int = DEFAULT_WORKERS) -> list[dict]:
+def figure9c(
+    size: int | None = None,
+    num_workers: int = DEFAULT_WORKERS,
+    backend: str = "simulated",
+) -> list[dict]:
     """Fig. 9c: shuffle size per algorithm for A1 and A4 on the AMZN-like dataset."""
     prepared = prepare_dataset("AMZN", size)
     rows = []
@@ -55,7 +67,7 @@ def figure9c(size: int | None = None, num_workers: int = DEFAULT_WORKERS) -> lis
     ):
         for record in run_comparison(
             list(FIGURE9_ALGORITHMS), constraint, prepared.dictionary, prepared.database,
-            num_workers=num_workers, dataset_name="AMZN",
+            num_workers=num_workers, dataset_name="AMZN", backend=backend,
         ):
             row = record.as_row()
             rows.append(
@@ -91,6 +103,7 @@ def figure10a(
     constraints: list | None = None,
     num_workers: int = DEFAULT_WORKERS,
     sizes: dict[str, int] | None = None,
+    backend: str = "simulated",
 ) -> list[dict]:
     """Fig. 10a: effect of the grid, rewrites, and early stopping in D-SEQ."""
     if constraints is None:
@@ -106,7 +119,7 @@ def figure10a(
         for variant_name, options in DSEQ_ABLATION_VARIANTS:
             miner = DSeqMiner(
                 constraint.expression, constraint.sigma, prepared.dictionary,
-                num_workers=num_workers, **options,
+                num_workers=num_workers, backend=backend, **options,
             )
             result = miner.mine(prepared.database)
             rows.append(
@@ -127,6 +140,7 @@ def figure10b(
     constraints: list | None = None,
     num_workers: int = DEFAULT_WORKERS,
     sizes: dict[str, int] | None = None,
+    backend: str = "simulated",
 ) -> list[dict]:
     """Fig. 10b: effect of aggregating and minimizing NFAs in D-CAND."""
     if constraints is None:
@@ -141,7 +155,7 @@ def figure10b(
         for variant_name, options in DCAND_ABLATION_VARIANTS:
             miner = DCandMiner(
                 constraint.expression, constraint.sigma, prepared.dictionary,
-                num_workers=num_workers, **options,
+                num_workers=num_workers, backend=backend, **options,
             )
             try:
                 result = miner.mine(prepared.database)
@@ -180,6 +194,7 @@ def figure11_scalability(
     fractions: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0),
     worker_counts: tuple[int, ...] = (2, 4, 8),
     base_sigma: int | None = None,
+    backend: str = "simulated",
 ) -> dict[str, list[dict]]:
     """Fig. 11: data, strong, and weak scalability of D-SEQ and D-CAND.
 
@@ -198,10 +213,10 @@ def figure11_scalability(
         constraint = make_constraint("T3", sigma, 1, 5)
         return run_algorithm(
             "dseq", constraint, prepared.dictionary, samples[fraction],
-            num_workers=workers, dataset_name="AMZN-F",
+            num_workers=workers, dataset_name="AMZN-F", backend=backend,
         ), run_algorithm(
             "dcand", constraint, prepared.dictionary, samples[fraction],
-            num_workers=workers, dataset_name="AMZN-F",
+            num_workers=workers, dataset_name="AMZN-F", backend=backend,
         )
 
     results: dict[str, list[dict]] = {"data": [], "strong": [], "weak": []}
@@ -248,7 +263,9 @@ def figure11_scalability(
 
 # -------------------------------------------------------------------- Fig. 12
 def figure12_lash_setting(
-    num_workers: int = DEFAULT_WORKERS, sizes: dict[str, int] | None = None
+    num_workers: int = DEFAULT_WORKERS,
+    sizes: dict[str, int] | None = None,
+    backend: str = "simulated",
 ) -> list[dict]:
     """Fig. 12: LASH vs D-SEQ vs D-CAND in the specialist gap/length setting."""
     entries = [
@@ -266,7 +283,7 @@ def figure12_lash_setting(
         for algorithm in (specialist, "dseq", "dcand"):
             record = run_algorithm(
                 algorithm, constraint, prepared.dictionary, prepared.database,
-                num_workers=num_workers, dataset_name=dataset_name,
+                num_workers=num_workers, dataset_name=dataset_name, backend=backend,
             )
             rows.append(record.as_row())
     return rows
@@ -278,6 +295,7 @@ def figure13_mllib_setting(
     max_length: int = 5,
     num_workers: int = DEFAULT_WORKERS,
     size: int | None = None,
+    backend: str = "simulated",
 ) -> list[dict]:
     """Fig. 13: MLlib (PrefixSpan) setting T1(σ, 5) with decreasing σ on AMZN."""
     prepared = prepare_dataset("AMZN", size)
@@ -287,7 +305,7 @@ def figure13_mllib_setting(
         for algorithm in ("prefixspan", "lash", "dseq", "dcand"):
             record = run_algorithm(
                 algorithm, constraint, prepared.dictionary, prepared.database,
-                num_workers=num_workers, dataset_name="AMZN",
+                num_workers=num_workers, dataset_name="AMZN", backend=backend,
             )
             row = record.as_row()
             row["sigma"] = sigma

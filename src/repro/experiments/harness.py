@@ -26,6 +26,7 @@ class RunRecord:
     constraint: str
     dataset: str
     status: str = "ok"  # "ok" or "oom" (candidate/run explosion)
+    backend: str = "simulated"
     total_seconds: float = 0.0
     map_seconds: float = 0.0
     mine_seconds: float = 0.0
@@ -60,27 +61,35 @@ def build_miner(
     constraint: Constraint,
     dictionary: Dictionary,
     num_workers: int,
+    backend: str = "simulated",
     **options,
 ):
-    """Instantiate a miner by algorithm name for the given constraint."""
+    """Instantiate a miner by algorithm name for the given constraint.
+
+    ``backend`` selects the execution backend of the distributed miners
+    (``"simulated"``, ``"threads"``, or ``"processes"``); the sequential
+    reference miners ignore it.
+    """
     name = algorithm.lower()
     patex = constraint.expression
     sigma = constraint.sigma
     if name in ("dseq", "d-seq"):
-        return DSeqMiner(patex, sigma, dictionary, num_workers=num_workers, **options)
+        return DSeqMiner(
+            patex, sigma, dictionary, num_workers=num_workers, backend=backend, **options
+        )
     if name in ("dcand", "d-cand"):
         return DCandMiner(
-            patex, sigma, dictionary, num_workers=num_workers,
+            patex, sigma, dictionary, num_workers=num_workers, backend=backend,
             max_runs=options.pop("max_runs", OOM_MAX_RUNS), **options,
         )
     if name == "naive":
         return NaiveMiner(
-            patex, sigma, dictionary, num_workers=num_workers,
+            patex, sigma, dictionary, num_workers=num_workers, backend=backend,
             max_candidates_per_sequence=OOM_MAX_CANDIDATES, max_runs=OOM_MAX_RUNS,
         )
     if name in ("semi-naive", "seminaive"):
         return SemiNaiveMiner(
-            patex, sigma, dictionary, num_workers=num_workers,
+            patex, sigma, dictionary, num_workers=num_workers, backend=backend,
             max_candidates_per_sequence=OOM_MAX_CANDIDATES, max_runs=OOM_MAX_RUNS,
         )
     if name == "desq-dfs":
@@ -97,6 +106,7 @@ def build_miner(
             min_length=spec.get("min_length", 2),
             use_hierarchy=spec.get("use_hierarchy", name == "lash"),
             num_workers=num_workers,
+            backend=backend,
         )
     if name in ("prefixspan", "mllib"):
         spec = constraint.specialized or {}
@@ -111,6 +121,7 @@ def run_algorithm(
     database: SequenceDatabase,
     num_workers: int = 8,
     dataset_name: str | None = None,
+    backend: str = "simulated",
     **options,
 ) -> RunRecord:
     """Run one algorithm and collect a :class:`RunRecord`.
@@ -123,8 +134,9 @@ def run_algorithm(
         constraint=constraint.name,
         dataset=dataset_name or constraint.dataset,
         num_workers=num_workers,
+        backend=backend,
     )
-    miner = build_miner(algorithm, constraint, dictionary, num_workers, **options)
+    miner = build_miner(algorithm, constraint, dictionary, num_workers, backend=backend, **options)
     started = time.perf_counter()
     try:
         result = miner.mine(database)
@@ -151,6 +163,7 @@ def run_comparison(
     database: SequenceDatabase,
     num_workers: int = 8,
     dataset_name: str | None = None,
+    backend: str = "simulated",
 ) -> list[RunRecord]:
     """Run several algorithms on the same constraint and dataset."""
     return [
@@ -161,6 +174,7 @@ def run_comparison(
             database,
             num_workers=num_workers,
             dataset_name=dataset_name,
+            backend=backend,
         )
         for algorithm in algorithms
     ]

@@ -7,7 +7,6 @@ import statistics
 from repro.datasets import Constraint
 from repro.errors import CandidateExplosionError
 from repro.experiments.configs import (
-    DEFAULT_WORKERS,
     PreparedDataset,
     prepare_dataset,
     table4_constraints,
@@ -105,12 +104,14 @@ def table5_speedup(
     entries: list[tuple[str, Constraint]] | None = None,
     num_workers: int = TABLE5_WORKERS,
     sizes: dict[str, int] | None = None,
+    backend: str = "simulated",
 ) -> list[dict]:
     """Table V: speed-up of D-SEQ and D-CAND over sequential DESQ-DFS.
 
-    Speed-ups compare the sequential run time against the simulated makespan of
-    the distributed algorithms on ``num_workers`` workers (the paper uses
-    65 cores for the distributed algorithms and 1 core for DESQ-DFS).
+    Speed-ups compare the sequential run time against the makespan of the
+    distributed algorithms on ``num_workers`` workers of ``backend`` (the
+    paper uses 65 cores for the distributed algorithms and 1 core for
+    DESQ-DFS; the default backend models that cluster in-process).
     """
     from repro.datasets import constraint as make_constraint
     from repro.experiments.configs import SCALED_SIGMA
@@ -132,11 +133,11 @@ def table5_speedup(
         )
         dseq = run_algorithm(
             "dseq", constraint, prepared.dictionary, prepared.database,
-            num_workers=num_workers, dataset_name=dataset_name,
+            num_workers=num_workers, dataset_name=dataset_name, backend=backend,
         )
         dcand = run_algorithm(
             "dcand", constraint, prepared.dictionary, prepared.database,
-            num_workers=num_workers, dataset_name=dataset_name,
+            num_workers=num_workers, dataset_name=dataset_name, backend=backend,
         )
         row = {
             "constraint": constraint.name,

@@ -1,16 +1,46 @@
-"""Simulated MapReduce / bulk-synchronous-parallel substrate."""
+"""MapReduce / bulk-synchronous-parallel substrate with pluggable backends.
 
-from repro.mapreduce.engine import JobResult, SimulatedCluster, run_job
-from repro.mapreduce.job import MapReduceJob, iter_map_output
+One job model (:class:`MapReduceJob`), one stage driver
+(:class:`~repro.mapreduce.base.StageDriverCluster`), three execution backends:
+
+* ``simulated`` — in-process execution that models the makespan of
+  ``num_workers`` workers (deterministic, no parallelism overhead);
+* ``threads`` — a local thread pool (real concurrent scheduling, no pickling);
+* ``processes`` — a local process pool (real wall-clock speed-ups).
+
+Use :func:`make_cluster` to pick a backend by name.
+"""
+
+from repro.mapreduce.base import Cluster, JobResult, StageDriverCluster
+from repro.mapreduce.engine import SimulatedCluster, run_job
+from repro.mapreduce.factory import BACKENDS, make_cluster, resolve_cluster
+from repro.mapreduce.job import MapReduceJob, iter_map_output, stable_hash
 from repro.mapreduce.metrics import JobMetrics
-from repro.mapreduce.parallel import ProcessPoolCluster
+from repro.mapreduce.parallel import ProcessPoolCluster, ThreadPoolCluster
+from repro.mapreduce.tasks import (
+    MapTaskResult,
+    ReduceTaskResult,
+    run_map_task,
+    run_reduce_task,
+)
 
 __all__ = [
+    "BACKENDS",
+    "Cluster",
     "JobMetrics",
     "JobResult",
     "MapReduceJob",
+    "MapTaskResult",
     "ProcessPoolCluster",
+    "ReduceTaskResult",
     "SimulatedCluster",
+    "StageDriverCluster",
+    "ThreadPoolCluster",
     "iter_map_output",
+    "make_cluster",
+    "resolve_cluster",
     "run_job",
+    "run_map_task",
+    "run_reduce_task",
+    "stable_hash",
 ]

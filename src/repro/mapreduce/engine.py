@@ -8,141 +8,41 @@ the *makespan* that ``num_workers`` parallel workers would have achieved.
 
 The simulation is faithful for the algorithms studied here because they are
 compute-bound, perform exactly one shuffle, and have no inter-task
-dependencies within a stage (bulk-synchronous model).
+dependencies within a stage (bulk-synchronous model).  For real parallel
+execution on a multi-core machine, see the thread- and process-pool backends
+in :mod:`repro.mapreduce.parallel`.
 """
 
 from __future__ import annotations
 
-import time
-from collections import defaultdict
-from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
-from typing import Any
+from collections.abc import Sequence
 
-from repro.errors import MapReduceError
+from repro.mapreduce.base import JobResult, StageDriverCluster
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.tasks import ReduceTaskResult
+
+__all__ = ["JobResult", "SimulatedCluster", "run_job"]
 
 
-@dataclass
-class JobResult:
-    """Outputs and metrics of one simulated job run."""
-
-    outputs: list[Any]
-    metrics: JobMetrics
-
-
-class SimulatedCluster:
+class SimulatedCluster(StageDriverCluster):
     """Executes MapReduce jobs and models a cluster of ``num_workers`` workers.
 
-    Parameters
-    ----------
-    num_workers:
-        Number of simulated workers; map input is split into this many map
-        tasks and reduce buckets are distributed over the workers.
-    num_reduce_tasks:
-        Number of reduce buckets (defaults to ``4 * num_workers``, mimicking
-        the usual over-partitioning of Spark/Hadoop deployments).
-    measure_shuffle:
-        If False, skips per-record size accounting (slightly faster).
+    Tasks run sequentially in the calling process; the reported metrics model
+    the makespan of ``num_workers`` parallel workers.  Reduce buckets are
+    assigned to the least-loaded modeled worker (greedy LPT-style schedule),
+    matching how a real cluster's scheduler balances over-partitioned buckets.
     """
 
-    def __init__(
-        self,
-        num_workers: int = 4,
-        num_reduce_tasks: int | None = None,
-        measure_shuffle: bool = True,
-    ) -> None:
-        if num_workers < 1:
-            raise MapReduceError(f"num_workers must be >= 1, got {num_workers}")
-        self.num_workers = num_workers
-        self.num_reduce_tasks = num_reduce_tasks or 4 * num_workers
-        if self.num_reduce_tasks < 1:
-            raise MapReduceError("num_reduce_tasks must be >= 1")
-        self.measure_shuffle = measure_shuffle
+    backend_name = "simulated"
 
-    # --------------------------------------------------------------------- run
-    def run(self, job: MapReduceJob, records: Sequence[Any]) -> JobResult:
-        """Execute ``job`` over ``records`` and return outputs plus metrics."""
-        metrics = JobMetrics(num_workers=self.num_workers)
-        metrics.input_records = len(records)
-
-        buckets, map_metrics = self._run_map_phase(job, records, metrics)
-        outputs = self._run_reduce_phase(job, buckets, metrics)
-        metrics.output_records = len(outputs)
-        del map_metrics  # already folded into ``metrics``
-        return JobResult(outputs=outputs, metrics=metrics)
-
-    # --------------------------------------------------------------- map phase
-    def _run_map_phase(
-        self,
-        job: MapReduceJob,
-        records: Sequence[Any],
-        metrics: JobMetrics,
-    ) -> tuple[list[dict[Any, list[Any]]], None]:
-        buckets: list[dict[Any, list[Any]]] = [
-            defaultdict(list) for _ in range(self.num_reduce_tasks)
-        ]
-        for task_records in self._split(records, self.num_workers):
-            started = time.perf_counter()
-            task_output: dict[Any, list[Any]] = defaultdict(list)
-            for record in task_records:
-                for key, value in job.map(record):
-                    task_output[key].append(value)
-                    metrics.map_output_records += 1
-            emitted = self._apply_combiner(job, task_output)
-            for key, value in emitted:
-                metrics.combined_records += 1
-                if self.measure_shuffle:
-                    metrics.shuffle_bytes += job.record_size(key, value)
-                metrics.shuffle_records += 1
-                bucket = job.partition(key, self.num_reduce_tasks)
-                buckets[bucket][key].append(value)
-            metrics.map_task_seconds.append(time.perf_counter() - started)
-        return buckets, None
-
-    @staticmethod
-    def _apply_combiner(
-        job: MapReduceJob, task_output: dict[Any, list[Any]]
-    ) -> Iterable[tuple[Any, Any]]:
-        if not job.use_combiner:
-            for key, values in task_output.items():
-                for value in values:
-                    yield key, value
-            return
-        for key, values in task_output.items():
-            yield from job.combine(key, values)
-
-    # ------------------------------------------------------------ reduce phase
-    def _run_reduce_phase(
-        self,
-        job: MapReduceJob,
-        buckets: list[dict[Any, list[Any]]],
-        metrics: JobMetrics,
-    ) -> list[Any]:
-        outputs: list[Any] = []
-        # Distribute reduce buckets over workers round-robin and record the
-        # per-worker time so the makespan reflects ``num_workers`` parallelism.
+    def _worker_times(self, results: Sequence[ReduceTaskResult]) -> list[float]:
+        # All tasks ran in this process; attribute their times to modeled
+        # workers with a greedy least-loaded schedule (deterministic).
         worker_seconds = [0.0] * self.num_workers
-        for index, bucket in enumerate(buckets):
-            started = time.perf_counter()
-            for key, values in bucket.items():
-                outputs.extend(job.reduce(key, values))
-            elapsed = time.perf_counter() - started
-            worker_seconds[index % self.num_workers] += elapsed
-        metrics.reduce_task_seconds.extend(worker_seconds)
-        return outputs
-
-    # ---------------------------------------------------------------- helpers
-    @staticmethod
-    def _split(records: Sequence[Any], parts: int) -> list[Sequence[Any]]:
-        """Split records into ``parts`` contiguous chunks (empty chunks allowed)."""
-        if parts <= 1:
-            return [records]
-        chunk = (len(records) + parts - 1) // parts if records else 0
-        if chunk == 0:
-            return [records] + [[] for _ in range(parts - 1)]
-        return [records[i : i + chunk] for i in range(0, len(records), chunk)]
+        for result in results:
+            index = min(range(self.num_workers), key=worker_seconds.__getitem__)
+            worker_seconds[index] += result.seconds
+        return worker_seconds
 
 
 def run_job(

@@ -1,0 +1,82 @@
+"""Backend selection: names, aliases, and the :func:`make_cluster` factory."""
+
+from __future__ import annotations
+
+from repro.errors import MapReduceError
+from repro.mapreduce.base import Cluster
+from repro.mapreduce.engine import SimulatedCluster
+from repro.mapreduce.parallel import ProcessPoolCluster, ThreadPoolCluster
+
+#: Canonical backend names, in the order shown by ``--help``.
+BACKENDS = ("simulated", "threads", "processes")
+
+#: Accepted spellings -> canonical backend name.
+_ALIASES = {
+    "simulated": "simulated",
+    "sim": "simulated",
+    "simulation": "simulated",
+    "threads": "threads",
+    "thread": "threads",
+    "threadpool": "threads",
+    "processes": "processes",
+    "process": "processes",
+    "processpool": "processes",
+    "multiprocessing": "processes",
+}
+
+_CLUSTER_CLASSES = {
+    "simulated": SimulatedCluster,
+    "threads": ThreadPoolCluster,
+    "processes": ProcessPoolCluster,
+}
+
+
+def make_cluster(
+    backend: str = "simulated",
+    num_workers: int | None = None,
+    num_reduce_tasks: int | None = None,
+    measure_shuffle: bool = True,
+) -> Cluster:
+    """Build an execution backend by name.
+
+    ``backend`` is one of :data:`BACKENDS` (a few aliases such as ``"process"``
+    are accepted): ``"simulated"`` models the makespan of ``num_workers``
+    workers in-process, ``"threads"`` runs on a local thread pool, and
+    ``"processes"`` runs on a local process pool for real wall-clock speed-ups.
+    ``num_workers=None`` uses the backend's default worker count.
+    """
+    key = _ALIASES.get(str(backend).strip().lower())
+    if key is None:
+        raise MapReduceError(
+            f"unknown execution backend {backend!r}; choose one of {', '.join(BACKENDS)}"
+        )
+    cluster_class = _CLUSTER_CLASSES[key]
+    return cluster_class(
+        num_workers=num_workers,
+        num_reduce_tasks=num_reduce_tasks,
+        measure_shuffle=measure_shuffle,
+    )
+
+
+def resolve_cluster(
+    backend: str | Cluster,
+    num_workers: int | None = None,
+    num_reduce_tasks: int | None = None,
+    measure_shuffle: bool = True,
+) -> Cluster:
+    """Return ``backend`` itself if it already is a cluster, else build one.
+
+    Miners accept either a backend name or a ready-made cluster instance; this
+    helper normalizes both to a :class:`~repro.mapreduce.base.Cluster`.  When
+    an instance is passed, its own configuration wins and the remaining
+    arguments are ignored (job metrics always report the cluster's actual
+    worker count, so timings stay correctly attributed either way).
+    """
+    if not isinstance(backend, str) and isinstance(backend, Cluster):
+        return backend
+    return make_cluster(
+        backend,
+        num_workers=num_workers,
+        num_reduce_tasks=num_reduce_tasks,
+        measure_shuffle=measure_shuffle,
+    )

@@ -10,8 +10,42 @@ function mines one partition locally.
 from __future__ import annotations
 
 import pickle
+import zlib
 from collections.abc import Iterable, Iterator
 from typing import Any
+
+
+def stable_hash(key: Any) -> int:
+    """A hash that is identical across worker processes.
+
+    Python's built-in ``hash`` is salted per process for ``str``/``bytes``
+    keys, so it cannot be used to partition map output inside workers: two
+    workers would route the same key to different reduce buckets.  Integers
+    (and tuples of integers, the usual pattern keys) hash deterministically
+    and keep the fast path; tuples and frozensets recurse per element (a
+    frozenset's pickle depends on salted iteration order, so pickling is not
+    stable for containers of strings); any other key is hashed via its
+    pickle, which is process-stable for plain scalar data.
+    """
+    if isinstance(key, int):
+        return key
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8", "surrogatepass"))
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    if isinstance(key, tuple):
+        if all(isinstance(item, int) for item in key):
+            return hash(key)
+        result = 0x345678
+        for item in key:
+            result = ((1000003 * result) ^ stable_hash(item)) & 0xFFFFFFFFFFFFFFFF
+        return result
+    if isinstance(key, frozenset):
+        result = 0
+        for item in key:
+            result ^= stable_hash(item)  # order-independent combine
+        return result
+    return zlib.crc32(pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 class MapReduceJob:
@@ -52,8 +86,12 @@ class MapReduceJob:
 
     # -------------------------------------------------------------- utilities
     def partition(self, key: Any, num_reduce_tasks: int) -> int:
-        """Assign a key to a reduce task (hash partitioning by default)."""
-        return hash(key) % num_reduce_tasks
+        """Assign a key to a reduce task (hash partitioning by default).
+
+        Runs inside map tasks (worker-side shuffle), so the hash must be
+        process-independent; see :func:`stable_hash`.
+        """
+        return stable_hash(key) % num_reduce_tasks
 
 
 def iter_map_output(job: MapReduceJob, records: Iterable[Any]) -> Iterator[tuple[Any, Any]]:

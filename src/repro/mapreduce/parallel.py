@@ -1,80 +1,76 @@
-"""Process-pool execution of MapReduce jobs.
+"""Thread- and process-pool execution of MapReduce jobs.
 
 :class:`~repro.mapreduce.engine.SimulatedCluster` executes jobs in a single
-process and *models* the makespan of ``num_workers`` workers; this module
-executes the same jobs on an actual :class:`concurrent.futures.ProcessPoolExecutor`
-so that wall-clock speed-ups can be demonstrated on a multi-core machine.
+process and *models* the makespan of ``num_workers`` workers; the clusters in
+this module execute the same jobs on real local workers so that wall-clock
+speed-ups can be demonstrated on a multi-core machine.
 
-Jobs must be picklable (all jobs in this library are: they hold only plain
-data such as FSTs, dictionaries and thresholds).  The process pool pays a
-per-task cost for pickling the job and its input chunk, so it only pays off
-for datasets that are large relative to the dictionary — exactly the regime
-the paper targets.  Everything else (metrics, combiner handling, reduce-bucket
-partitioning) matches the simulated cluster, and both clusters produce
-identical outputs for the same job and input.
+Both backends run the exact same worker-side tasks as the simulated cluster
+(:mod:`repro.mapreduce.tasks`): map tasks partition and combine locally and
+return per-reduce-bucket payloads, so the driver never re-buckets individual
+(key, value) pairs, and reduce tasks merge their bucket's fragments on the
+worker.  Stage times are measured inside the workers and attributed to the
+worker that actually ran each task.
+
+For :class:`ProcessPoolCluster`, jobs must be picklable (all jobs in this
+library are: they hold only plain data such as FSTs, dictionaries and
+thresholds).  The process pool pays a per-task cost for pickling the job and
+its input chunk, so it only pays off for datasets that are large relative to
+the dictionary — exactly the regime the paper targets.
+:class:`ThreadPoolCluster` has no pickling tax but shares the GIL, so it helps
+only I/O-bound or GIL-releasing jobs; it is mainly useful as a cheap sanity
+backend with real concurrent scheduling.
 """
 
 from __future__ import annotations
 
-import time
-from collections import defaultdict
-from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Any
 
-from repro.errors import MapReduceError
-from repro.mapreduce.engine import JobResult
-from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.base import StageDriverCluster, Task
+
+__all__ = ["ProcessPoolCluster", "ThreadPoolCluster"]
 
 
-def _run_map_task(
-    job: MapReduceJob, records: Sequence[Any], measure_shuffle: bool
-) -> tuple[list[tuple[Any, Any]], int, int, int, float]:
-    """Worker-side map task: map all records and apply the combiner.
+class ExecutorCluster(StageDriverCluster):
+    """Stage driver backed by a :class:`concurrent.futures.Executor`.
 
-    Returns the emitted (key, value) pairs plus counters:
-    (emitted, map_output_records, shuffle_bytes, shuffle_records, elapsed).
+    One executor is created per :meth:`run` call, shared by the map and
+    reduce stages, and kept out of instance state so a single cluster can
+    serve concurrent runs.
     """
-    started = time.perf_counter()
-    task_output: dict[Any, list[Any]] = defaultdict(list)
-    map_output_records = 0
-    for record in records:
-        for key, value in job.map(record):
-            task_output[key].append(value)
-            map_output_records += 1
 
-    emitted: list[tuple[Any, Any]] = []
-    if job.use_combiner:
-        for key, values in task_output.items():
-            emitted.extend(job.combine(key, values))
-    else:
-        for key, values in task_output.items():
-            emitted.extend((key, value) for value in values)
+    default_num_workers = 2
 
-    shuffle_bytes = 0
-    if measure_shuffle:
-        shuffle_bytes = sum(job.record_size(key, value) for key, value in emitted)
-    elapsed = time.perf_counter() - started
-    return emitted, map_output_records, shuffle_bytes, len(emitted), elapsed
+    def _make_executor(self) -> Executor:
+        raise NotImplementedError
+
+    @contextmanager
+    def _executor_scope(self):
+        with self._make_executor() as pool:
+
+            def execute(tasks: list[Task]) -> list[Any]:
+                futures = [pool.submit(function, *args) for function, args in tasks]
+                return [future.result() for future in futures]
+
+            yield execute
 
 
-def _run_reduce_task(
-    job: MapReduceJob, grouped: list[tuple[Any, list[Any]]]
-) -> tuple[list[Any], float]:
-    """Worker-side reduce task: reduce every key group of one bucket."""
-    started = time.perf_counter()
-    outputs: list[Any] = []
-    for key, values in grouped:
-        outputs.extend(job.reduce(key, values))
-    return outputs, time.perf_counter() - started
+class ThreadPoolCluster(ExecutorCluster):
+    """Executes MapReduce jobs on a local thread pool (no pickling tax)."""
+
+    backend_name = "threads"
+
+    def _make_executor(self) -> Executor:
+        return ThreadPoolExecutor(max_workers=self.num_workers)
 
 
-class ProcessPoolCluster:
+class ProcessPoolCluster(ExecutorCluster):
     """Executes MapReduce jobs on a local process pool.
 
     The interface mirrors :class:`~repro.mapreduce.engine.SimulatedCluster`:
-    ``run(job, records)`` returns a :class:`~repro.mapreduce.engine.JobResult`
+    ``run(job, records)`` returns a :class:`~repro.mapreduce.base.JobResult`
     with outputs and :class:`~repro.mapreduce.metrics.JobMetrics`.  Map and
     reduce task times are measured inside the workers; the reported
     ``map_seconds`` / ``reduce_seconds`` are therefore the per-stage maxima
@@ -82,67 +78,7 @@ class ProcessPoolCluster:
     additionally includes pickling and scheduling overhead.
     """
 
-    def __init__(
-        self,
-        num_workers: int = 2,
-        num_reduce_tasks: int | None = None,
-        measure_shuffle: bool = True,
-    ) -> None:
-        if num_workers < 1:
-            raise MapReduceError(f"num_workers must be >= 1, got {num_workers}")
-        self.num_workers = num_workers
-        self.num_reduce_tasks = num_reduce_tasks or 4 * num_workers
-        if self.num_reduce_tasks < 1:
-            raise MapReduceError("num_reduce_tasks must be >= 1")
-        self.measure_shuffle = measure_shuffle
+    backend_name = "processes"
 
-    # --------------------------------------------------------------------- run
-    def run(self, job: MapReduceJob, records: Sequence[Any]) -> JobResult:
-        """Execute ``job`` over ``records`` on the process pool."""
-        metrics = JobMetrics(num_workers=self.num_workers)
-        metrics.input_records = len(records)
-        chunks = [chunk for chunk in self._split(records, self.num_workers) if len(chunk)]
-
-        buckets: list[dict[Any, list[Any]]] = [
-            defaultdict(list) for _ in range(self.num_reduce_tasks)
-        ]
-        with ProcessPoolExecutor(max_workers=self.num_workers) as pool:
-            # Map stage (one task per chunk, barrier at the end).
-            map_futures = [
-                pool.submit(_run_map_task, job, chunk, self.measure_shuffle)
-                for chunk in chunks
-            ]
-            for future in map_futures:
-                emitted, map_records, shuffle_bytes, shuffle_records, elapsed = future.result()
-                metrics.map_output_records += map_records
-                metrics.combined_records += shuffle_records
-                metrics.shuffle_bytes += shuffle_bytes
-                metrics.shuffle_records += shuffle_records
-                metrics.map_task_seconds.append(elapsed)
-                for key, value in emitted:
-                    buckets[job.partition(key, self.num_reduce_tasks)][key].append(value)
-
-            # Reduce stage (one task per non-empty bucket).
-            reduce_futures = [
-                pool.submit(_run_reduce_task, job, list(bucket.items()))
-                for bucket in buckets
-                if bucket
-            ]
-            outputs: list[Any] = []
-            worker_seconds = [0.0] * self.num_workers
-            for index, future in enumerate(reduce_futures):
-                bucket_outputs, elapsed = future.result()
-                outputs.extend(bucket_outputs)
-                worker_seconds[index % self.num_workers] += elapsed
-            metrics.reduce_task_seconds.extend(worker_seconds)
-
-        metrics.output_records = len(outputs)
-        return JobResult(outputs=outputs, metrics=metrics)
-
-    # ------------------------------------------------------------------ helpers
-    @staticmethod
-    def _split(records: Sequence[Any], parts: int) -> list[Sequence[Any]]:
-        if parts <= 1 or not records:
-            return [records]
-        chunk = (len(records) + parts - 1) // parts
-        return [records[i : i + chunk] for i in range(0, len(records), chunk)]
+    def _make_executor(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.num_workers)

@@ -1,0 +1,115 @@
+"""Worker-side map and reduce tasks shared by every execution backend.
+
+A map task maps and combines its input chunk and then *partitions the result
+locally*: it returns one payload per reduce bucket (the shuffle write of a real
+cluster).  A reduce task receives the payload fragments addressed to one bucket,
+merges them by key (the shuffle read), and reduces every key group.  The driver
+therefore never touches individual (key, value) pairs — it only routes opaque
+per-bucket payloads from map tasks to reduce tasks.
+
+Both functions are module-level so that the process-pool backend can pickle
+them for its workers.  Each task reports the worker that executed it (process
+id, thread id) so the driver can attribute per-worker stage times.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.mapreduce.job import MapReduceJob
+
+#: A payload addressed to one reduce bucket: key -> values emitted by one map task.
+BucketPayload = dict[Any, list[Any]]
+
+
+def worker_token() -> tuple[int, int]:
+    """Identify the OS worker executing the current task."""
+    return os.getpid(), threading.get_ident()
+
+
+@dataclass
+class MapTaskResult:
+    """Output of one map task: per-bucket payloads plus shuffle accounting."""
+
+    buckets: list[tuple[int, BucketPayload]] = field(default_factory=list)
+    map_output_records: int = 0
+    combined_records: int = 0
+    shuffle_bytes: int = 0
+    shuffle_records: int = 0
+    seconds: float = 0.0
+    worker: tuple[int, int] = (0, 0)
+
+
+@dataclass
+class ReduceTaskResult:
+    """Output of one reduce task over a single bucket."""
+
+    outputs: list[Any] = field(default_factory=list)
+    seconds: float = 0.0
+    worker: tuple[int, int] = (0, 0)
+
+
+def run_map_task(
+    job: MapReduceJob,
+    records: Sequence[Any],
+    num_reduce_tasks: int,
+    measure_shuffle: bool,
+) -> MapTaskResult:
+    """Map ``records``, combine per key, and partition into reduce buckets."""
+    started = time.perf_counter()
+    task_output: dict[Any, list[Any]] = defaultdict(list)
+    map_output_records = 0
+    for record in records:
+        for key, value in job.map(record):
+            task_output[key].append(value)
+            map_output_records += 1
+
+    if job.use_combiner:
+        emitted: Any = (
+            pair for key, values in task_output.items() for pair in job.combine(key, values)
+        )
+    else:
+        emitted = ((key, value) for key, values in task_output.items() for value in values)
+
+    buckets: dict[int, BucketPayload] = {}
+    shuffle_bytes = 0
+    shuffle_records = 0
+    for key, value in emitted:
+        shuffle_records += 1
+        if measure_shuffle:
+            shuffle_bytes += job.record_size(key, value)
+        payload = buckets.setdefault(job.partition(key, num_reduce_tasks), {})
+        payload.setdefault(key, []).append(value)
+
+    return MapTaskResult(
+        buckets=sorted(buckets.items()),
+        map_output_records=map_output_records,
+        combined_records=shuffle_records,
+        shuffle_bytes=shuffle_bytes,
+        shuffle_records=shuffle_records,
+        seconds=time.perf_counter() - started,
+        worker=worker_token(),
+    )
+
+
+def run_reduce_task(job: MapReduceJob, fragments: Sequence[BucketPayload]) -> ReduceTaskResult:
+    """Merge the payload fragments of one bucket and reduce every key group."""
+    started = time.perf_counter()
+    grouped: dict[Any, list[Any]] = {}
+    for fragment in fragments:
+        for key, values in fragment.items():
+            grouped.setdefault(key, []).extend(values)
+    outputs: list[Any] = []
+    for key, values in grouped.items():
+        outputs.extend(job.reduce(key, values))
+    return ReduceTaskResult(
+        outputs=outputs,
+        seconds=time.perf_counter() - started,
+        worker=worker_token(),
+    )

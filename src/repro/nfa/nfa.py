@@ -12,7 +12,7 @@ Revuz-style bottom-up merge of states with identical right languages.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.errors import NfaError
 

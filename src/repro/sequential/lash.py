@@ -21,7 +21,7 @@ from collections.abc import Iterable, Sequence
 from repro.core.results import MiningResult
 from repro.dictionary import Dictionary
 from repro.errors import MiningError
-from repro.mapreduce import MapReduceJob, SimulatedCluster
+from repro.mapreduce import Cluster, MapReduceJob, resolve_cluster
 from repro.sequences import SequenceDatabase
 
 
@@ -204,6 +204,7 @@ class GapConstrainedMiner:
         min_length: int = 2,
         use_hierarchy: bool = True,
         num_workers: int = 4,
+        backend: str | Cluster = "simulated",
     ) -> None:
         if sigma < 1:
             raise MiningError(f"sigma must be >= 1, got {sigma}")
@@ -216,6 +217,7 @@ class GapConstrainedMiner:
         self.min_length = min_length
         self.use_hierarchy = use_hierarchy
         self.num_workers = num_workers
+        self.backend = backend
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent gap/length(/hierarchy) constrained patterns."""
@@ -227,7 +229,7 @@ class GapConstrainedMiner:
             min_length=self.min_length,
             use_hierarchy=self.use_hierarchy,
         )
-        cluster = SimulatedCluster(num_workers=self.num_workers)
+        cluster = resolve_cluster(self.backend, num_workers=self.num_workers)
         result = cluster.run(job, list(database))
         name = self.algorithm_name if self.use_hierarchy else "MG-FSM"
         return MiningResult(dict(result.outputs), result.metrics, algorithm=name)

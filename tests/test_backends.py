@@ -1,0 +1,209 @@
+"""Cross-backend tests: every execution backend must produce identical results.
+
+The three backends (simulated, threads, processes) share one stage driver and
+one set of worker-side tasks, so pattern sets and shuffle metrics must match
+exactly; only the timing figures may differ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DCandMiner, DSeqMiner, NaiveMiner
+from repro.errors import MapReduceError
+from repro.mapreduce import (
+    BACKENDS,
+    MapReduceJob,
+    ProcessPoolCluster,
+    SimulatedCluster,
+    ThreadPoolCluster,
+    make_cluster,
+    resolve_cluster,
+    run_map_task,
+    stable_hash,
+)
+from repro.sequential import GapConstrainedMiner
+
+from tests.conftest import RUNNING_EXAMPLE_PATEX
+
+REAL_BACKENDS = ("threads", "processes")
+
+
+class WordCountJob(MapReduceJob):
+    """String-keyed word count: exercises cross-process stable partitioning."""
+
+    use_combiner = True
+
+    def map(self, record):
+        for word in record.split():
+            yield word, 1
+
+    def combine(self, key, values):
+        yield key, sum(values)
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+WORDS = ["a b a", "b c", "a", "c c c", "d a b", "e"]
+WORD_COUNTS = {"a": 4, "b": 3, "c": 4, "d": 1, "e": 1}
+
+
+# ------------------------------------------------------------------- factory
+class TestMakeCluster:
+    def test_backend_names(self):
+        assert BACKENDS == ("simulated", "threads", "processes")
+        assert isinstance(make_cluster("simulated"), SimulatedCluster)
+        assert isinstance(make_cluster("threads"), ThreadPoolCluster)
+        assert isinstance(make_cluster("processes"), ProcessPoolCluster)
+
+    @pytest.mark.parametrize("alias,cls", [
+        ("process", ProcessPoolCluster),
+        ("multiprocessing", ProcessPoolCluster),
+        ("thread", ThreadPoolCluster),
+        ("sim", SimulatedCluster),
+        ("Simulated", SimulatedCluster),
+    ])
+    def test_aliases(self, alias, cls):
+        assert isinstance(make_cluster(alias), cls)
+
+    def test_options_are_threaded_through(self):
+        cluster = make_cluster("threads", num_workers=3, num_reduce_tasks=7)
+        assert cluster.num_workers == 3
+        assert cluster.num_reduce_tasks == 7
+
+    def test_unknown_backend(self):
+        with pytest.raises(MapReduceError, match="unknown execution backend"):
+            make_cluster("spark")
+
+    def test_resolve_passes_instances_through(self):
+        cluster = SimulatedCluster(num_workers=2)
+        assert resolve_cluster(cluster) is cluster
+        assert isinstance(resolve_cluster("processes", num_workers=2), ProcessPoolCluster)
+
+
+# ------------------------------------------------------------ stage driver
+class TestWorkerSideShuffle:
+    def test_map_task_returns_per_bucket_payloads(self):
+        """Map tasks partition locally; the driver never re-buckets pairs."""
+        job = WordCountJob()
+        result = run_map_task(job, WORDS, num_reduce_tasks=8, measure_shuffle=True)
+        assert result.buckets  # per-bucket payloads, not flat (key, value) pairs
+        for bucket_index, payload in result.buckets:
+            assert payload  # empty buckets are not shipped
+            for key in payload:
+                assert job.partition(key, 8) == bucket_index
+        total = sum(len(values) for _, payload in result.buckets for values in payload.values())
+        assert total == result.shuffle_records == result.combined_records
+
+    def test_stable_hash_types(self):
+        assert stable_hash(42) == 42
+        assert stable_hash("word") == stable_hash("word")
+        assert stable_hash(b"nfa") == stable_hash(b"nfa")
+        assert stable_hash((1, 2, 3)) == stable_hash((1, 2, 3))
+        assert stable_hash(("mixed", 1)) == stable_hash(("mixed", 1))
+        # Containers of strings recurse element-wise: a frozenset's pickle
+        # (and hence a naive pickle-based hash) depends on per-process
+        # iteration order, so equality must hold regardless of build order.
+        assert stable_hash(frozenset(["x", "y", "z"])) == stable_hash(frozenset(["z", "y", "x"]))
+        assert stable_hash(("a", frozenset([1, 2]))) == stable_hash(("a", frozenset([2, 1])))
+        assert stable_hash(("a", "b")) != stable_hash(("b", "a"))  # tuples stay ordered
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_word_count_on_every_backend(self, backend):
+        result = make_cluster(backend, num_workers=2).run(WordCountJob(), WORDS)
+        assert dict(result.outputs) == WORD_COUNTS
+        assert result.metrics.input_records == len(WORDS)
+        assert result.metrics.output_records == len(WORD_COUNTS)
+
+    @pytest.mark.parametrize("backend", REAL_BACKENDS)
+    def test_shuffle_metrics_match_simulated(self, backend):
+        job = WordCountJob()
+        simulated = SimulatedCluster(num_workers=2).run(job, WORDS)
+        real = make_cluster(backend, num_workers=2).run(job, WORDS)
+        assert dict(real.outputs) == dict(simulated.outputs)
+        assert real.metrics.shuffle_records == simulated.metrics.shuffle_records
+        assert real.metrics.shuffle_bytes == simulated.metrics.shuffle_bytes
+        assert real.metrics.map_output_records == simulated.metrics.map_output_records
+        assert real.metrics.combined_records == simulated.metrics.combined_records
+
+    def test_simulated_reduce_attribution_models_all_workers(self):
+        result = SimulatedCluster(num_workers=3).run(WordCountJob(), WORDS)
+        # One modeled entry per worker; times assigned to real (non-empty)
+        # buckets only, spread by the greedy least-loaded schedule.
+        assert len(result.metrics.reduce_task_seconds) == 3
+
+    def test_shared_cluster_supports_concurrent_runs(self):
+        """One cluster instance serves overlapping run() calls safely."""
+        from concurrent.futures import ThreadPoolExecutor as Pool
+
+        cluster = ThreadPoolCluster(num_workers=2)
+        with Pool(max_workers=4) as pool:
+            futures = [pool.submit(cluster.run, WordCountJob(), WORDS) for _ in range(4)]
+            results = [future.result() for future in futures]
+        for result in results:
+            assert dict(result.outputs) == WORD_COUNTS
+
+    @pytest.mark.parametrize("backend", REAL_BACKENDS)
+    def test_real_reduce_attribution_is_per_worker(self, backend):
+        result = make_cluster(backend, num_workers=2).run(WordCountJob(), WORDS)
+        seconds = result.metrics.reduce_task_seconds
+        # Times are grouped by the worker that actually ran each bucket, so
+        # there are at most num_workers entries (not one per reduce task).
+        assert 1 <= len(seconds) <= 2
+        assert all(value >= 0.0 for value in seconds)
+
+
+# ------------------------------------------------------------------- miners
+@pytest.mark.parametrize("backend", REAL_BACKENDS)
+class TestMinerEquivalence:
+    """D-SEQ, D-CAND, NAÏVE, and LASH produce identical patterns per backend."""
+
+    @pytest.fixture(autouse=True)
+    def _remember_backend(self, backend):
+        self.backend = backend
+
+    def assert_equivalent(self, make_miner, database):
+        base = make_miner("simulated").mine(database)
+        other = make_miner(self.backend).mine(database)
+        assert other.patterns() == base.patterns()
+        assert other.metrics.shuffle_records == base.metrics.shuffle_records
+        assert other.metrics.shuffle_bytes == base.metrics.shuffle_bytes
+
+    def test_dseq(self, ex_dictionary, ex_database):
+        self.assert_equivalent(
+            lambda backend: DSeqMiner(
+                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2, backend=backend
+            ),
+            ex_database,
+        )
+
+    def test_dcand(self, ex_dictionary, ex_database):
+        self.assert_equivalent(
+            lambda backend: DCandMiner(
+                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2, backend=backend
+            ),
+            ex_database,
+        )
+
+    def test_naive(self, ex_dictionary, ex_database):
+        self.assert_equivalent(
+            lambda backend: NaiveMiner(
+                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2, backend=backend
+            ),
+            ex_database,
+        )
+
+    def test_lash(self, ex_dictionary, ex_database):
+        self.assert_equivalent(
+            lambda backend: GapConstrainedMiner(
+                2, ex_dictionary, max_gap=1, max_length=3, num_workers=2, backend=backend
+            ),
+            ex_database,
+        )
+
+    def test_cluster_instance_accepted(self, ex_dictionary, ex_database, backend):
+        cluster = make_cluster(backend, num_workers=2)
+        miner = DSeqMiner(RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, backend=cluster)
+        reference = DSeqMiner(RUNNING_EXAMPLE_PATEX, 2, ex_dictionary).mine(ex_database)
+        assert miner.mine(ex_database).patterns() == reference.patterns()

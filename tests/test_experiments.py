@@ -6,7 +6,6 @@ import pytest
 
 from repro.datasets import constraint
 from repro.experiments import (
-    SCALED_SIGMA,
     build_miner,
     candidate_statistics,
     figure10a,

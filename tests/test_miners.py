@@ -22,7 +22,7 @@ from repro.fst import generate_candidates
 from repro.mapreduce import iter_map_output
 from repro.patex import PatEx
 
-from tests.conftest import RUNNING_EXAMPLE_PATEX, gids
+from tests.conftest import RUNNING_EXAMPLE_PATEX
 
 
 EXPECTED_RUNNING_EXAMPLE = {"a1a1b": 2, "a1Ab": 2, "a1b": 3}
