@@ -13,15 +13,22 @@ def test_figure9c_shuffle_sizes(benchmark):
     )
     print()
     print("Fig. 9c (reproduced): shuffle size per algorithm, AMZN-like dataset")
+    print("  (modeled = record_size cost model; wire = measured encoded payloads)")
     for row in rows:
         row = dict(row)
-        row["shuffle"] = human_bytes(row["shuffle_bytes"])
-        print(f"  {row['constraint']:>8} {row['algorithm']:>10}: {row['shuffle']}")
+        modeled = human_bytes(row["shuffle_bytes"])
+        wire = human_bytes(row["wire_bytes"])
+        print(
+            f"  {row['constraint']:>8} {row['algorithm']:>10}: "
+            f"{modeled} modeled / {wire} wire"
+        )
     print(format_table(rows))
     # Shape check: both D-SEQ and D-CAND shuffle far less than the naïve
-    # methods (the paper reports up to 100x).
-    by_key = {(r["constraint"], r["algorithm"]): r["shuffle_bytes"] for r in rows}
-    for constraint in {r["constraint"] for r in rows}:
-        naive = by_key[(constraint, "naive")]
-        assert by_key[(constraint, "dseq")] < naive / 5
-        assert by_key[(constraint, "dcand")] < naive / 5
+    # methods (the paper reports up to 100x) — on the modeled cost and on the
+    # measured wire bytes alike.
+    for key in ("shuffle_bytes", "wire_bytes"):
+        by_key = {(r["constraint"], r["algorithm"]): r[key] for r in rows}
+        for constraint in {r["constraint"] for r in rows}:
+            naive = by_key[(constraint, "naive")]
+            assert by_key[(constraint, "dseq")] < naive / 5, key
+            assert by_key[(constraint, "dcand")] < naive / 5, key

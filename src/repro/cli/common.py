@@ -22,6 +22,36 @@ class CliError(ReproError):
     """Raised for user-facing CLI errors (bad arguments, missing files)."""
 
 
+#: Multipliers accepted by :func:`parse_byte_size` (binary units).
+_BYTE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def parse_byte_size(text: str | None) -> int | None:
+    """Parse a byte count such as ``65536``, ``64k``, ``16M``, or ``1g``.
+
+    Returns None for None (no limit).  Suffixes are binary (k = 1024).
+    """
+    if text is None:
+        return None
+    raw = str(text).strip().lower()
+    if raw.endswith("b"):
+        raw = raw[:-1]
+    multiplier = 1
+    if raw and raw[-1] in _BYTE_SUFFIXES:
+        multiplier = _BYTE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise CliError(
+            f"invalid byte size {text!r}; expected an integer with an "
+            "optional k/M/G suffix (e.g. 64k, 16M)"
+        ) from error
+    if value < 0:
+        raise CliError(f"byte size must be >= 0, got {text!r}")
+    return value * multiplier
+
+
 # ------------------------------------------------------------------ arguments
 def add_input_arguments(parser: ArgumentParser) -> None:
     """Arguments shared by all subcommands that read a sequence database."""
@@ -50,6 +80,32 @@ def add_input_arguments(parser: ArgumentParser) -> None:
         default=None,
         help="optional hierarchy file with one 'child parent' pair per line "
         "(used only when no dictionary is given)",
+    )
+
+
+def add_shuffle_arguments(parser: ArgumentParser) -> None:
+    """``--codec`` / ``--spill-budget``: shuffle wire format and spill knobs."""
+    from repro.mapreduce import CODECS
+
+    parser.add_argument(
+        "--codec",
+        choices=CODECS,
+        default="compact",
+        help=(
+            "shuffle wire format: 'compact' is a length-prefixed binary "
+            "codec, 'zlib' additionally compresses each bucket, 'pickle' is "
+            "the generic-serializer baseline (default: compact)"
+        ),
+    )
+    parser.add_argument(
+        "--spill-budget",
+        metavar="BYTES",
+        default=None,
+        help=(
+            "per-map-task in-memory budget for encoded shuffle payloads; "
+            "payloads past the budget spill to temp files.  Accepts k/M/G "
+            "suffixes, e.g. 64k or 16M (default: no spilling)"
+        ),
     )
 
 
@@ -150,11 +206,19 @@ def print_metrics(metrics, stream=None) -> None:
     stream = stream or sys.stdout
     summary = metrics.as_dict()
     stream.write(
-        "map {:.3f}s  mine {:.3f}s  total {:.3f}s  shuffle {:,} bytes / {:,} records\n".format(
+        "map {:.3f}s  mine {:.3f}s  total {:.3f}s  shuffle {:,} bytes modeled / "
+        "{:,} bytes wire / {:,} records\n".format(
             summary["map_seconds"],
             summary["reduce_seconds"],
             summary["total_seconds"],
             int(summary["shuffle_bytes"]),
+            int(summary["wire_bytes"]),
             int(summary["shuffle_records"]),
         )
     )
+    if summary.get("spilled_buckets"):
+        stream.write(
+            "spilled {:,} bucket payloads / {:,} bytes to disk\n".format(
+                int(summary["spilled_buckets"]), int(summary["spilled_bytes"])
+            )
+        )

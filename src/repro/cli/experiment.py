@@ -5,7 +5,7 @@ from __future__ import annotations
 import sys
 from argparse import Namespace
 
-from repro.cli.common import CliError
+from repro.cli.common import CliError, add_shuffle_arguments, parse_byte_size
 from repro.experiments import (
     DEFAULT_WORKERS,
     figure9a,
@@ -77,6 +77,7 @@ def add_parser(subparsers) -> None:
             "(default: simulated)"
         ),
     )
+    add_shuffle_arguments(parser)
     parser.add_argument("--chart", action="store_true", help="also print an ASCII chart")
     parser.set_defaults(run=run)
 
@@ -113,30 +114,41 @@ def run(args: Namespace, stream=None) -> int:
     workers = args.workers
     backend = args.backend
     name = args.name
+    shuffle = {
+        "codec": args.codec,
+        "spill_budget_bytes": parse_byte_size(args.spill_budget),
+    }
 
-    if name in ("table2", "table4") and backend != "simulated":
+    if name in ("table2", "table4"):
         # These tables report dataset/candidate statistics; nothing is mined,
-        # so silently accepting --backend would misrepresent the numbers.
-        raise CliError(f"--backend does not apply to {name} (it runs no mining jobs)")
+        # so silently accepting the cluster flags would misrepresent the numbers.
+        if backend != "simulated":
+            raise CliError(f"--backend does not apply to {name} (it runs no mining jobs)")
+        if args.codec != "compact" or args.spill_budget is not None:
+            raise CliError(
+                f"--codec/--spill-budget do not apply to {name} (it runs no mining jobs)"
+            )
 
     if name == "table2":
         rows = table2_dataset_characteristics(sizes)
     elif name == "table4":
         rows = table4_candidate_statistics(sizes)
     elif name == "table5":
-        rows = table5_speedup(sizes=sizes, backend=backend)
+        rows = table5_speedup(sizes=sizes, backend=backend, **shuffle)
     elif name == "fig9a":
-        rows = figure9a(size=(sizes or {}).get("NYT"), num_workers=workers, backend=backend)
+        rows = figure9a(size=(sizes or {}).get("NYT"), num_workers=workers, backend=backend, **shuffle)
     elif name == "fig9b":
-        rows = figure9b(size=(sizes or {}).get("AMZN"), num_workers=workers, backend=backend)
+        rows = figure9b(size=(sizes or {}).get("AMZN"), num_workers=workers, backend=backend, **shuffle)
     elif name == "fig9c":
-        rows = figure9c(size=(sizes or {}).get("AMZN"), num_workers=workers, backend=backend)
+        rows = figure9c(size=(sizes or {}).get("AMZN"), num_workers=workers, backend=backend, **shuffle)
     elif name == "fig10a":
-        rows = figure10a(num_workers=workers, sizes=sizes, backend=backend)
+        rows = figure10a(num_workers=workers, sizes=sizes, backend=backend, **shuffle)
     elif name == "fig10b":
-        rows = figure10b(num_workers=workers, sizes=sizes, backend=backend)
+        rows = figure10b(num_workers=workers, sizes=sizes, backend=backend, **shuffle)
     elif name == "fig11":
-        results = figure11_scalability(base_size=(sizes or {}).get("AMZN-F"), backend=backend)
+        results = figure11_scalability(
+            base_size=(sizes or {}).get("AMZN-F"), backend=backend, **shuffle
+        )
         for kind, series_rows in results.items():
             stream.write(f"\nFig. 11 ({kind} scalability):\n")
             stream.write(format_table(series_rows))
@@ -150,10 +162,10 @@ def run(args: Namespace, stream=None) -> int:
                 stream.write("\n")
         return 0
     elif name == "fig12":
-        rows = figure12_lash_setting(num_workers=workers, sizes=sizes, backend=backend)
+        rows = figure12_lash_setting(num_workers=workers, sizes=sizes, backend=backend, **shuffle)
     elif name == "fig13":
         rows = figure13_mllib_setting(
-            num_workers=workers, size=(sizes or {}).get("AMZN"), backend=backend
+            num_workers=workers, size=(sizes or {}).get("AMZN"), backend=backend, **shuffle
         )
     else:  # pragma: no cover - argparse restricts the choices
         raise CliError(f"unknown experiment {name!r}")

@@ -5,7 +5,15 @@ from __future__ import annotations
 import sys
 from argparse import Namespace
 
-from repro.cli.common import CliError, add_input_arguments, load_input, print_metrics, write_patterns
+from repro.cli.common import (
+    CliError,
+    add_input_arguments,
+    add_shuffle_arguments,
+    load_input,
+    parse_byte_size,
+    print_metrics,
+    write_patterns,
+)
 from repro.core import mine
 from repro.datasets import CONSTRAINT_FACTORIES, constraint as make_constraint
 from repro.errors import CandidateExplosionError
@@ -61,6 +69,7 @@ def add_parser(subparsers) -> None:
             "real wall-clock speed-ups (default: simulated)"
         ),
     )
+    add_shuffle_arguments(parser)
     parser.add_argument(
         "--output",
         metavar="FILE",
@@ -96,13 +105,20 @@ def run(args: Namespace, stream=None) -> int:
     dictionary, database, _raw = load_input(args)
     expression = _resolve_expression(args)
 
-    if args.algorithm in _SEQUENTIAL_MINERS and args.backend != "simulated":
-        # Sequential reference miners run in-process; silently accepting
-        # --backend would misrepresent where the timings came from.
-        raise CliError(
-            f"--backend does not apply to the sequential {args.algorithm} miner"
-        )
+    if args.algorithm in _SEQUENTIAL_MINERS:
+        # Sequential reference miners run in-process and never shuffle;
+        # silently accepting the cluster flags would misrepresent the run.
+        for flag, default in (("backend", "simulated"), ("codec", "compact")):
+            if getattr(args, flag) != default:
+                raise CliError(
+                    f"--{flag} does not apply to the sequential {args.algorithm} miner"
+                )
+        if args.spill_budget is not None:
+            raise CliError(
+                f"--spill-budget does not apply to the sequential {args.algorithm} miner"
+            )
 
+    spill_budget_bytes = parse_byte_size(args.spill_budget)
     try:
         if args.algorithm in _SEQUENTIAL_MINERS:
             miner = _SEQUENTIAL_MINERS[args.algorithm](expression, args.sigma, dictionary)
@@ -116,6 +132,8 @@ def run(args: Namespace, stream=None) -> int:
                 algorithm=args.algorithm,
                 num_workers=args.workers,
                 backend=args.backend,
+                codec=args.codec,
+                spill_budget_bytes=spill_budget_bytes,
             )
     except CandidateExplosionError as error:
         raise CliError(

@@ -148,6 +148,8 @@ class DCandMiner:
         num_workers: int = 4,
         max_runs: int = 100_000,
         backend: str | Cluster = "simulated",
+        codec: str = "compact",
+        spill_budget_bytes: int | None = None,
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
         self.sigma = sigma
@@ -157,6 +159,8 @@ class DCandMiner:
         self.num_workers = num_workers
         self.max_runs = max_runs
         self.backend = backend
+        self.codec = codec
+        self.spill_budget_bytes = spill_budget_bytes
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent patterns of ``database`` under the constraint."""
@@ -169,7 +173,12 @@ class DCandMiner:
             aggregate_nfas=self.aggregate_nfas,
             max_runs=self.max_runs,
         )
-        cluster = resolve_cluster(self.backend, num_workers=self.num_workers)
+        cluster = resolve_cluster(
+            self.backend,
+            num_workers=self.num_workers,
+            codec=self.codec,
+            spill_budget_bytes=self.spill_budget_bytes,
+        )
         records = list(database)
         result = cluster.run(job, records)
         patterns = dict(result.outputs)

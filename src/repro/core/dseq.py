@@ -145,6 +145,8 @@ class DSeqMiner:
         num_workers: int = 4,
         max_runs: int = 100_000,
         backend: str | Cluster = "simulated",
+        codec: str = "compact",
+        spill_budget_bytes: int | None = None,
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
         self.sigma = sigma
@@ -155,6 +157,8 @@ class DSeqMiner:
         self.num_workers = num_workers
         self.max_runs = max_runs
         self.backend = backend
+        self.codec = codec
+        self.spill_budget_bytes = spill_budget_bytes
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent patterns of ``database`` under the constraint."""
@@ -168,7 +172,12 @@ class DSeqMiner:
             use_early_stopping=self.use_early_stopping,
             max_runs=self.max_runs,
         )
-        cluster = resolve_cluster(self.backend, num_workers=self.num_workers)
+        cluster = resolve_cluster(
+            self.backend,
+            num_workers=self.num_workers,
+            codec=self.codec,
+            spill_budget_bytes=self.spill_budget_bytes,
+        )
         records = list(database)
         result = cluster.run(job, records)
         patterns = dict(result.outputs)

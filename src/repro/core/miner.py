@@ -55,8 +55,11 @@ def mine(
         One of ``"dseq"``, ``"dcand"``, ``"naive"``, ``"semi-naive"``.
     options:
         Forwarded to the chosen miner (e.g. ``num_workers``, ``use_rewriting``,
-        or ``backend`` — one of ``"simulated"``, ``"threads"``,
-        ``"processes"`` — to pick the execution backend).
+        ``backend`` — one of ``"simulated"``, ``"threads"``, ``"processes"`` —
+        to pick the execution backend, ``codec`` — one of ``"compact"``,
+        ``"zlib"``, ``"pickle"`` — to pick the shuffle wire format, or
+        ``spill_budget_bytes`` to let map tasks spill encoded shuffle
+        payloads to disk past an in-memory budget).
 
     Returns
     -------

@@ -87,6 +87,8 @@ class _SubsequenceBaselineMiner:
         max_candidates_per_sequence: int = 1_000_000,
         max_runs: int = 100_000,
         backend: str | Cluster = "simulated",
+        codec: str = "compact",
+        spill_budget_bytes: int | None = None,
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
         self.sigma = sigma
@@ -95,6 +97,8 @@ class _SubsequenceBaselineMiner:
         self.max_candidates_per_sequence = max_candidates_per_sequence
         self.max_runs = max_runs
         self.backend = backend
+        self.codec = codec
+        self.spill_budget_bytes = spill_budget_bytes
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent patterns; may raise ``CandidateExplosionError``."""
@@ -107,7 +111,12 @@ class _SubsequenceBaselineMiner:
             max_candidates_per_sequence=self.max_candidates_per_sequence,
             max_runs=self.max_runs,
         )
-        cluster = resolve_cluster(self.backend, num_workers=self.num_workers)
+        cluster = resolve_cluster(
+            self.backend,
+            num_workers=self.num_workers,
+            codec=self.codec,
+            spill_budget_bytes=self.spill_budget_bytes,
+        )
         result = cluster.run(job, list(database))
         return MiningResult(dict(result.outputs), result.metrics, self.algorithm_name)
 

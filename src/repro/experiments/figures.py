@@ -23,6 +23,8 @@ def figure9a(
     size: int | None = None,
     num_workers: int = DEFAULT_WORKERS,
     backend: str = "simulated",
+    codec: str = "compact",
+    spill_budget_bytes: int | None = None,
 ) -> list[dict]:
     """Fig. 9a: total time per algorithm for N1–N5 on the NYT-like dataset."""
     prepared = prepare_dataset("NYT", size)
@@ -31,6 +33,7 @@ def figure9a(
         for record in run_comparison(
             list(FIGURE9_ALGORITHMS), constraint, prepared.dictionary, prepared.database,
             num_workers=num_workers, dataset_name="NYT", backend=backend,
+            codec=codec, spill_budget_bytes=spill_budget_bytes,
         ):
             rows.append(record.as_row())
     return rows
@@ -40,6 +43,8 @@ def figure9b(
     size: int | None = None,
     num_workers: int = DEFAULT_WORKERS,
     backend: str = "simulated",
+    codec: str = "compact",
+    spill_budget_bytes: int | None = None,
 ) -> list[dict]:
     """Fig. 9b: total time per algorithm for A1–A4 on the AMZN-like dataset."""
     prepared = prepare_dataset("AMZN", size)
@@ -48,6 +53,7 @@ def figure9b(
         for record in run_comparison(
             list(FIGURE9_ALGORITHMS), constraint, prepared.dictionary, prepared.database,
             num_workers=num_workers, dataset_name="AMZN", backend=backend,
+            codec=codec, spill_budget_bytes=spill_budget_bytes,
         ):
             rows.append(record.as_row())
     return rows
@@ -57,6 +63,8 @@ def figure9c(
     size: int | None = None,
     num_workers: int = DEFAULT_WORKERS,
     backend: str = "simulated",
+    codec: str = "compact",
+    spill_budget_bytes: int | None = None,
 ) -> list[dict]:
     """Fig. 9c: shuffle size per algorithm for A1 and A4 on the AMZN-like dataset."""
     prepared = prepare_dataset("AMZN", size)
@@ -68,6 +76,7 @@ def figure9c(
         for record in run_comparison(
             list(FIGURE9_ALGORITHMS), constraint, prepared.dictionary, prepared.database,
             num_workers=num_workers, dataset_name="AMZN", backend=backend,
+            codec=codec, spill_budget_bytes=spill_budget_bytes,
         ):
             row = record.as_row()
             rows.append(
@@ -76,6 +85,7 @@ def figure9c(
                     "algorithm": row["algorithm"],
                     "status": row["status"],
                     "shuffle_bytes": row["shuffle_bytes"],
+                    "wire_bytes": row["wire_bytes"],
                 }
             )
     return rows
@@ -104,6 +114,8 @@ def figure10a(
     num_workers: int = DEFAULT_WORKERS,
     sizes: dict[str, int] | None = None,
     backend: str = "simulated",
+    codec: str = "compact",
+    spill_budget_bytes: int | None = None,
 ) -> list[dict]:
     """Fig. 10a: effect of the grid, rewrites, and early stopping in D-SEQ."""
     if constraints is None:
@@ -119,7 +131,8 @@ def figure10a(
         for variant_name, options in DSEQ_ABLATION_VARIANTS:
             miner = DSeqMiner(
                 constraint.expression, constraint.sigma, prepared.dictionary,
-                num_workers=num_workers, backend=backend, **options,
+                num_workers=num_workers, backend=backend, codec=codec,
+                spill_budget_bytes=spill_budget_bytes, **options,
             )
             result = miner.mine(prepared.database)
             rows.append(
@@ -141,6 +154,8 @@ def figure10b(
     num_workers: int = DEFAULT_WORKERS,
     sizes: dict[str, int] | None = None,
     backend: str = "simulated",
+    codec: str = "compact",
+    spill_budget_bytes: int | None = None,
 ) -> list[dict]:
     """Fig. 10b: effect of aggregating and minimizing NFAs in D-CAND."""
     if constraints is None:
@@ -155,7 +170,8 @@ def figure10b(
         for variant_name, options in DCAND_ABLATION_VARIANTS:
             miner = DCandMiner(
                 constraint.expression, constraint.sigma, prepared.dictionary,
-                num_workers=num_workers, backend=backend, **options,
+                num_workers=num_workers, backend=backend, codec=codec,
+                spill_budget_bytes=spill_budget_bytes, **options,
             )
             try:
                 result = miner.mine(prepared.database)
@@ -195,6 +211,8 @@ def figure11_scalability(
     worker_counts: tuple[int, ...] = (2, 4, 8),
     base_sigma: int | None = None,
     backend: str = "simulated",
+    codec: str = "compact",
+    spill_budget_bytes: int | None = None,
 ) -> dict[str, list[dict]]:
     """Fig. 11: data, strong, and weak scalability of D-SEQ and D-CAND.
 
@@ -214,9 +232,11 @@ def figure11_scalability(
         return run_algorithm(
             "dseq", constraint, prepared.dictionary, samples[fraction],
             num_workers=workers, dataset_name="AMZN-F", backend=backend,
+            codec=codec, spill_budget_bytes=spill_budget_bytes,
         ), run_algorithm(
             "dcand", constraint, prepared.dictionary, samples[fraction],
             num_workers=workers, dataset_name="AMZN-F", backend=backend,
+            codec=codec, spill_budget_bytes=spill_budget_bytes,
         )
 
     results: dict[str, list[dict]] = {"data": [], "strong": [], "weak": []}
@@ -266,6 +286,8 @@ def figure12_lash_setting(
     num_workers: int = DEFAULT_WORKERS,
     sizes: dict[str, int] | None = None,
     backend: str = "simulated",
+    codec: str = "compact",
+    spill_budget_bytes: int | None = None,
 ) -> list[dict]:
     """Fig. 12: LASH vs D-SEQ vs D-CAND in the specialist gap/length setting."""
     entries = [
@@ -284,6 +306,7 @@ def figure12_lash_setting(
             record = run_algorithm(
                 algorithm, constraint, prepared.dictionary, prepared.database,
                 num_workers=num_workers, dataset_name=dataset_name, backend=backend,
+                codec=codec, spill_budget_bytes=spill_budget_bytes,
             )
             rows.append(record.as_row())
     return rows
@@ -296,6 +319,8 @@ def figure13_mllib_setting(
     num_workers: int = DEFAULT_WORKERS,
     size: int | None = None,
     backend: str = "simulated",
+    codec: str = "compact",
+    spill_budget_bytes: int | None = None,
 ) -> list[dict]:
     """Fig. 13: MLlib (PrefixSpan) setting T1(σ, 5) with decreasing σ on AMZN."""
     prepared = prepare_dataset("AMZN", size)
@@ -306,6 +331,7 @@ def figure13_mllib_setting(
             record = run_algorithm(
                 algorithm, constraint, prepared.dictionary, prepared.database,
                 num_workers=num_workers, dataset_name="AMZN", backend=backend,
+                codec=codec, spill_budget_bytes=spill_budget_bytes,
             )
             row = record.as_row()
             row["sigma"] = sigma

@@ -33,6 +33,8 @@ class RunRecord:
     wall_seconds: float = 0.0
     shuffle_bytes: int = 0
     shuffle_records: int = 0
+    wire_bytes: int = 0
+    spilled_buckets: int = 0
     num_patterns: int = 0
     num_workers: int = 1
     extra: dict = field(default_factory=dict)
@@ -47,6 +49,7 @@ class RunRecord:
             "map_s": round(self.map_seconds, 3),
             "mine_s": round(self.mine_seconds, 3),
             "shuffle_bytes": self.shuffle_bytes,
+            "wire_bytes": self.wire_bytes,
             "patterns": self.num_patterns,
         }
 
@@ -62,35 +65,43 @@ def build_miner(
     dictionary: Dictionary,
     num_workers: int,
     backend: str = "simulated",
+    codec: str = "compact",
+    spill_budget_bytes: int | None = None,
     **options,
 ):
     """Instantiate a miner by algorithm name for the given constraint.
 
     ``backend`` selects the execution backend of the distributed miners
-    (``"simulated"``, ``"threads"``, or ``"processes"``); the sequential
-    reference miners ignore it.
+    (``"simulated"``, ``"threads"``, or ``"processes"``), ``codec`` their
+    shuffle wire format, and ``spill_budget_bytes`` the per-map-task budget
+    before shuffle payloads spill to disk; the sequential reference miners
+    ignore all three.
     """
     name = algorithm.lower()
     patex = constraint.expression
     sigma = constraint.sigma
+    shuffle = {"codec": codec, "spill_budget_bytes": spill_budget_bytes}
     if name in ("dseq", "d-seq"):
         return DSeqMiner(
-            patex, sigma, dictionary, num_workers=num_workers, backend=backend, **options
+            patex, sigma, dictionary, num_workers=num_workers, backend=backend,
+            **shuffle, **options,
         )
     if name in ("dcand", "d-cand"):
         return DCandMiner(
             patex, sigma, dictionary, num_workers=num_workers, backend=backend,
-            max_runs=options.pop("max_runs", OOM_MAX_RUNS), **options,
+            max_runs=options.pop("max_runs", OOM_MAX_RUNS), **shuffle, **options,
         )
     if name == "naive":
         return NaiveMiner(
             patex, sigma, dictionary, num_workers=num_workers, backend=backend,
             max_candidates_per_sequence=OOM_MAX_CANDIDATES, max_runs=OOM_MAX_RUNS,
+            **shuffle,
         )
     if name in ("semi-naive", "seminaive"):
         return SemiNaiveMiner(
             patex, sigma, dictionary, num_workers=num_workers, backend=backend,
             max_candidates_per_sequence=OOM_MAX_CANDIDATES, max_runs=OOM_MAX_RUNS,
+            **shuffle,
         )
     if name == "desq-dfs":
         return SequentialDesqDfs(patex, sigma, dictionary)
@@ -107,6 +118,7 @@ def build_miner(
             use_hierarchy=spec.get("use_hierarchy", name == "lash"),
             num_workers=num_workers,
             backend=backend,
+            **shuffle,
         )
     if name in ("prefixspan", "mllib"):
         spec = constraint.specialized or {}
@@ -122,6 +134,8 @@ def run_algorithm(
     num_workers: int = 8,
     dataset_name: str | None = None,
     backend: str = "simulated",
+    codec: str = "compact",
+    spill_budget_bytes: int | None = None,
     **options,
 ) -> RunRecord:
     """Run one algorithm and collect a :class:`RunRecord`.
@@ -136,7 +150,10 @@ def run_algorithm(
         num_workers=num_workers,
         backend=backend,
     )
-    miner = build_miner(algorithm, constraint, dictionary, num_workers, backend=backend, **options)
+    miner = build_miner(
+        algorithm, constraint, dictionary, num_workers, backend=backend,
+        codec=codec, spill_budget_bytes=spill_budget_bytes, **options,
+    )
     started = time.perf_counter()
     try:
         result = miner.mine(database)
@@ -152,6 +169,8 @@ def run_algorithm(
     record.mine_seconds = metrics.reduce_seconds
     record.shuffle_bytes = metrics.shuffle_bytes
     record.shuffle_records = metrics.shuffle_records
+    record.wire_bytes = metrics.wire_bytes
+    record.spilled_buckets = metrics.spilled_buckets
     record.num_patterns = len(result)
     return record
 
@@ -164,6 +183,8 @@ def run_comparison(
     num_workers: int = 8,
     dataset_name: str | None = None,
     backend: str = "simulated",
+    codec: str = "compact",
+    spill_budget_bytes: int | None = None,
 ) -> list[RunRecord]:
     """Run several algorithms on the same constraint and dataset."""
     return [
@@ -175,6 +196,8 @@ def run_comparison(
             num_workers=num_workers,
             dataset_name=dataset_name,
             backend=backend,
+            codec=codec,
+            spill_budget_bytes=spill_budget_bytes,
         )
         for algorithm in algorithms
     ]

@@ -105,6 +105,8 @@ def table5_speedup(
     num_workers: int = TABLE5_WORKERS,
     sizes: dict[str, int] | None = None,
     backend: str = "simulated",
+    codec: str = "compact",
+    spill_budget_bytes: int | None = None,
 ) -> list[dict]:
     """Table V: speed-up of D-SEQ and D-CAND over sequential DESQ-DFS.
 
@@ -134,10 +136,12 @@ def table5_speedup(
         dseq = run_algorithm(
             "dseq", constraint, prepared.dictionary, prepared.database,
             num_workers=num_workers, dataset_name=dataset_name, backend=backend,
+            codec=codec, spill_budget_bytes=spill_budget_bytes,
         )
         dcand = run_algorithm(
             "dcand", constraint, prepared.dictionary, prepared.database,
             num_workers=num_workers, dataset_name=dataset_name, backend=backend,
+            codec=codec, spill_budget_bytes=spill_budget_bytes,
         )
         row = {
             "constraint": constraint.name,

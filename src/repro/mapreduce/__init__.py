@@ -17,27 +17,36 @@ from repro.mapreduce.factory import BACKENDS, make_cluster, resolve_cluster
 from repro.mapreduce.job import MapReduceJob, iter_map_output, stable_hash
 from repro.mapreduce.metrics import JobMetrics
 from repro.mapreduce.parallel import ProcessPoolCluster, ThreadPoolCluster
+from repro.mapreduce.spill import WireFragment, merge_fragments
 from repro.mapreduce.tasks import (
     MapTaskResult,
     ReduceTaskResult,
     run_map_task,
     run_reduce_task,
 )
+from repro.mapreduce.wire import CODECS, Codec, CompactCodec, PickleCodec, make_codec
 
 __all__ = [
     "BACKENDS",
+    "CODECS",
     "Cluster",
+    "Codec",
+    "CompactCodec",
     "JobMetrics",
     "JobResult",
     "MapReduceJob",
     "MapTaskResult",
+    "PickleCodec",
     "ProcessPoolCluster",
     "ReduceTaskResult",
     "SimulatedCluster",
     "StageDriverCluster",
     "ThreadPoolCluster",
+    "WireFragment",
     "iter_map_output",
     "make_cluster",
+    "make_codec",
+    "merge_fragments",
     "resolve_cluster",
     "run_job",
     "run_map_task",

@@ -22,6 +22,8 @@ per-worker time attribution (:meth:`StageDriverCluster._worker_times`).
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from collections.abc import Callable, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -30,13 +32,14 @@ from typing import Any, Protocol, runtime_checkable
 from repro.errors import MapReduceError
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.spill import WireFragment
 from repro.mapreduce.tasks import (
-    BucketPayload,
     MapTaskResult,
     ReduceTaskResult,
     run_map_task,
     run_reduce_task,
 )
+from repro.mapreduce.wire import Codec, make_codec
 
 #: A task scheduled by the driver: (function, positional arguments).
 Task = tuple[Callable[..., Any], tuple[Any, ...]]
@@ -73,7 +76,21 @@ class StageDriverCluster:
         Number of reduce buckets (defaults to ``4 * num_workers``, mimicking
         the usual over-partitioning of Spark/Hadoop deployments).
     measure_shuffle:
-        If False, skips per-record size accounting (slightly faster).
+        If False, skips per-record *modeled* size accounting (slightly
+        faster); the measured wire bytes are always collected because the
+        payloads are encoded either way.
+    codec:
+        Shuffle serialization codec — a name from
+        :data:`~repro.mapreduce.wire.CODECS` or a
+        :class:`~repro.mapreduce.wire.Codec` instance.  Encoding is
+        deterministic, so the measured wire bytes are identical across
+        backends.
+    spill_budget_bytes:
+        Per-map-task in-memory budget for encoded bucket payloads; payloads
+        past the budget spill to temp files (``None`` disables spilling,
+        ``0`` spills everything).  Results are identical either way.
+    spill_dir:
+        Directory for spill files (defaults to the system temp directory).
     """
 
     #: Human-readable backend identifier (also used by :func:`repr`).
@@ -87,6 +104,9 @@ class StageDriverCluster:
         num_workers: int | None = None,
         num_reduce_tasks: int | None = None,
         measure_shuffle: bool = True,
+        codec: str | Codec = "compact",
+        spill_budget_bytes: int | None = None,
+        spill_dir: str | None = None,
     ) -> None:
         if num_workers is None:
             num_workers = self.default_num_workers
@@ -97,6 +117,13 @@ class StageDriverCluster:
         if self.num_reduce_tasks < 1:
             raise MapReduceError("num_reduce_tasks must be >= 1")
         self.measure_shuffle = measure_shuffle
+        self.codec = make_codec(codec)
+        if spill_budget_bytes is not None and spill_budget_bytes < 0:
+            raise MapReduceError(
+                f"spill_budget_bytes must be >= 0 or None, got {spill_budget_bytes}"
+            )
+        self.spill_budget_bytes = spill_budget_bytes
+        self.spill_dir = spill_dir
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -111,34 +138,62 @@ class StageDriverCluster:
         metrics.input_records = len(records)
         chunks = [chunk for chunk in split_records(records, self.num_workers) if len(chunk)]
 
-        with self._executor_scope() as execute:
-            # Map stage: each task partitions and combines locally and returns
-            # per-bucket payloads (worker-side shuffle write).
-            map_results: list[MapTaskResult] = execute(
-                [
-                    (run_map_task, (job, chunk, self.num_reduce_tasks, self.measure_shuffle))
-                    for chunk in chunks
+        # All spill files of one run live in a per-job directory, removed
+        # wholesale below — so a failing map task (e.g. a candidate explosion)
+        # cannot strand the temp files of the tasks that already completed.
+        job_spill_dir: str | None = None
+        if self.spill_budget_bytes is not None:
+            job_spill_dir = tempfile.mkdtemp(prefix="repro-shuffle-", dir=self.spill_dir)
+        try:
+            with self._executor_scope() as execute:
+                # Map stage: each task partitions, combines, and encodes its
+                # reduce buckets locally (worker-side shuffle write), spilling
+                # payloads to disk past the in-memory budget.
+                map_results: list[MapTaskResult] = execute(
+                    [
+                        (
+                            run_map_task,
+                            (
+                                job,
+                                chunk,
+                                self.num_reduce_tasks,
+                                self.measure_shuffle,
+                                self.codec,
+                                self.spill_budget_bytes,
+                                job_spill_dir,
+                            ),
+                        )
+                        for chunk in chunks
+                    ]
+                )
+                fragments: list[list[WireFragment]] = [
+                    [] for _ in range(self.num_reduce_tasks)
                 ]
-            )
-            fragments: list[list[BucketPayload]] = [[] for _ in range(self.num_reduce_tasks)]
-            for result in map_results:
-                metrics.map_output_records += result.map_output_records
-                metrics.combined_records += result.combined_records
-                metrics.shuffle_bytes += result.shuffle_bytes
-                metrics.shuffle_records += result.shuffle_records
-                metrics.map_task_seconds.append(result.seconds)
-                for bucket_index, payload in result.buckets:
-                    fragments[bucket_index].append(payload)
+                for result in map_results:
+                    metrics.map_output_records += result.map_output_records
+                    metrics.combined_records += result.combined_records
+                    metrics.shuffle_bytes += result.shuffle_bytes
+                    metrics.shuffle_records += result.shuffle_records
+                    metrics.wire_bytes += result.wire_bytes
+                    metrics.spilled_buckets += result.spilled_buckets
+                    metrics.spilled_bytes += result.spilled_bytes
+                    metrics.map_task_seconds.append(result.seconds)
+                    for bucket_index, fragment in result.buckets:
+                        fragments[bucket_index].append(fragment)
 
-            # Reduce stage: one task per non-empty bucket; the key-group merge
-            # (shuffle read) happens inside the task, i.e. on the worker.
-            reduce_results: list[ReduceTaskResult] = execute(
-                [
-                    (run_reduce_task, (job, bucket_fragments))
-                    for bucket_fragments in fragments
-                    if bucket_fragments
-                ]
-            )
+                # Reduce stage: one task per non-empty bucket; the streamed
+                # key-group merge (shuffle read) happens inside the task,
+                # i.e. on the worker.
+                reduce_results: list[ReduceTaskResult] = execute(
+                    [
+                        (run_reduce_task, (job, bucket_fragments, self.codec))
+                        for bucket_fragments in fragments
+                        if bucket_fragments
+                    ]
+                )
+        finally:
+            if job_spill_dir is not None:
+                shutil.rmtree(job_spill_dir, ignore_errors=True)
 
         outputs: list[Any] = []
         for result in reduce_results:

@@ -6,6 +6,7 @@ from repro.errors import MapReduceError
 from repro.mapreduce.base import Cluster
 from repro.mapreduce.engine import SimulatedCluster
 from repro.mapreduce.parallel import ProcessPoolCluster, ThreadPoolCluster
+from repro.mapreduce.wire import Codec
 
 #: Canonical backend names, in the order shown by ``--help``.
 BACKENDS = ("simulated", "threads", "processes")
@@ -36,6 +37,9 @@ def make_cluster(
     num_workers: int | None = None,
     num_reduce_tasks: int | None = None,
     measure_shuffle: bool = True,
+    codec: str | Codec = "compact",
+    spill_budget_bytes: int | None = None,
+    spill_dir: str | None = None,
 ) -> Cluster:
     """Build an execution backend by name.
 
@@ -43,7 +47,10 @@ def make_cluster(
     are accepted): ``"simulated"`` models the makespan of ``num_workers``
     workers in-process, ``"threads"`` runs on a local thread pool, and
     ``"processes"`` runs on a local process pool for real wall-clock speed-ups.
-    ``num_workers=None`` uses the backend's default worker count.
+    ``num_workers=None`` uses the backend's default worker count.  ``codec``
+    picks the shuffle wire format (:data:`~repro.mapreduce.wire.CODECS`) and
+    ``spill_budget_bytes`` caps the encoded payload bytes a map task keeps in
+    memory before spilling to ``spill_dir``.
     """
     key = _ALIASES.get(str(backend).strip().lower())
     if key is None:
@@ -55,6 +62,9 @@ def make_cluster(
         num_workers=num_workers,
         num_reduce_tasks=num_reduce_tasks,
         measure_shuffle=measure_shuffle,
+        codec=codec,
+        spill_budget_bytes=spill_budget_bytes,
+        spill_dir=spill_dir,
     )
 
 
@@ -63,6 +73,9 @@ def resolve_cluster(
     num_workers: int | None = None,
     num_reduce_tasks: int | None = None,
     measure_shuffle: bool = True,
+    codec: str | Codec = "compact",
+    spill_budget_bytes: int | None = None,
+    spill_dir: str | None = None,
 ) -> Cluster:
     """Return ``backend`` itself if it already is a cluster, else build one.
 
@@ -79,4 +92,7 @@ def resolve_cluster(
         num_workers=num_workers,
         num_reduce_tasks=num_reduce_tasks,
         measure_shuffle=measure_shuffle,
+        codec=codec,
+        spill_budget_bytes=spill_budget_bytes,
+        spill_dir=spill_dir,
     )

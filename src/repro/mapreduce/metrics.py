@@ -18,8 +18,16 @@ class JobMetrics:
     num_workers: int = 1
     map_task_seconds: list[float] = field(default_factory=list)
     reduce_task_seconds: list[float] = field(default_factory=list)
+    #: Modeled shuffle size: ``job.record_size`` summed over shuffled records
+    #: (the paper's ``shuffleWriteBytes`` equivalent).
     shuffle_bytes: int = 0
     shuffle_records: int = 0
+    #: Measured shuffle size: bytes of the encoded bucket payloads that
+    #: actually travel from map to reduce tasks (codec-dependent).
+    wire_bytes: int = 0
+    #: Number of bucket payloads spilled to temp files and their total size.
+    spilled_buckets: int = 0
+    spilled_bytes: int = 0
     map_output_records: int = 0
     combined_records: int = 0
     input_records: int = 0
@@ -63,6 +71,9 @@ class JobMetrics:
             "sequential_seconds": self.sequential_seconds,
             "shuffle_bytes": self.shuffle_bytes,
             "shuffle_records": self.shuffle_records,
+            "wire_bytes": self.wire_bytes,
+            "spilled_buckets": self.spilled_buckets,
+            "spilled_bytes": self.spilled_bytes,
             "input_records": self.input_records,
             "output_records": self.output_records,
         }
@@ -75,6 +86,9 @@ class JobMetrics:
             reduce_task_seconds=self.reduce_task_seconds + other.reduce_task_seconds,
             shuffle_bytes=self.shuffle_bytes + other.shuffle_bytes,
             shuffle_records=self.shuffle_records + other.shuffle_records,
+            wire_bytes=self.wire_bytes + other.wire_bytes,
+            spilled_buckets=self.spilled_buckets + other.spilled_buckets,
+            spilled_bytes=self.spilled_bytes + other.spilled_bytes,
             map_output_records=self.map_output_records + other.map_output_records,
             combined_records=self.combined_records + other.combined_records,
             input_records=self.input_records + other.input_records,

@@ -1,0 +1,145 @@
+"""Disk-spilling bucket fragments and the reduce-side streamed merge.
+
+Map tasks serialize every reduce bucket with a :class:`~repro.mapreduce.wire.Codec`
+before handing it to the driver.  When a task's encoded payloads exceed the
+configured in-memory budget, the surplus is written to a per-task temp file and
+only a small :class:`WireFragment` *reference* (path, offset, length) travels
+through the driver — so shuffles larger than memory never materialize in one
+process.  The reduce side merges its fragments with :func:`merge_fragments`,
+reading and decoding one fragment at a time (the streamed shuffle read).
+
+Spill files are written by the worker that ran the map task and read by the
+worker that runs the reduce task; both run on the same machine for every
+backend, so plain temp files are a faithful stand-in for a cluster's shuffle
+service.  The driver removes all spill files after the job finishes.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import IO, Any
+
+from repro.errors import MapReduceError
+from repro.mapreduce.wire import Codec
+
+
+@dataclass
+class WireFragment:
+    """One encoded bucket payload: inline bytes or a slice of a spill file."""
+
+    records: int
+    wire_bytes: int
+    data: bytes | None = None
+    path: str | None = None
+    offset: int = 0
+
+    @property
+    def spilled(self) -> bool:
+        return self.path is not None
+
+    def read(self) -> bytes:
+        """Return the encoded payload, reading it back from disk if spilled."""
+        if self.data is not None:
+            return self.data
+        if self.path is None:
+            raise MapReduceError("fragment has neither inline data nor a spill file")
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            blob = handle.read(self.wire_bytes)
+        if len(blob) != self.wire_bytes:
+            raise MapReduceError(
+                f"truncated spill file {self.path}: expected {self.wire_bytes} bytes "
+                f"at offset {self.offset}, got {len(blob)}"
+            )
+        return blob
+
+
+class SpillWriter:
+    """Appends encoded payloads to one lazily created temp file per map task."""
+
+    def __init__(self, spill_dir: str | None = None) -> None:
+        self.spill_dir = spill_dir
+        self._handle: IO[bytes] | None = None
+        self.path: str | None = None
+
+    def write(self, blob: bytes) -> int:
+        """Append ``blob`` and return the offset it was written at."""
+        if self._handle is None:
+            descriptor, self.path = tempfile.mkstemp(
+                prefix="repro-shuffle-", suffix=".spill", dir=self.spill_dir
+            )
+            self._handle = os.fdopen(descriptor, "wb")
+        offset = self._handle.tell()
+        self._handle.write(blob)
+        return offset
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def store_payloads(
+    encoded: Iterable[tuple[int, bytes, int]],
+    spill_budget_bytes: int | None,
+    spill_dir: str | None = None,
+) -> tuple[list[tuple[int, WireFragment]], str | None]:
+    """Turn encoded bucket payloads into fragments, spilling past the budget.
+
+    ``encoded`` yields ``(bucket_index, blob, record_count)`` triples in
+    deterministic order.  Blobs are kept inline while the running inline total
+    stays within ``spill_budget_bytes``; every blob that would exceed the
+    budget goes to the task's spill file instead (``None`` disables spilling,
+    ``0`` spills everything).  Returns the fragments and the spill file path,
+    if one was created.
+    """
+    writer = SpillWriter(spill_dir)
+    fragments: list[tuple[int, WireFragment]] = []
+    inline_total = 0
+    try:
+        for bucket_index, blob, records in encoded:
+            fragment = WireFragment(records=records, wire_bytes=len(blob))
+            if spill_budget_bytes is not None and inline_total + len(blob) > spill_budget_bytes:
+                fragment.offset = writer.write(blob)
+                fragment.path = writer.path
+            else:
+                fragment.data = blob
+                inline_total += len(blob)
+            fragments.append((bucket_index, fragment))
+    finally:
+        writer.close()
+    return fragments, writer.path
+
+
+def merge_fragments(
+    fragments: Sequence[WireFragment], codec: Codec
+) -> dict[Any, list[Any]]:
+    """Merge one bucket's fragments by key (the reduce-side shuffle read).
+
+    Fragments are read and decoded one at a time — only the merged key groups
+    and a single fragment's blob are ever in memory, which is what lets spilled
+    shuffles stay larger than the in-memory budget.
+    """
+    grouped: dict[Any, list[Any]] = {}
+    for fragment in fragments:
+        for key, values in codec.iter_bucket(fragment.read()):
+            existing = grouped.get(key)
+            if existing is None:
+                grouped[key] = values
+            else:
+                existing.extend(values)
+    return grouped
+
+
+def remove_spill_files(paths: Iterable[str | None]) -> None:
+    """Best-effort cleanup of the spill files created by one job run."""
+    for path in paths:
+        if not path:
+            continue
+        try:
+            os.remove(path)
+        except OSError:
+            pass

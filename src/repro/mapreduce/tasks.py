@@ -1,11 +1,13 @@
 """Worker-side map and reduce tasks shared by every execution backend.
 
-A map task maps and combines its input chunk and then *partitions the result
-locally*: it returns one payload per reduce bucket (the shuffle write of a real
-cluster).  A reduce task receives the payload fragments addressed to one bucket,
-merges them by key (the shuffle read), and reduces every key group.  The driver
-therefore never touches individual (key, value) pairs — it only routes opaque
-per-bucket payloads from map tasks to reduce tasks.
+A map task maps and combines its input chunk, *partitions the result locally*,
+and serializes every reduce bucket with the job's shuffle codec (the shuffle
+write of a real cluster).  What the driver routes from map to reduce tasks are
+therefore :class:`~repro.mapreduce.spill.WireFragment` objects — encoded
+payloads, inline or spilled to a temp file once the task's in-memory budget is
+exceeded — never raw (key, value) pairs.  A reduce task receives the fragments
+addressed to one bucket, decodes and merges them key by key (the streamed
+shuffle read), and reduces every key group.
 
 Both functions are module-level so that the process-pool backend can pickle
 them for its workers.  Each task reports the worker that executed it (process
@@ -23,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.spill import WireFragment, merge_fragments, store_payloads
+from repro.mapreduce.wire import Codec, make_codec
 
 #: A payload addressed to one reduce bucket: key -> values emitted by one map task.
 BucketPayload = dict[Any, list[Any]]
@@ -35,13 +39,23 @@ def worker_token() -> tuple[int, int]:
 
 @dataclass
 class MapTaskResult:
-    """Output of one map task: per-bucket payloads plus shuffle accounting."""
+    """Output of one map task: per-bucket fragments plus shuffle accounting.
 
-    buckets: list[tuple[int, BucketPayload]] = field(default_factory=list)
+    ``shuffle_bytes`` is the *modeled* cost (``job.record_size`` summed over
+    the shuffled records, as the paper reports it); ``wire_bytes`` is the
+    *measured* size of the encoded payloads that actually travel to the
+    reduce tasks.
+    """
+
+    buckets: list[tuple[int, WireFragment]] = field(default_factory=list)
     map_output_records: int = 0
     combined_records: int = 0
     shuffle_bytes: int = 0
     shuffle_records: int = 0
+    wire_bytes: int = 0
+    spilled_buckets: int = 0
+    spilled_bytes: int = 0
+    spill_path: str | None = None
     seconds: float = 0.0
     worker: tuple[int, int] = (0, 0)
 
@@ -60,9 +74,13 @@ def run_map_task(
     records: Sequence[Any],
     num_reduce_tasks: int,
     measure_shuffle: bool,
+    codec: Codec | str = "compact",
+    spill_budget_bytes: int | None = None,
+    spill_dir: str | None = None,
 ) -> MapTaskResult:
-    """Map ``records``, combine per key, and partition into reduce buckets."""
+    """Map ``records``, combine per key, partition, and encode reduce buckets."""
     started = time.perf_counter()
+    codec = make_codec(codec)
     task_output: dict[Any, list[Any]] = defaultdict(list)
     map_output_records = 0
     for record in records:
@@ -87,24 +105,43 @@ def run_map_task(
         payload = buckets.setdefault(job.partition(key, num_reduce_tasks), {})
         payload.setdefault(key, []).append(value)
 
-    return MapTaskResult(
-        buckets=sorted(buckets.items()),
+    # Shuffle write: serialize each bucket, spilling once over the budget.
+    encoded = (
+        (
+            bucket_index,
+            codec.encode_bucket(payload),
+            sum(len(values) for values in payload.values()),
+        )
+        for bucket_index, payload in sorted(buckets.items())
+    )
+    fragments, spill_path = store_payloads(encoded, spill_budget_bytes, spill_dir)
+
+    result = MapTaskResult(
+        buckets=fragments,
         map_output_records=map_output_records,
         combined_records=shuffle_records,
         shuffle_bytes=shuffle_bytes,
         shuffle_records=shuffle_records,
         seconds=time.perf_counter() - started,
         worker=worker_token(),
+        spill_path=spill_path,
     )
+    for _bucket_index, fragment in fragments:
+        result.wire_bytes += fragment.wire_bytes
+        if fragment.spilled:
+            result.spilled_buckets += 1
+            result.spilled_bytes += fragment.wire_bytes
+    return result
 
 
-def run_reduce_task(job: MapReduceJob, fragments: Sequence[BucketPayload]) -> ReduceTaskResult:
-    """Merge the payload fragments of one bucket and reduce every key group."""
+def run_reduce_task(
+    job: MapReduceJob,
+    fragments: Sequence[WireFragment],
+    codec: Codec | str = "compact",
+) -> ReduceTaskResult:
+    """Merge the encoded fragments of one bucket and reduce every key group."""
     started = time.perf_counter()
-    grouped: dict[Any, list[Any]] = {}
-    for fragment in fragments:
-        for key, values in fragment.items():
-            grouped.setdefault(key, []).extend(values)
+    grouped = merge_fragments(fragments, make_codec(codec))
     outputs: list[Any] = []
     for key, values in grouped.items():
         outputs.extend(job.reduce(key, values))

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.errors import NfaError
 from repro.nfa.nfa import OutputNfa
+from repro.varint import read_varint, write_varint
 
 _FLAG_HAS_SOURCE = 1
 _FLAG_HAS_TARGET = 2
@@ -23,30 +24,11 @@ _FLAG_TARGET_FINAL = 4
 
 # ------------------------------------------------------------------- varints
 def _write_varint(buffer: bytearray, value: int) -> None:
-    if value < 0:
-        raise NfaError(f"cannot encode negative value {value}")
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
-            buffer.append(byte | 0x80)
-        else:
-            buffer.append(byte)
-            return
+    write_varint(buffer, value, error=NfaError)
 
 
 def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
-    result = 0
-    shift = 0
-    while True:
-        if offset >= len(data):
-            raise NfaError("truncated varint")
-        byte = data[offset]
-        offset += 1
-        result |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            return result, offset
-        shift += 7
+    return read_varint(data, offset, error=NfaError, what="varint in serialized NFA")
 
 
 # --------------------------------------------------------------- serialization

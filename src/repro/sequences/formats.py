@@ -25,6 +25,7 @@ from typing import IO
 
 from repro.errors import ReproError
 from repro.sequences.database import SequenceDatabase
+from repro.varint import read_varint, write_varint
 
 #: Magic bytes identifying the binary database format.
 BINARY_MAGIC = b"RSDB"
@@ -109,31 +110,12 @@ def read_jsonl_sequences(path: str | Path) -> list[tuple[str, ...]]:
 
 
 # ----------------------------------------------------------------------- binary
-def _write_varint(handle_buffer: bytearray, value: int) -> None:
-    if value < 0:
-        raise ReproError(f"cannot encode negative value {value}")
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
-            handle_buffer.append(byte | 0x80)
-        else:
-            handle_buffer.append(byte)
-            return
+def _write_varint(buffer: bytearray, value: int) -> None:
+    write_varint(buffer, value, error=ReproError)
 
 
 def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
-    result = 0
-    shift = 0
-    while True:
-        if offset >= len(data):
-            raise ReproError("truncated varint in binary database")
-        byte = data[offset]
-        offset += 1
-        result |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            return result, offset
-        shift += 7
+    return read_varint(data, offset, error=ReproError, what="varint in binary database")
 
 
 def write_binary_database(path: str | Path, database: SequenceDatabase) -> int:

@@ -205,6 +205,8 @@ class GapConstrainedMiner:
         use_hierarchy: bool = True,
         num_workers: int = 4,
         backend: str | Cluster = "simulated",
+        codec: str = "compact",
+        spill_budget_bytes: int | None = None,
     ) -> None:
         if sigma < 1:
             raise MiningError(f"sigma must be >= 1, got {sigma}")
@@ -218,6 +220,8 @@ class GapConstrainedMiner:
         self.use_hierarchy = use_hierarchy
         self.num_workers = num_workers
         self.backend = backend
+        self.codec = codec
+        self.spill_budget_bytes = spill_budget_bytes
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent gap/length(/hierarchy) constrained patterns."""
@@ -229,7 +233,12 @@ class GapConstrainedMiner:
             min_length=self.min_length,
             use_hierarchy=self.use_hierarchy,
         )
-        cluster = resolve_cluster(self.backend, num_workers=self.num_workers)
+        cluster = resolve_cluster(
+            self.backend,
+            num_workers=self.num_workers,
+            codec=self.codec,
+            spill_budget_bytes=self.spill_budget_bytes,
+        )
         result = cluster.run(job, list(database))
         name = self.algorithm_name if self.use_hierarchy else "MG-FSM"
         return MiningResult(dict(result.outputs), result.metrics, algorithm=name)

@@ -1,0 +1,49 @@
+"""Unsigned LEB128 varint primitives shared by every binary format.
+
+Three subsystems serialize integers as LEB128 varints — the binary sequence
+database (:mod:`repro.sequences.formats`), the NFA serializer
+(:mod:`repro.nfa.serializer`), and the shuffle wire codec
+(:mod:`repro.mapreduce.wire`).  They share this one implementation and
+differ only in the :class:`~repro.errors.ReproError` subclass they raise and
+the context named in truncation messages.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def write_varint(
+    buffer: bytearray, value: int, error: type[ReproError] = ReproError
+) -> None:
+    """Append ``value`` to ``buffer`` as an unsigned LEB128 varint."""
+    if value < 0:
+        raise error(f"cannot encode negative varint {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buffer.append(byte | 0x80)
+        else:
+            buffer.append(byte)
+            return
+
+
+def read_varint(
+    data: bytes,
+    offset: int,
+    error: type[ReproError] = ReproError,
+    what: str = "varint",
+) -> tuple[int, int]:
+    """Read one unsigned LEB128 varint; returns ``(value, next offset)``."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise error(f"truncated {what}")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7

@@ -2,11 +2,64 @@
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.dictionary import Dictionary, Item
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase
+
+# Hypothesis profiles: "ci" derandomizes so the property-based suites are
+# reproducible in CI (select with HYPOTHESIS_PROFILE=ci); "dev" keeps the
+# default randomized exploration for local runs.
+hypothesis_settings.register_profile("ci", derandomize=True, deadline=None)
+hypothesis_settings.register_profile("dev")
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+#: Directory holding the golden JSON snapshots of experiment outputs.
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden JSON snapshots under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture()
+def golden(request):
+    """Compare data against a named golden file (or refresh it).
+
+    Usage: ``golden("table2", rows)``.  Run ``pytest --update-golden`` after
+    an intentional change to regenerate the snapshots; the diff then shows up
+    in code review like any other change.
+    """
+
+    def check(name: str, data):
+        path = GOLDEN_DIR / f"{name}.json"
+        rendered = json.dumps(data, indent=2, sort_keys=True)
+        if request.config.getoption("--update-golden"):
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(rendered + "\n", encoding="utf-8")
+            return
+        assert path.exists(), (
+            f"golden file {path} is missing; run pytest --update-golden to create it"
+        )
+        expected = json.loads(path.read_text(encoding="utf-8"))
+        assert data == expected, (
+            f"{name} drifted from its golden snapshot; if the change is "
+            f"intentional, refresh with pytest --update-golden"
+        )
+
+    return check
 
 
 def make_running_example_dictionary() -> Dictionary:

@@ -18,6 +18,7 @@ from repro.mapreduce import (
     SimulatedCluster,
     ThreadPoolCluster,
     make_cluster,
+    make_codec,
     resolve_cluster,
     run_map_task,
     stable_hash,
@@ -85,16 +86,24 @@ class TestMakeCluster:
 # ------------------------------------------------------------ stage driver
 class TestWorkerSideShuffle:
     def test_map_task_returns_per_bucket_payloads(self):
-        """Map tasks partition locally; the driver never re-buckets pairs."""
+        """Map tasks partition and encode locally; the driver never re-buckets pairs."""
         job = WordCountJob()
+        codec = make_codec("compact")
         result = run_map_task(job, WORDS, num_reduce_tasks=8, measure_shuffle=True)
-        assert result.buckets  # per-bucket payloads, not flat (key, value) pairs
-        for bucket_index, payload in result.buckets:
+        assert result.buckets  # encoded per-bucket fragments, not (key, value) pairs
+        for bucket_index, fragment in result.buckets:
+            payload = codec.decode_bucket(fragment.read())
             assert payload  # empty buckets are not shipped
             for key in payload:
                 assert job.partition(key, 8) == bucket_index
-        total = sum(len(values) for _, payload in result.buckets for values in payload.values())
+        total = sum(
+            len(values)
+            for _, fragment in result.buckets
+            for values in codec.decode_bucket(fragment.read()).values()
+        )
         assert total == result.shuffle_records == result.combined_records
+        assert result.wire_bytes == sum(f.wire_bytes for _, f in result.buckets)
+        assert result.spilled_buckets == 0 and result.spill_path is None
 
     def test_stable_hash_types(self):
         assert stable_hash(42) == 42
@@ -124,6 +133,8 @@ class TestWorkerSideShuffle:
         assert dict(real.outputs) == dict(simulated.outputs)
         assert real.metrics.shuffle_records == simulated.metrics.shuffle_records
         assert real.metrics.shuffle_bytes == simulated.metrics.shuffle_bytes
+        assert real.metrics.wire_bytes == simulated.metrics.wire_bytes
+        assert real.metrics.wire_bytes > 0
         assert real.metrics.map_output_records == simulated.metrics.map_output_records
         assert real.metrics.combined_records == simulated.metrics.combined_records
 
@@ -169,6 +180,8 @@ class TestMinerEquivalence:
         assert other.patterns() == base.patterns()
         assert other.metrics.shuffle_records == base.metrics.shuffle_records
         assert other.metrics.shuffle_bytes == base.metrics.shuffle_bytes
+        assert other.metrics.wire_bytes == base.metrics.wire_bytes
+        assert other.metrics.wire_bytes > 0
 
     def test_dseq(self, ex_dictionary, ex_database):
         self.assert_equivalent(

@@ -101,6 +101,103 @@ class TestAlgorithmsAgree:
         assert count == distributed
 
 
+#: Atoms of the random-expression grammar: plain items, wildcards, and the
+#: generalization (``^``) / forced-generalization (``^=``) modifiers.
+RANDOM_ATOMS = ["a1", "a2", "b", "c", "d", "e", "A", ".", "A^", ".^", "a1^", "A^="]
+
+#: Postfix operators applied to bracketed groups.
+RANDOM_POSTFIX = ["", "?", "*", "+", "{1,2}", "{0,2}"]
+
+
+def patex_strategy():
+    """Random—but always grammatical—pattern expressions.
+
+    Fragments are composed from captured/uncaptured atoms via bracketed
+    concatenation, alternation, and repetition (bare multi-character items
+    cannot be juxtaposed, the lexer would merge them into one token).  Every
+    generated expression embeds at least one capture between ``.*`` anchors,
+    so it has a chance of producing patterns.
+    """
+    plain_atom = st.sampled_from(RANDOM_ATOMS)
+    captured_leaf = st.one_of(
+        plain_atom.map(lambda atom: f"({atom})"),
+        st.tuples(plain_atom, plain_atom).map(lambda pair: f"({pair[0]}|{pair[1]})"),
+    )
+    leaf = st.one_of(plain_atom, captured_leaf)
+
+    def wrap(inner):
+        return st.one_of(
+            st.tuples(inner, st.sampled_from(RANDOM_POSTFIX)).map(
+                lambda pair: f"[{pair[0]}]{pair[1]}"
+            ),
+            st.tuples(inner, inner).map(lambda pair: f"[{pair[0]}][{pair[1]}]"),
+            st.tuples(inner, inner).map(lambda pair: f"[{pair[0]}|{pair[1]}]"),
+        )
+
+    fragment = st.recursive(leaf, wrap, max_leaves=5)
+    return st.tuples(fragment, captured_leaf, fragment).map(
+        lambda parts: f".*[{parts[0]}]{parts[1]}[{parts[2]}].*"
+    )
+
+
+class TestRandomExpressions:
+    """Differential testing over *random* constraints, not a fixed list.
+
+    The five mining pipelines under test share almost no code (sequence
+    representation + DESQ-DFS, NFA representation + counting, candidate
+    enumeration with and without item pruning, and the two sequential
+    reference miners), so agreement on random expression/database/sigma
+    triples is strong evidence for the π-semantics being implemented
+    correctly everywhere.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        expression=patex_strategy(),
+        sequences=sequences_strategy(),
+        sigma=st.integers(min_value=1, max_value=3),
+    )
+    def test_all_miners_agree(self, expression, sequences, sigma):
+        dictionary, database = build_consistent(sequences)
+        results = {
+            algorithm: mine(
+                database, dictionary, expression, sigma=sigma,
+                algorithm=algorithm, num_workers=3,
+            ).patterns()
+            for algorithm in ("dseq", "dcand", "naive", "semi-naive")
+        }
+        results["desq-dfs"] = (
+            SequentialDesqDfs(expression, sigma, dictionary).mine(database).patterns()
+        )
+        results["desq-count"] = (
+            SequentialDesqCount(expression, sigma, dictionary).mine(database).patterns()
+        )
+        reference = results["dseq"]
+        for algorithm, patterns in results.items():
+            assert patterns == reference, f"{algorithm} disagrees with dseq on {expression!r}"
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        expression=patex_strategy(),
+        sequences=sequences_strategy(),
+        sigma=st.integers(min_value=1, max_value=3),
+    )
+    def test_support_counts_match_candidate_oracle(self, expression, sequences, sigma):
+        """Every reported frequency equals brute-force per-sequence support."""
+        dictionary, database = build_consistent(sequences)
+        fst = PatEx(expression).compile(dictionary)
+        result = mine(
+            database, dictionary, expression, sigma=sigma, algorithm="dcand",
+        )
+        for pattern, frequency in result.patterns().items():
+            support = sum(
+                1
+                for sequence in database
+                if pattern in generate_candidates(fst, sequence, dictionary)
+            )
+            assert support == frequency >= sigma
+
+
 class TestSemanticsOracle:
     """FST candidate generation agrees with a brute-force subsequence oracle
     for a constraint whose semantics are easy to state directly."""

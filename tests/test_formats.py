@@ -164,6 +164,75 @@ class TestBinaryFormat:
         assert read_binary_database(path).sequences() == database.sequences()
 
 
+# ---------------------------------------------------------- round-trip edges
+#: gid alphabet for the text/jsonl properties: the text format splits on
+#: whitespace, so gids must be non-empty and whitespace-free.
+GIDS = st.text(
+    alphabet=st.characters(blacklist_categories=("Z", "C")), min_size=1, max_size=8
+)
+
+
+class TestRoundTripEdgeCases:
+    """Encode→decode identity for every format, including the edge cases the
+    line-oriented formats cannot express (empty sequences, huge fids)."""
+
+    def test_binary_empty_sequences_round_trip(self, tmp_path):
+        """The binary format preserves empty sequences exactly (text/jsonl
+        readers drop them by design, so binary is the lossless format)."""
+        database = SequenceDatabase([(), (1, 2), (), (3,)])
+        path = tmp_path / "data.rsdb"
+        write_binary_database(path, database)
+        assert read_binary_database(path).sequences() == database.sequences()
+
+    def test_binary_max_fid_round_trip(self, tmp_path):
+        """Varints carry fids beyond any fixed width (2^63 and above)."""
+        database = SequenceDatabase([(2**63 - 1, 2**63, 2**64 + 5, 1)])
+        path = tmp_path / "data.rsdb"
+        write_binary_database(path, database)
+        assert read_binary_database(path).sequences() == database.sequences()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=1, max_value=2**63), max_size=8),
+            max_size=10,
+        )
+    )
+    def test_binary_round_trip_with_empties_property(self, tmp_path_factory, sequences):
+        database = SequenceDatabase([tuple(sequence) for sequence in sequences])
+        path = tmp_path_factory.mktemp("binary-edge") / "data.rsdb"
+        write_binary_database(path, database)
+        assert read_binary_database(path).sequences() == database.sequences()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.lists(GIDS, min_size=1, max_size=6), max_size=8))
+    def test_text_round_trip_property(self, tmp_path_factory, sequences):
+        path = tmp_path_factory.mktemp("text") / "data.txt"
+        save_sequences(path, sequences, file_format="text")
+        assert load_sequences(path, file_format="text") == [
+            tuple(sequence) for sequence in sequences
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.lists(GIDS, min_size=1, max_size=6), max_size=8))
+    def test_jsonl_round_trip_property(self, tmp_path_factory, sequences):
+        path = tmp_path_factory.mktemp("jsonl") / "data.jsonl"
+        save_sequences(path, sequences, file_format="jsonl")
+        assert load_sequences(path, file_format="jsonl") == [
+            tuple(sequence) for sequence in sequences
+        ]
+
+    def test_gzip_round_trip_every_format(self, tmp_path):
+        for suffix in ("txt.gz", "jsonl.gz"):
+            path = tmp_path / f"data.{suffix}"
+            save_sequences(path, RAW)
+            assert load_sequences(path) == list(RAW)
+        database = SequenceDatabase([(), (1, 2**40)])
+        path = tmp_path / "data.rsdb.gz"
+        write_binary_database(path, database)
+        assert read_binary_database(path).sequences() == database.sequences()
+
+
 # ------------------------------------------------------------------- dispatch
 class TestDispatch:
     def test_save_and_load_text(self, tmp_path):
