@@ -7,11 +7,24 @@ from repro.experiments import figure9c, format_table, human_bytes
 from benchmarks.conftest import BENCH_SIZES, BENCH_WORKERS, run_once
 
 
-def test_figure9c_shuffle_sizes(benchmark):
+def test_figure9c_shuffle_sizes(benchmark, bench_json):
     rows = run_once(
         benchmark, figure9c, size=BENCH_SIZES["AMZN"], num_workers=BENCH_WORKERS
     )
+    artifact = bench_json(
+        "fig9c",
+        {
+            "experiment": "fig9c",
+            "workers": BENCH_WORKERS,
+            "dataset_size": BENCH_SIZES["AMZN"],
+            # Each row: makespan (total_s), modeled shuffle_bytes, measured
+            # wire_bytes, and per-task input pickle bytes.
+            "rows": rows,
+        },
+    )
     print()
+    if artifact is not None:
+        print(f"wrote {artifact}")
     print("Fig. 9c (reproduced): shuffle size per algorithm, AMZN-like dataset")
     print("  (modeled = record_size cost model; wire = measured encoded payloads)")
     for row in rows:

@@ -10,21 +10,38 @@ minutes on a laptop; EXPERIMENTS.md records a run with these defaults.
 
 Two environment variables tune the suite without touching code:
 
-* ``REPRO_BENCH_SCALE`` — multiply every dataset size by this factor (the CI
-  smoke job uses 0.2 so each figure script runs in seconds);
+* ``REPRO_BENCH_SCALE`` — multiply every dataset size by this factor; accepts
+  a float or one of the named scales ``tiny`` (0.05, the CI regression
+  artifacts), ``small`` (0.25), ``full`` (1.0);
 * ``REPRO_BACKEND`` — execution backend for the scalability benchmark
-  (``simulated`` models the cluster; ``threads``/``processes`` measure real
-  wall-clock behaviour on the local machine).
+  (``simulated`` models the cluster; ``threads``/``processes``/
+  ``persistent-processes`` measure real wall-clock behaviour locally).
+
+Passing ``--json [DIR]`` additionally writes machine-readable regression
+artifacts (``BENCH_<name>.json``) for the benchmarks that support it —
+currently the fig9c shuffle-size and table5 speed-up benchmarks, which record
+makespan, modeled and measured wire bytes, and per-task input pickle bytes.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
-#: Scale factor applied to every dataset size (e.g. 0.2 for the CI smoke run).
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+#: Named dataset scales accepted by ``REPRO_BENCH_SCALE``.
+NAMED_SCALES = {"tiny": 0.05, "small": 0.25, "full": 1.0}
+
+
+def parse_scale(raw: str) -> float:
+    scale = NAMED_SCALES.get(raw.strip().lower())
+    return float(raw) if scale is None else scale
+
+
+#: Scale factor applied to every dataset size (e.g. ``tiny`` for the CI run).
+BENCH_SCALE = parse_scale(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 #: Dataset sizes used by the benchmark suite (smaller than the library defaults
 #: so that the full suite stays fast).
@@ -45,6 +62,19 @@ BENCH_WORKERS = 8
 BENCH_BACKEND = os.environ.get("REPRO_BACKEND", "simulated")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="write BENCH_<name>.json regression artifacts into DIR "
+        "(defaults to the current directory when given without a value)",
+    )
+
+
 def run_once(benchmark, function, *args, **kwargs):
     """Run ``function`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
@@ -58,3 +88,30 @@ def bench_sizes() -> dict[str, int]:
 @pytest.fixture(scope="session")
 def bench_workers() -> int:
     return BENCH_WORKERS
+
+
+@pytest.fixture(scope="session")
+def bench_json(request):
+    """Emitter for ``BENCH_<name>.json`` regression artifacts.
+
+    Returns ``emit(name, payload)``: a no-op returning None unless ``--json``
+    was passed, in which case the payload is written to
+    ``DIR/BENCH_<name>.json`` (pretty-printed and key-sorted, so the byte
+    fields of successive runs diff cleanly; timing fields naturally vary per
+    run) and the path is returned.  Every payload is stamped with the dataset
+    scale; each benchmark records its own worker count, which may differ from
+    :data:`BENCH_WORKERS` (Table V simulates 64 workers).
+    """
+    directory = request.config.getoption("--json")
+
+    def emit(name: str, payload: dict):
+        if directory is None:
+            return None
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        path = target / f"BENCH_{name}.json"
+        document = {"scale": BENCH_SCALE, **payload}
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        return path
+
+    return emit

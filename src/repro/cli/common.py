@@ -222,3 +222,9 @@ def print_metrics(metrics, stream=None) -> None:
                 int(summary["spilled_buckets"]), int(summary["spilled_bytes"])
             )
         )
+    if summary.get("map_input_pickle_bytes"):
+        stream.write(
+            "map input shipping {:,} pickled bytes\n".format(
+                int(summary["map_input_pickle_bytes"])
+            )
+        )

@@ -73,8 +73,9 @@ def add_parser(subparsers) -> None:
         default="simulated",
         help=(
             "execution backend: 'simulated' models the cluster makespan, "
-            "'threads'/'processes' execute on real local workers "
-            "(default: simulated)"
+            "'threads'/'processes' execute on real local workers, "
+            "'persistent-processes' shares the encoded database with the "
+            "workers via shared memory (default: simulated)"
         ),
     )
     add_shuffle_arguments(parser)

@@ -66,7 +66,10 @@ def add_parser(subparsers) -> None:
             "execution backend for the distributed algorithms: 'simulated' "
             "models the cluster makespan in-process, 'threads' runs on a "
             "local thread pool, 'processes' runs on a local process pool for "
-            "real wall-clock speed-ups (default: simulated)"
+            "real wall-clock speed-ups, 'persistent-processes' additionally "
+            "shares the encoded database with the workers via shared memory "
+            "so tasks ship chunk descriptors instead of pickled sequences "
+            "(default: simulated)"
         ),
     )
     add_shuffle_arguments(parser)

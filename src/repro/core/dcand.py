@@ -25,7 +25,7 @@ from repro.fst import Fst, accepting_runs, run_output_sets
 from repro.mapreduce import Cluster, MapReduceJob, resolve_cluster
 from repro.nfa import TrieBuilder, deserialize, serialize
 from repro.patex import PatEx
-from repro.sequences import SequenceDatabase
+from repro.sequences import SequenceDatabase, as_records
 
 
 class DCandJob(MapReduceJob):
@@ -179,7 +179,6 @@ class DCandMiner:
             codec=self.codec,
             spill_budget_bytes=self.spill_budget_bytes,
         )
-        records = list(database)
-        result = cluster.run(job, records)
+        result = cluster.run(job, as_records(database))
         patterns = dict(result.outputs)
         return MiningResult(patterns, result.metrics, algorithm=self.algorithm_name)

@@ -27,7 +27,7 @@ from repro.errors import CandidateExplosionError
 from repro.fst import Fst
 from repro.mapreduce import Cluster, MapReduceJob, resolve_cluster
 from repro.patex import PatEx
-from repro.sequences import SequenceDatabase
+from repro.sequences import SequenceDatabase, as_records
 
 
 class DSeqJob(MapReduceJob):
@@ -178,7 +178,6 @@ class DSeqMiner:
             codec=self.codec,
             spill_budget_bytes=self.spill_budget_bytes,
         )
-        records = list(database)
-        result = cluster.run(job, records)
+        result = cluster.run(job, as_records(database))
         patterns = dict(result.outputs)
         return MiningResult(patterns, result.metrics, algorithm=self.algorithm_name)

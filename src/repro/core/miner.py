@@ -55,8 +55,9 @@ def mine(
         One of ``"dseq"``, ``"dcand"``, ``"naive"``, ``"semi-naive"``.
     options:
         Forwarded to the chosen miner (e.g. ``num_workers``, ``use_rewriting``,
-        ``backend`` — one of ``"simulated"``, ``"threads"``, ``"processes"`` —
-        to pick the execution backend, ``codec`` — one of ``"compact"``,
+        ``backend`` — one of ``"simulated"``, ``"threads"``, ``"processes"``,
+        ``"persistent-processes"`` — to pick the execution backend, ``codec``
+        — one of ``"compact"``,
         ``"zlib"``, ``"pickle"`` — to pick the shuffle wire format, or
         ``spill_budget_bytes`` to let map tasks spill encoded shuffle
         payloads to disk past an in-memory budget).

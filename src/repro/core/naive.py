@@ -20,7 +20,7 @@ from repro.dictionary import Dictionary
 from repro.fst import Fst, generate_candidates
 from repro.mapreduce import Cluster, MapReduceJob, resolve_cluster
 from repro.patex import PatEx
-from repro.sequences import SequenceDatabase
+from repro.sequences import SequenceDatabase, as_records
 
 
 class NaiveJob(MapReduceJob):
@@ -117,7 +117,7 @@ class _SubsequenceBaselineMiner:
             codec=self.codec,
             spill_budget_bytes=self.spill_budget_bytes,
         )
-        result = cluster.run(job, list(database))
+        result = cluster.run(job, as_records(database))
         return MiningResult(dict(result.outputs), result.metrics, self.algorithm_name)
 
 

@@ -84,8 +84,10 @@ def figure9c(
                     "constraint": row["constraint"],
                     "algorithm": row["algorithm"],
                     "status": row["status"],
+                    "total_s": row["total_s"],
                     "shuffle_bytes": row["shuffle_bytes"],
                     "wire_bytes": row["wire_bytes"],
+                    "input_pickle_bytes": row["input_pickle_bytes"],
                 }
             )
     return rows

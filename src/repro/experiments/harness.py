@@ -35,6 +35,7 @@ class RunRecord:
     shuffle_records: int = 0
     wire_bytes: int = 0
     spilled_buckets: int = 0
+    input_pickle_bytes: int = 0
     num_patterns: int = 0
     num_workers: int = 1
     extra: dict = field(default_factory=dict)
@@ -50,6 +51,7 @@ class RunRecord:
             "mine_s": round(self.mine_seconds, 3),
             "shuffle_bytes": self.shuffle_bytes,
             "wire_bytes": self.wire_bytes,
+            "input_pickle_bytes": self.input_pickle_bytes,
             "patterns": self.num_patterns,
         }
 
@@ -72,7 +74,8 @@ def build_miner(
     """Instantiate a miner by algorithm name for the given constraint.
 
     ``backend`` selects the execution backend of the distributed miners
-    (``"simulated"``, ``"threads"``, or ``"processes"``), ``codec`` their
+    (``"simulated"``, ``"threads"``, ``"processes"``, or
+    ``"persistent-processes"``), ``codec`` their
     shuffle wire format, and ``spill_budget_bytes`` the per-map-task budget
     before shuffle payloads spill to disk; the sequential reference miners
     ignore all three.
@@ -171,6 +174,7 @@ def run_algorithm(
     record.shuffle_records = metrics.shuffle_records
     record.wire_bytes = metrics.wire_bytes
     record.spilled_buckets = metrics.spilled_buckets
+    record.input_pickle_bytes = metrics.map_input_pickle_bytes
     record.num_patterns = len(result)
     return record
 

@@ -149,6 +149,10 @@ def table5_speedup(
             "desq_dfs_s": round(sequential.total_seconds, 3),
             "dseq_s": round(dseq.total_seconds, 3),
             "dcand_s": round(dcand.total_seconds, 3),
+            "dseq_wire_bytes": dseq.wire_bytes,
+            "dcand_wire_bytes": dcand.wire_bytes,
+            "dseq_input_pickle_bytes": dseq.input_pickle_bytes,
+            "dcand_input_pickle_bytes": dcand.input_pickle_bytes,
         }
         for record, key in ((dseq, "dseq_speedup"), (dcand, "dcand_speedup")):
             if record.status == "ok" and record.total_seconds > 0:

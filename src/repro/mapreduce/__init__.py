@@ -1,12 +1,16 @@
 """MapReduce / bulk-synchronous-parallel substrate with pluggable backends.
 
 One job model (:class:`MapReduceJob`), one stage driver
-(:class:`~repro.mapreduce.base.StageDriverCluster`), three execution backends:
+(:class:`~repro.mapreduce.base.StageDriverCluster`), four execution backends:
 
 * ``simulated`` — in-process execution that models the makespan of
   ``num_workers`` workers (deterministic, no parallelism overhead);
 * ``threads`` — a local thread pool (real concurrent scheduling, no pickling);
-* ``processes`` — a local process pool (real wall-clock speed-ups).
+* ``processes`` — a local process pool (real wall-clock speed-ups);
+* ``persistent-processes`` — a local process pool whose workers attach the
+  input database once via a shared-memory
+  :class:`~repro.sequences.store.EncodedSequenceStore`; tasks carry chunk
+  descriptors, so the per-task database pickling tax disappears.
 
 Use :func:`make_cluster` to pick a backend by name.
 """
@@ -16,13 +20,18 @@ from repro.mapreduce.engine import SimulatedCluster, run_job
 from repro.mapreduce.factory import BACKENDS, make_cluster, resolve_cluster
 from repro.mapreduce.job import MapReduceJob, iter_map_output, stable_hash
 from repro.mapreduce.metrics import JobMetrics
-from repro.mapreduce.parallel import ProcessPoolCluster, ThreadPoolCluster
+from repro.mapreduce.parallel import (
+    PersistentProcessPoolCluster,
+    ProcessPoolCluster,
+    ThreadPoolCluster,
+)
 from repro.mapreduce.spill import WireFragment, merge_fragments
 from repro.mapreduce.tasks import (
     MapTaskResult,
     ReduceTaskResult,
     run_map_task,
     run_reduce_task,
+    run_store_map_task,
 )
 from repro.mapreduce.wire import CODECS, Codec, CompactCodec, PickleCodec, make_codec
 
@@ -36,6 +45,7 @@ __all__ = [
     "JobResult",
     "MapReduceJob",
     "MapTaskResult",
+    "PersistentProcessPoolCluster",
     "PickleCodec",
     "ProcessPoolCluster",
     "ReduceTaskResult",
@@ -51,5 +61,6 @@ __all__ = [
     "run_job",
     "run_map_task",
     "run_reduce_task",
+    "run_store_map_task",
     "stable_hash",
 ]

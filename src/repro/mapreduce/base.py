@@ -10,7 +10,11 @@ tasks execute:
 * :class:`~repro.mapreduce.parallel.ThreadPoolCluster` runs tasks on a thread
   pool (no pickling tax; best for I/O-light or GIL-releasing jobs);
 * :class:`~repro.mapreduce.parallel.ProcessPoolCluster` runs tasks on a process
-  pool and demonstrates real wall-clock speed-ups on multi-core machines.
+  pool and demonstrates real wall-clock speed-ups on multi-core machines;
+* :class:`~repro.mapreduce.parallel.PersistentProcessPoolCluster` also runs on
+  a process pool, but publishes the input database once as a shared
+  :class:`~repro.sequences.store.EncodedSequenceStore` and ships only chunk
+  descriptors to its workers.
 
 The shared driver lives in :class:`StageDriverCluster`: it splits the input
 into map tasks, routes the per-bucket payloads returned by the map tasks to
@@ -22,6 +26,7 @@ per-worker time attribution (:meth:`StageDriverCluster._worker_times`).
 
 from __future__ import annotations
 
+import pickle
 import shutil
 import tempfile
 from collections.abc import Callable, Sequence
@@ -76,9 +81,12 @@ class StageDriverCluster:
         Number of reduce buckets (defaults to ``4 * num_workers``, mimicking
         the usual over-partitioning of Spark/Hadoop deployments).
     measure_shuffle:
-        If False, skips per-record *modeled* size accounting (slightly
-        faster); the measured wire bytes are always collected because the
-        payloads are encoded either way.
+        If False, skips the *modeled* accounting — the per-record shuffle
+        sizes and the per-chunk input pickling cost (the latter costs one
+        ``pickle.dumps`` per map chunk in the driver, even on backends that
+        never ship chunks) — which is slightly faster; the measured wire
+        bytes are always collected because the payloads are encoded either
+        way.
     codec:
         Shuffle serialization codec — a name from
         :data:`~repro.mapreduce.wire.CODECS` or a
@@ -136,61 +144,61 @@ class StageDriverCluster:
         """Execute ``job`` over ``records`` and return outputs plus metrics."""
         metrics = JobMetrics(num_workers=self.num_workers)
         metrics.input_records = len(records)
-        chunks = [chunk for chunk in split_records(records, self.num_workers) if len(chunk)]
 
         # All spill files of one run live in a per-job directory, removed
-        # wholesale below — so a failing map task (e.g. a candidate explosion)
-        # cannot strand the temp files of the tasks that already completed.
+        # wholesale below — so a failing map or reduce task (e.g. a candidate
+        # explosion) cannot strand the temp files of the tasks that already
+        # completed.  The executor scope exits (and thus joins every still
+        # running worker task) before the directory is removed.
         job_spill_dir: str | None = None
         if self.spill_budget_bytes is not None:
             job_spill_dir = tempfile.mkdtemp(prefix="repro-shuffle-", dir=self.spill_dir)
         try:
-            with self._executor_scope() as execute:
-                # Map stage: each task partitions, combines, and encodes its
-                # reduce buckets locally (worker-side shuffle write), spilling
-                # payloads to disk past the in-memory budget.
-                map_results: list[MapTaskResult] = execute(
-                    [
-                        (
-                            run_map_task,
-                            (
-                                job,
-                                chunk,
-                                self.num_reduce_tasks,
-                                self.measure_shuffle,
-                                self.codec,
-                                self.spill_budget_bytes,
-                                job_spill_dir,
-                            ),
-                        )
-                        for chunk in chunks
+            with self._input_scope(records) as chunks:
+                if self.measure_shuffle:
+                    for chunk in chunks:
+                        # Modeled per-task input shipping cost.  In-process
+                        # backends never actually pickle their chunks, so
+                        # unpicklable records must not fail here; the metric
+                        # simply stays 0 for them.
+                        try:
+                            metrics.map_input_pickle_bytes += len(
+                                pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
+                            )
+                        except Exception:
+                            pass
+                with self._executor_scope(chunks) as execute:
+                    # Map stage: each task partitions, combines, and encodes
+                    # its reduce buckets locally (worker-side shuffle write),
+                    # spilling payloads to disk past the in-memory budget.
+                    map_results: list[MapTaskResult] = execute(
+                        [self._map_task(job, chunk, job_spill_dir) for chunk in chunks]
+                    )
+                    fragments: list[list[WireFragment]] = [
+                        [] for _ in range(self.num_reduce_tasks)
                     ]
-                )
-                fragments: list[list[WireFragment]] = [
-                    [] for _ in range(self.num_reduce_tasks)
-                ]
-                for result in map_results:
-                    metrics.map_output_records += result.map_output_records
-                    metrics.combined_records += result.combined_records
-                    metrics.shuffle_bytes += result.shuffle_bytes
-                    metrics.shuffle_records += result.shuffle_records
-                    metrics.wire_bytes += result.wire_bytes
-                    metrics.spilled_buckets += result.spilled_buckets
-                    metrics.spilled_bytes += result.spilled_bytes
-                    metrics.map_task_seconds.append(result.seconds)
-                    for bucket_index, fragment in result.buckets:
-                        fragments[bucket_index].append(fragment)
+                    for result in map_results:
+                        metrics.map_output_records += result.map_output_records
+                        metrics.combined_records += result.combined_records
+                        metrics.shuffle_bytes += result.shuffle_bytes
+                        metrics.shuffle_records += result.shuffle_records
+                        metrics.wire_bytes += result.wire_bytes
+                        metrics.spilled_buckets += result.spilled_buckets
+                        metrics.spilled_bytes += result.spilled_bytes
+                        metrics.map_task_seconds.append(result.seconds)
+                        for bucket_index, fragment in result.buckets:
+                            fragments[bucket_index].append(fragment)
 
-                # Reduce stage: one task per non-empty bucket; the streamed
-                # key-group merge (shuffle read) happens inside the task,
-                # i.e. on the worker.
-                reduce_results: list[ReduceTaskResult] = execute(
-                    [
-                        (run_reduce_task, (job, bucket_fragments, self.codec))
-                        for bucket_fragments in fragments
-                        if bucket_fragments
-                    ]
-                )
+                    # Reduce stage: one task per non-empty bucket; the
+                    # streamed key-group merge (shuffle read) happens inside
+                    # the task, i.e. on the worker.
+                    reduce_results: list[ReduceTaskResult] = execute(
+                        [
+                            (run_reduce_task, (job, bucket_fragments, self.codec))
+                            for bucket_fragments in fragments
+                            if bucket_fragments
+                        ]
+                    )
         finally:
             if job_spill_dir is not None:
                 shutil.rmtree(job_spill_dir, ignore_errors=True)
@@ -204,13 +212,43 @@ class StageDriverCluster:
 
     # ------------------------------------------------------------- extensions
     @contextmanager
-    def _executor_scope(self):
+    def _input_scope(self, records: Sequence[Any]):
+        """Prepare the map inputs for one run; yields the non-empty chunks.
+
+        The default splits ``records`` into contiguous chunks that ship with
+        each task.  The persistent backend overrides this to publish the
+        records as a shared :class:`~repro.sequences.store.EncodedSequenceStore`
+        and yield :class:`~repro.sequences.store.StoreChunk` descriptors; the
+        scope outlives both stages, so the store stays attachable until every
+        task has finished.
+        """
+        yield [chunk for chunk in split_records(records, self.num_workers) if len(chunk)]
+
+    def _map_task(self, job: MapReduceJob, chunk: Any, job_spill_dir: str | None) -> Task:
+        """Build the map task for one chunk produced by :meth:`_input_scope`."""
+        return (
+            run_map_task,
+            (
+                job,
+                chunk,
+                self.num_reduce_tasks,
+                self.measure_shuffle,
+                self.codec,
+                self.spill_budget_bytes,
+                job_spill_dir,
+            ),
+        )
+
+    @contextmanager
+    def _executor_scope(self, chunks: Sequence[Any]):
         """Yield a ``tasks -> results`` callable; the scope spans both stages.
 
-        Results come back in submission order.  The default runs tasks
-        serially in the calling process; pool backends yield a closure over
-        a freshly created executor, so one cluster instance can safely serve
-        concurrent :meth:`run` calls.
+        ``chunks`` are the map inputs prepared by :meth:`_input_scope`
+        (backends that initialize their workers per job batch read the store
+        handle from them).  Results come back in submission order.  The
+        default runs tasks serially in the calling process; pool backends
+        yield a closure over a freshly created executor, so one cluster
+        instance can safely serve concurrent :meth:`run` calls.
         """
         yield lambda tasks: [function(*args) for function, args in tasks]
 
@@ -222,9 +260,26 @@ class StageDriverCluster:
         return list(totals.values())
 
 
+def split_ranges(count: int, parts: int) -> list[tuple[int, int]]:
+    """Non-empty ``(start, stop)`` ranges tiling ``[0, count)`` into ``parts``.
+
+    The single source of truth for map-task boundaries: :func:`split_records`
+    slices materialized records with it and the persistent backend addresses
+    its store chunks with it, which is what makes map-task composition — and
+    therefore combiner output, shuffle metrics, and measured wire bytes —
+    byte-identical across backends.
+    """
+    if count <= 0:
+        return []
+    if parts <= 1:
+        return [(0, count)]
+    chunk = (count + parts - 1) // parts
+    return [(start, min(start + chunk, count)) for start in range(0, count, chunk)]
+
+
 def split_records(records: Sequence[Any], parts: int) -> list[Sequence[Any]]:
-    """Split records into at most ``parts`` contiguous chunks."""
-    if parts <= 1 or not len(records):
+    """Split records into at most ``parts`` contiguous non-empty chunks."""
+    ranges = split_ranges(len(records), parts)
+    if ranges == [(0, len(records))]:
         return [records]
-    chunk = (len(records) + parts - 1) // parts
-    return [records[i : i + chunk] for i in range(0, len(records), chunk)]
+    return [records[start:stop] for start, stop in ranges]

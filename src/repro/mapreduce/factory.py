@@ -5,11 +5,15 @@ from __future__ import annotations
 from repro.errors import MapReduceError
 from repro.mapreduce.base import Cluster
 from repro.mapreduce.engine import SimulatedCluster
-from repro.mapreduce.parallel import ProcessPoolCluster, ThreadPoolCluster
+from repro.mapreduce.parallel import (
+    PersistentProcessPoolCluster,
+    ProcessPoolCluster,
+    ThreadPoolCluster,
+)
 from repro.mapreduce.wire import Codec
 
 #: Canonical backend names, in the order shown by ``--help``.
-BACKENDS = ("simulated", "threads", "processes")
+BACKENDS = ("simulated", "threads", "processes", "persistent-processes")
 
 #: Accepted spellings -> canonical backend name.
 _ALIASES = {
@@ -23,12 +27,18 @@ _ALIASES = {
     "process": "processes",
     "processpool": "processes",
     "multiprocessing": "processes",
+    "persistent-processes": "persistent-processes",
+    "persistent_processes": "persistent-processes",
+    "persistent": "persistent-processes",
+    "shared-memory": "persistent-processes",
+    "shm": "persistent-processes",
 }
 
 _CLUSTER_CLASSES = {
     "simulated": SimulatedCluster,
     "threads": ThreadPoolCluster,
     "processes": ProcessPoolCluster,
+    "persistent-processes": PersistentProcessPoolCluster,
 }
 
 
@@ -45,8 +55,12 @@ def make_cluster(
 
     ``backend`` is one of :data:`BACKENDS` (a few aliases such as ``"process"``
     are accepted): ``"simulated"`` models the makespan of ``num_workers``
-    workers in-process, ``"threads"`` runs on a local thread pool, and
-    ``"processes"`` runs on a local process pool for real wall-clock speed-ups.
+    workers in-process, ``"threads"`` runs on a local thread pool,
+    ``"processes"`` runs on a local process pool for real wall-clock
+    speed-ups, and ``"persistent-processes"`` also uses a process pool but
+    publishes the input database once as a shared
+    :class:`~repro.sequences.store.EncodedSequenceStore` so tasks ship chunk
+    descriptors instead of pickled sequence lists.
     ``num_workers=None`` uses the backend's default worker count.  ``codec``
     picks the shuffle wire format (:data:`~repro.mapreduce.wire.CODECS`) and
     ``spill_budget_bytes`` caps the encoded payload bytes a map task keeps in

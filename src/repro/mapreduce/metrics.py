@@ -28,6 +28,11 @@ class JobMetrics:
     #: Number of bucket payloads spilled to temp files and their total size.
     spilled_buckets: int = 0
     spilled_bytes: int = 0
+    #: Pickled size of the map tasks' input arguments — the per-task database
+    #: shipping cost a process-pool backend pays.  Backends that pass chunk
+    #: descriptors against a shared store (``persistent-processes``) report a
+    #: few dozen bytes per task here regardless of database size.
+    map_input_pickle_bytes: int = 0
     map_output_records: int = 0
     combined_records: int = 0
     input_records: int = 0
@@ -74,6 +79,7 @@ class JobMetrics:
             "wire_bytes": self.wire_bytes,
             "spilled_buckets": self.spilled_buckets,
             "spilled_bytes": self.spilled_bytes,
+            "map_input_pickle_bytes": self.map_input_pickle_bytes,
             "input_records": self.input_records,
             "output_records": self.output_records,
         }
@@ -89,6 +95,7 @@ class JobMetrics:
             wire_bytes=self.wire_bytes + other.wire_bytes,
             spilled_buckets=self.spilled_buckets + other.spilled_buckets,
             spilled_bytes=self.spilled_bytes + other.spilled_bytes,
+            map_input_pickle_bytes=self.map_input_pickle_bytes + other.map_input_pickle_bytes,
             map_output_records=self.map_output_records + other.map_output_records,
             combined_records=self.combined_records + other.combined_records,
             input_records=self.input_records + other.input_records,

@@ -27,6 +27,7 @@ from typing import Any
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.spill import WireFragment, merge_fragments, store_payloads
 from repro.mapreduce.wire import Codec, make_codec
+from repro.sequences.store import StoreChunk, resolve_chunk
 
 #: A payload addressed to one reduce bucket: key -> values emitted by one map task.
 BucketPayload = dict[Any, list[Any]]
@@ -132,6 +133,34 @@ def run_map_task(
             result.spilled_buckets += 1
             result.spilled_bytes += fragment.wire_bytes
     return result
+
+
+def run_store_map_task(
+    job: MapReduceJob,
+    chunk: StoreChunk,
+    num_reduce_tasks: int,
+    measure_shuffle: bool,
+    codec: Codec | str = "compact",
+    spill_budget_bytes: int | None = None,
+    spill_dir: str | None = None,
+) -> MapTaskResult:
+    """Run a map task over a chunk *descriptor* of a shared sequence store.
+
+    The worker attaches the published store once (cached per process) and
+    decodes its slice zero-copy, so the task's pickled input is the few dozen
+    bytes of the :class:`~repro.sequences.store.StoreChunk` — never the
+    sequences themselves.  Everything after resolution is byte-identical to
+    :func:`run_map_task` on the materialized chunk.
+    """
+    return run_map_task(
+        job,
+        resolve_chunk(chunk),
+        num_reduce_tasks,
+        measure_shuffle,
+        codec=codec,
+        spill_budget_bytes=spill_budget_bytes,
+        spill_dir=spill_dir,
+    )
 
 
 def run_reduce_task(

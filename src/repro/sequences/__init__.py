@@ -1,6 +1,17 @@
-"""Sequence databases and I/O."""
+"""Sequence databases, the zero-copy encoded store, and I/O."""
 
-from repro.sequences.database import DatabaseStatistics, SequenceDatabase
+from repro.sequences.database import DatabaseStatistics, SequenceDatabase, as_records
+from repro.sequences.store import (
+    EncodedSequenceStore,
+    SequenceStoreError,
+    StoreChunk,
+    StoreHandle,
+    StoreSlice,
+    as_encoded_store,
+    attach_store,
+    detach_store,
+    resolve_chunk,
+)
 from repro.sequences.formats import (
     detect_format,
     load_sequences,
@@ -22,8 +33,18 @@ from repro.sequences.io import (
 
 __all__ = [
     "DatabaseStatistics",
+    "EncodedSequenceStore",
     "SequenceDatabase",
+    "SequenceStoreError",
+    "StoreChunk",
+    "StoreHandle",
+    "StoreSlice",
+    "as_encoded_store",
+    "as_records",
+    "attach_store",
+    "detach_store",
     "detect_format",
+    "resolve_chunk",
     "load_sequences",
     "preprocess",
     "read_binary_database",

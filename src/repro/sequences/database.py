@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.dictionary import Dictionary
 from repro.errors import ReproError
+from repro.sequences.store import EncodedSequenceStore
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,7 @@ class SequenceDatabase:
 
     def __init__(self, sequences: Iterable[Sequence[int]] = ()) -> None:
         self._sequences: list[tuple[int, ...]] = []
+        self._store: tuple[int, EncodedSequenceStore] | None = None
         for sequence in sequences:
             self.append(sequence)
 
@@ -85,6 +87,26 @@ class SequenceDatabase:
         """Translate all sequences back into gid tuples (for display/tests)."""
         return [dictionary.decode(sequence) for sequence in self._sequences]
 
+    def __getstate__(self) -> dict:
+        # The cached store holds memoryviews (and possibly a shared-memory
+        # mapping); it is a per-process derivative, not part of the database.
+        state = self.__dict__.copy()
+        state["_store"] = None
+        return state
+
+    def encoded_store(self) -> EncodedSequenceStore:
+        """The database packed as an :class:`~repro.sequences.store.EncodedSequenceStore`.
+
+        The store is built on first use and cached; the database is
+        append-only, so the cache is valid exactly while the sequence count
+        is unchanged (appending invalidates it on the next call).
+        """
+        if self._store is not None and self._store[0] == len(self._sequences):
+            return self._store[1]
+        store = EncodedSequenceStore.from_sequences(self._sequences)
+        self._store = (len(self._sequences), store)
+        return store
+
     # ------------------------------------------------------------------ tools
     def sample(self, fraction: float, seed: int = 0) -> "SequenceDatabase":
         """Return a random sample containing ``fraction`` of the sequences.
@@ -118,3 +140,17 @@ class SequenceDatabase:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SequenceDatabase(sequences={len(self._sequences)})"
+
+
+def as_records(database) -> "Sequence[Sequence[int]]":
+    """Normalize a miner's ``database`` argument for ``Cluster.run``.
+
+    Databases and encoded stores already support length and contiguous
+    slicing, so they pass through uncopied — which is what lets the
+    ``persistent-processes`` backend reuse the database's cached
+    :meth:`SequenceDatabase.encoded_store` instead of re-packing the
+    sequences on every run.  Any other iterable is materialized once.
+    """
+    if isinstance(database, (SequenceDatabase, EncodedSequenceStore)):
+        return database
+    return list(database)

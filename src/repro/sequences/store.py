@@ -1,0 +1,402 @@
+"""Zero-copy encoded sequence store shared between worker processes.
+
+The distributed miners target the regime where the sequence database dwarfs
+the dictionary (Sec. V–VI of the paper), yet a plain process-pool backend
+re-pickles every map task's input chunk.  :class:`EncodedSequenceStore` removes
+that tax: the whole database is packed once into a flat, immutable block —
+LEB128 varint item columns plus a fixed-width offsets index — which can be
+published to :mod:`multiprocessing.shared_memory` (or a temp file when no
+shared memory is available) and *attached* by worker processes.  Tasks then
+carry only a :class:`StoreChunk` descriptor (store handle + offset range)
+instead of materialized sequence lists, so per-task database pickle bytes drop
+to a few dozen bytes regardless of database size.
+
+Block layout (native byte order; an IPC format for one machine, not a
+persistence format — :mod:`repro.sequences.formats` covers durable files)::
+
+    magic    8 bytes   b"SEQSTOR1"
+    count    u64       number of sequences
+    size     u64       length of the varint data region in bytes
+    offsets  (count + 1) * u64   byte offset of each sequence into the data
+    data     varint stream       items of all sequences, concatenated
+
+Sequence ``i`` occupies ``data[offsets[i]:offsets[i + 1]]``; its items are
+unsigned LEB128 varints (:mod:`repro.varint`), so small fids cost one byte and
+fids beyond 2**63 still round-trip.  All reads — :meth:`EncodedSequenceStore.slice`,
+indexing, iteration — decode directly from a :class:`memoryview` of the block;
+nothing is copied until a sequence tuple is materialized.
+"""
+
+from __future__ import annotations
+
+import mmap
+import operator
+import os
+import struct
+import tempfile
+from array import array
+from collections.abc import Iterable, Iterator, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+from repro.errors import ReproError
+from repro.varint import read_varint, write_varint
+
+
+class SequenceStoreError(ReproError):
+    """Raised for malformed store blocks or unusable store handles."""
+
+
+_MAGIC = b"SEQSTOR1"
+_HEADER = struct.Struct("=8sQQ")  # magic, sequence count, data-region size
+
+
+def _decode_sequence(data: memoryview, start: int, stop: int) -> tuple[int, ...]:
+    """Decode one sequence's varint column into a tuple of fids."""
+    items = []
+    offset = start
+    while offset < stop:
+        value, offset = read_varint(data, offset, error=SequenceStoreError, what="item")
+        items.append(value)
+    if offset != stop:
+        raise SequenceStoreError(
+            f"varint overran its sequence column ({offset} > {stop})"
+        )
+    return tuple(items)
+
+
+class EncodedSequenceStore(Sequence):
+    """Immutable columnar sequence database over one flat byte block.
+
+    Construct with :meth:`from_sequences` (packs the block) or :meth:`attach`
+    (maps a block another process published).  The store behaves as a
+    read-only :class:`~collections.abc.Sequence` of fid tuples; slicing
+    returns a zero-copy :class:`StoreSlice` view.
+    """
+
+    def __init__(self, block, *, owner=None) -> None:
+        view = memoryview(block)
+        if len(view) < _HEADER.size:
+            raise SequenceStoreError(f"store block too small ({len(view)} bytes)")
+        magic, count, data_size = _HEADER.unpack_from(view, 0)
+        if magic != _MAGIC:
+            raise SequenceStoreError(f"bad store magic {bytes(magic)!r}")
+        offsets_end = _HEADER.size + 8 * (count + 1)
+        if len(view) < offsets_end + data_size:
+            raise SequenceStoreError(
+                f"truncated store block: header promises {offsets_end + data_size} "
+                f"bytes, got {len(view)}"
+            )
+        self._block = view
+        self._offsets = view[_HEADER.size : offsets_end].cast("Q")
+        self._data = view[offsets_end : offsets_end + data_size]
+        self._count = count
+        self._owner = owner
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def from_sequences(cls, sequences: Iterable[Sequence[int]]) -> "EncodedSequenceStore":
+        """Pack fid sequences into a new in-process store block."""
+        data = bytearray()
+        offsets = [0]
+        count = 0
+        for sequence in sequences:
+            for item in sequence:
+                try:
+                    # operator.index (unlike int) rejects floats and digit
+                    # strings instead of silently coercing them, so records a
+                    # generic backend would ship verbatim cannot round-trip
+                    # through the store as different values.
+                    value = operator.index(item)
+                except TypeError as error:
+                    raise SequenceStoreError(
+                        f"store records must be sequences of non-negative integers "
+                        f"(fids); got item {item!r} in record {count}"
+                    ) from error
+                write_varint(data, value, error=SequenceStoreError)
+            offsets.append(len(data))
+            count += 1
+        block = bytearray(_HEADER.size + 8 * (count + 1) + len(data))
+        _HEADER.pack_into(block, 0, _MAGIC, count, len(data))
+        block[_HEADER.size : _HEADER.size + 8 * (count + 1)] = array("Q", offsets).tobytes()
+        block[_HEADER.size + 8 * (count + 1) :] = data
+        return cls(bytes(block))
+
+    # ----------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._count)
+            if step != 1:
+                raise SequenceStoreError("store slices must be contiguous (step 1)")
+            return StoreSlice(self, start, stop)
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError(index)
+        return _decode_sequence(self._data, self._offsets[index], self._offsets[index + 1])
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return self.iter_range(0, self._count)
+
+    def iter_range(self, start: int, stop: int) -> Iterator[tuple[int, ...]]:
+        """Decode sequences ``start:stop`` straight from the block."""
+        data, offsets = self._data, self._offsets
+        for index in range(start, stop):
+            yield _decode_sequence(data, offsets[index], offsets[index + 1])
+
+    def slice(self, start: int, stop: int) -> "StoreSlice":
+        """A zero-copy view of sequences ``start:stop``."""
+        return self[start:stop]
+
+    def sequences(self) -> list[tuple[int, ...]]:
+        """Materialize every sequence (testing/interop helper)."""
+        return list(self)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the packed block in bytes."""
+        return len(self._block)
+
+    def __reduce__(self):
+        # Pickling ships the flat block (what a generic backend would pay to
+        # move the whole store); attachments deliberately do not survive.
+        return (EncodedSequenceStore, (bytes(self._block),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EncodedSequenceStore(sequences={self._count}, nbytes={self.nbytes})"
+
+    # ---------------------------------------------------------------- sharing
+    def publish(
+        self, spill_dir: str | None = None, transport: str = "auto"
+    ) -> tuple["StoreHandle", "callable"]:
+        """Copy the block where other processes can attach it.
+
+        ``transport`` is ``"shm"`` (POSIX shared memory), ``"file"`` (a temp
+        file the workers mmap; the OS page cache keeps it shared), or
+        ``"auto"`` (shared memory with a file fallback).  Returns the
+        picklable :class:`StoreHandle` plus a ``release()`` callable that
+        unlinks the segment/file; the publisher must call it after the
+        consumers are done (closing an attachment never unlinks).
+        """
+        if transport not in ("auto", "shm", "file"):
+            raise SequenceStoreError(f"unknown store transport {transport!r}")
+        if transport in ("auto", "shm"):
+            try:
+                return self._publish_shared_memory()
+            except (OSError, ValueError):
+                if transport == "shm":
+                    raise
+        return self._publish_file(spill_dir)
+
+    def _publish_shared_memory(self) -> tuple["StoreHandle", "callable"]:
+        segment = shared_memory.SharedMemory(create=True, size=max(1, self.nbytes))
+        try:
+            segment.buf[: self.nbytes] = self._block
+        except BaseException:
+            segment.close()
+            segment.unlink()
+            raise
+        handle = StoreHandle(kind="shm", name=segment.name, nbytes=self.nbytes)
+
+        def release() -> None:
+            try:
+                segment.close()
+                segment.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover - best effort
+                pass
+
+        return handle, release
+
+    def _publish_file(self, spill_dir: str | None) -> tuple["StoreHandle", "callable"]:
+        descriptor, path = tempfile.mkstemp(prefix="repro-store-", suffix=".seqstore", dir=spill_dir)
+        try:
+            with os.fdopen(descriptor, "wb") as handle_file:
+                handle_file.write(self._block)
+        except BaseException:
+            os.remove(path)
+            raise
+        handle = StoreHandle(kind="file", name=path, nbytes=self.nbytes)
+
+        def release() -> None:
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+        return handle, release
+
+    @contextmanager
+    def published(self, spill_dir: str | None = None, transport: str = "auto"):
+        """Context-managed :meth:`publish`: yields the handle, then releases."""
+        handle, release = self.publish(spill_dir, transport)
+        try:
+            yield handle
+        finally:
+            release()
+
+    @classmethod
+    def attach(cls, handle: "StoreHandle") -> "EncodedSequenceStore":
+        """Map a published block read-only (no copy of the data region)."""
+        if handle.kind == "shm":
+            segment = _attach_shared_memory(handle.name)
+            return cls(memoryview(segment.buf)[: handle.nbytes], owner=segment)
+        if handle.kind == "file":
+            try:
+                with open(handle.name, "rb") as handle_file:
+                    mapped = mmap.mmap(handle_file.fileno(), handle.nbytes, access=mmap.ACCESS_READ)
+            except (OSError, ValueError) as error:
+                raise SequenceStoreError(
+                    f"cannot attach store file {handle.name}: {error}"
+                ) from error
+            return cls(memoryview(mapped), owner=mapped)
+        raise SequenceStoreError(f"unknown store handle kind {handle.kind!r}")
+
+    def close(self) -> None:
+        """Release the block's buffers (and the mapping, for attached stores)."""
+        self._offsets.release()
+        self._data.release()
+        self._block.release()
+        owner, self._owner = self._owner, None
+        if owner is not None:
+            owner.close()
+
+
+class StoreSlice(Sequence):
+    """A contiguous zero-copy view of an :class:`EncodedSequenceStore`.
+
+    Iterating decodes sequences straight from the store's block.  Pickling a
+    slice materializes it into a plain list of tuples — that is exactly the
+    chunk a generic process-pool backend would ship, which keeps the modeled
+    ``map_input_pickle_bytes`` honest; the persistent backend never pickles
+    slices, it ships :class:`StoreChunk` descriptors instead.
+    """
+
+    def __init__(self, store: EncodedSequenceStore, start: int, stop: int) -> None:
+        self.store = store
+        self.start = start
+        self.stop = max(start, stop)
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step != 1:
+                raise SequenceStoreError("store slices must be contiguous (step 1)")
+            return StoreSlice(self.store, self.start + start, self.start + stop)
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self.store[self.start + index]
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return self.store.iter_range(self.start, self.stop)
+
+    def __reduce__(self):
+        return (list, (tuple(self),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StoreSlice({self.start}:{self.stop} of {self.store!r})"
+
+
+@dataclass(frozen=True)
+class StoreHandle:
+    """Picklable pointer to a published store block.
+
+    ``kind`` is ``"shm"`` (``name`` is a shared-memory segment name) or
+    ``"file"`` (``name`` is a path workers mmap).  ``nbytes`` bounds the
+    mapping, because shared-memory segments may be rounded up to a page.
+    """
+
+    kind: str
+    name: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class StoreChunk:
+    """A map-task input descriptor: ``handle`` plus a sequence offset range.
+
+    This is what the persistent backend pickles per task instead of the
+    chunk's sequences; :func:`resolve_chunk` turns it back into a zero-copy
+    :class:`StoreSlice` inside the worker.
+    """
+
+    handle: StoreHandle
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+#: Per-process cache of attached stores, keyed by handle name.  A worker
+#: attaches each published store once and serves every task of the job batch
+#: from the same mapping; the pool's processes exit with the job, so entries
+#: never outlive the segment they point to.
+_ATTACHED: dict[str, EncodedSequenceStore] = {}
+
+
+def attach_store(handle: StoreHandle) -> EncodedSequenceStore:
+    """Attach ``handle`` in this process, reusing a previous attachment."""
+    store = _ATTACHED.get(handle.name)
+    if store is None:
+        store = EncodedSequenceStore.attach(handle)
+        _ATTACHED[handle.name] = store
+    return store
+
+
+def detach_store(handle: StoreHandle) -> None:
+    """Drop (and close) this process's cached attachment, if any."""
+    store = _ATTACHED.pop(handle.name, None)
+    if store is not None:
+        store.close()
+
+
+def resolve_chunk(chunk: StoreChunk) -> StoreSlice:
+    """Resolve a chunk descriptor against the worker's attached store."""
+    return attach_store(chunk.handle).slice(chunk.start, chunk.stop)
+
+
+def as_encoded_store(records) -> EncodedSequenceStore:
+    """Coerce any record sequence into an :class:`EncodedSequenceStore`.
+
+    Stores pass through unchanged; objects exposing ``encoded_store()`` (the
+    :class:`~repro.sequences.database.SequenceDatabase` cache) delegate to it;
+    anything else is packed on the spot.
+    """
+    if isinstance(records, EncodedSequenceStore):
+        return records
+    if isinstance(records, StoreSlice):
+        if records.start == 0 and records.stop == len(records.store):
+            return records.store
+        return EncodedSequenceStore.from_sequences(records)
+    encoded = getattr(records, "encoded_store", None)
+    if callable(encoded):
+        return encoded()
+    return EncodedSequenceStore.from_sequences(records)
+
+
+def _attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach a shared-memory segment, opting out of tracking where possible.
+
+    From Python 3.13 on, ``track=False`` keeps the attach from registering a
+    segment the publisher already owns with the resource tracker
+    (bpo-39959).  On older versions the attach-side registration is benign:
+    pool workers inherit the publisher's tracker, whose name cache is a set,
+    so the duplicate registration is absorbed and the publisher's ``unlink``
+    clears the single entry.
+    """
+    try:
+        try:
+            return shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            return shared_memory.SharedMemory(name=name)
+    except FileNotFoundError as error:
+        raise SequenceStoreError(f"cannot attach store segment {name}: {error}") from error

@@ -22,7 +22,7 @@ from repro.core.results import MiningResult
 from repro.dictionary import Dictionary
 from repro.errors import MiningError
 from repro.mapreduce import Cluster, MapReduceJob, resolve_cluster
-from repro.sequences import SequenceDatabase
+from repro.sequences import SequenceDatabase, as_records
 
 
 class GapConstrainedJob(MapReduceJob):
@@ -239,7 +239,7 @@ class GapConstrainedMiner:
             codec=self.codec,
             spill_budget_bytes=self.spill_budget_bytes,
         )
-        result = cluster.run(job, list(database))
+        result = cluster.run(job, as_records(database))
         name = self.algorithm_name if self.use_hierarchy else "MG-FSM"
         return MiningResult(dict(result.outputs), result.metrics, algorithm=name)
 

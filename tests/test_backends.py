@@ -14,6 +14,7 @@ from repro.errors import MapReduceError
 from repro.mapreduce import (
     BACKENDS,
     MapReduceJob,
+    PersistentProcessPoolCluster,
     ProcessPoolCluster,
     SimulatedCluster,
     ThreadPoolCluster,
@@ -23,11 +24,17 @@ from repro.mapreduce import (
     run_map_task,
     stable_hash,
 )
+from repro.sequences import SequenceStoreError
 from repro.sequential import GapConstrainedMiner
 
 from tests.conftest import RUNNING_EXAMPLE_PATEX
 
-REAL_BACKENDS = ("threads", "processes")
+REAL_BACKENDS = ("threads", "processes", "persistent-processes")
+
+#: Backends whose map tasks ship materialized records (any record type);
+#: the persistent backend ships store chunk descriptors instead, so its
+#: records must be fid sequences.
+GENERIC_BACKENDS = ("simulated", "threads", "processes")
 
 
 class WordCountJob(MapReduceJob):
@@ -50,13 +57,34 @@ WORDS = ["a b a", "b c", "a", "c c c", "d a b", "e"]
 WORD_COUNTS = {"a": 4, "b": 3, "c": 4, "d": 1, "e": 1}
 
 
+class FidCountJob(MapReduceJob):
+    """Integer word count: runnable on every backend, incl. the store-backed one."""
+
+    use_combiner = True
+
+    def map(self, record):
+        for fid in record:
+            yield fid, 1
+
+    def combine(self, key, values):
+        yield key, sum(values)
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+FID_RECORDS = [(1, 2, 2), (2, 3), (1,), (3, 3, 3, 1)]
+FID_COUNTS = {1: 3, 2: 3, 3: 4}
+
+
 # ------------------------------------------------------------------- factory
 class TestMakeCluster:
     def test_backend_names(self):
-        assert BACKENDS == ("simulated", "threads", "processes")
+        assert BACKENDS == ("simulated", "threads", "processes", "persistent-processes")
         assert isinstance(make_cluster("simulated"), SimulatedCluster)
         assert isinstance(make_cluster("threads"), ThreadPoolCluster)
         assert isinstance(make_cluster("processes"), ProcessPoolCluster)
+        assert isinstance(make_cluster("persistent-processes"), PersistentProcessPoolCluster)
 
     @pytest.mark.parametrize("alias,cls", [
         ("process", ProcessPoolCluster),
@@ -64,6 +92,8 @@ class TestMakeCluster:
         ("thread", ThreadPoolCluster),
         ("sim", SimulatedCluster),
         ("Simulated", SimulatedCluster),
+        ("persistent", PersistentProcessPoolCluster),
+        ("shm", PersistentProcessPoolCluster),
     ])
     def test_aliases(self, alias, cls):
         assert isinstance(make_cluster(alias), cls)
@@ -118,14 +148,60 @@ class TestWorkerSideShuffle:
         assert stable_hash(("a", frozenset([1, 2]))) == stable_hash(("a", frozenset([2, 1])))
         assert stable_hash(("a", "b")) != stable_hash(("b", "a"))  # tuples stay ordered
 
-    @pytest.mark.parametrize("backend", BACKENDS)
-    def test_word_count_on_every_backend(self, backend):
+    @pytest.mark.parametrize("backend", GENERIC_BACKENDS)
+    def test_word_count_on_generic_backends(self, backend):
         result = make_cluster(backend, num_workers=2).run(WordCountJob(), WORDS)
         assert dict(result.outputs) == WORD_COUNTS
         assert result.metrics.input_records == len(WORDS)
         assert result.metrics.output_records == len(WORD_COUNTS)
 
-    @pytest.mark.parametrize("backend", REAL_BACKENDS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fid_count_on_every_backend(self, backend):
+        result = make_cluster(backend, num_workers=2).run(FidCountJob(), FID_RECORDS)
+        assert dict(result.outputs) == FID_COUNTS
+        assert result.metrics.input_records == len(FID_RECORDS)
+        assert result.metrics.output_records == len(FID_COUNTS)
+
+    def test_persistent_backend_requires_fid_records(self):
+        cluster = PersistentProcessPoolCluster(num_workers=2)
+        with pytest.raises(SequenceStoreError, match="non-negative integers"):
+            cluster.run(WordCountJob(), WORDS)
+
+    @pytest.mark.parametrize("backend", ("simulated", "threads"))
+    def test_in_process_backends_accept_unpicklable_records(self, backend):
+        """The input-shipping metric must not crash backends that never pickle."""
+        import threading
+
+        class KeyOnly(MapReduceJob):
+            def map(self, record):
+                yield record[0], 1
+
+            def reduce(self, key, values):
+                yield key, sum(values)
+
+        records = [("k", threading.Lock()), ("k", threading.Lock())]
+        result = make_cluster(backend, num_workers=2).run(KeyOnly(), records)
+        assert dict(result.outputs) == {"k": 2}
+        assert result.metrics.map_input_pickle_bytes == 0  # unmeasurable, not fatal
+
+    def test_persistent_backend_empty_input(self):
+        result = PersistentProcessPoolCluster(num_workers=2).run(FidCountJob(), [])
+        assert result.outputs == []
+        assert result.metrics.input_records == 0
+
+    def test_persistent_backend_file_transport(self, ex_dictionary, ex_database):
+        """Forcing the temp-file transport changes nothing about the results."""
+        reference = DSeqMiner(
+            RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2
+        ).mine(ex_database)
+        cluster = PersistentProcessPoolCluster(num_workers=2, store_transport="file")
+        result = DSeqMiner(
+            RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, backend=cluster
+        ).mine(ex_database)
+        assert result.patterns() == reference.patterns()
+        assert result.metrics.wire_bytes == reference.metrics.wire_bytes
+
+    @pytest.mark.parametrize("backend", ("threads", "processes"))
     def test_shuffle_metrics_match_simulated(self, backend):
         job = WordCountJob()
         simulated = SimulatedCluster(num_workers=2).run(job, WORDS)
@@ -137,6 +213,8 @@ class TestWorkerSideShuffle:
         assert real.metrics.wire_bytes > 0
         assert real.metrics.map_output_records == simulated.metrics.map_output_records
         assert real.metrics.combined_records == simulated.metrics.combined_records
+        assert real.metrics.map_input_pickle_bytes == simulated.metrics.map_input_pickle_bytes
+        assert real.metrics.map_input_pickle_bytes > 0
 
     def test_simulated_reduce_attribution_models_all_workers(self):
         result = SimulatedCluster(num_workers=3).run(WordCountJob(), WORDS)
@@ -157,7 +235,7 @@ class TestWorkerSideShuffle:
 
     @pytest.mark.parametrize("backend", REAL_BACKENDS)
     def test_real_reduce_attribution_is_per_worker(self, backend):
-        result = make_cluster(backend, num_workers=2).run(WordCountJob(), WORDS)
+        result = make_cluster(backend, num_workers=2).run(FidCountJob(), FID_RECORDS)
         seconds = result.metrics.reduce_task_seconds
         # Times are grouped by the worker that actually ran each bucket, so
         # there are at most num_workers entries (not one per reduce task).

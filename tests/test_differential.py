@@ -11,16 +11,22 @@ the semantics of π-generation itself.
 
 from __future__ import annotations
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import mine
+from repro.core import DCandMiner, DSeqMiner, NaiveMiner, SemiNaiveMiner, mine
 from repro.dictionary import Hierarchy
 from repro.fst import generate_candidates
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase, preprocess
-from repro.sequential import SequentialDesqCount, SequentialDesqDfs
+from repro.sequential import (
+    GapConstrainedMiner,
+    SequentialDesqCount,
+    SequentialDesqDfs,
+)
 
 #: Constraint shapes exercised by the differential tests: captures, optional
 #: groups, generalization, repetition, alternation, and bounded gaps.
@@ -99,6 +105,95 @@ class TestAlgorithmsAgree:
         count = SequentialDesqCount(expression, sigma, dictionary).mine(database).patterns()
         assert dfs == distributed
         assert count == distributed
+
+
+def make_differential_database(count: int = 60, seed: int = 13):
+    """A seeded random database (plus consistent dictionary) for backend tests."""
+    rng = random.Random(seed)
+    sequences = [
+        [rng.choice(VOCABULARY) for _ in range(rng.randint(1, 7))] for _ in range(count)
+    ]
+    return build_consistent(sequences)
+
+
+#: The constraint used by the backend matrix (the paper's running example).
+MATRIX_PATEX = ".*(A)[(.^)|.]*(b).*"
+
+#: All five cluster miners: name -> factory(dictionary, backend, codec).
+MATRIX_MINERS = {
+    "dseq": lambda dictionary, backend, codec: DSeqMiner(
+        MATRIX_PATEX, 2, dictionary, num_workers=2, backend=backend, codec=codec
+    ),
+    "dcand": lambda dictionary, backend, codec: DCandMiner(
+        MATRIX_PATEX, 2, dictionary, num_workers=2, backend=backend, codec=codec
+    ),
+    "naive": lambda dictionary, backend, codec: NaiveMiner(
+        MATRIX_PATEX, 2, dictionary, num_workers=2, backend=backend, codec=codec
+    ),
+    "semi-naive": lambda dictionary, backend, codec: SemiNaiveMiner(
+        MATRIX_PATEX, 2, dictionary, num_workers=2, backend=backend, codec=codec
+    ),
+    "lash": lambda dictionary, backend, codec: GapConstrainedMiner(
+        2, dictionary, max_gap=1, max_length=3, num_workers=2,
+        backend=backend, codec=codec,
+    ),
+}
+
+
+class TestPersistentBackendMatrix:
+    """Cross-backend equivalence matrix for the ``persistent-processes`` backend.
+
+    Acceptance criteria of the shared-store backend: for all five cluster
+    miners and both binary codecs, mining over store chunk descriptors
+    produces *byte-identical* results — same patterns, same measured wire
+    bytes — as the reference backends, while the per-task database pickle
+    bytes collapse to the size of the descriptors.
+    """
+
+    @pytest.fixture(scope="class")
+    def matrix_data(self):
+        return make_differential_database()
+
+    @pytest.mark.parametrize("codec", ("compact", "zlib"))
+    @pytest.mark.parametrize("miner_name", sorted(MATRIX_MINERS))
+    def test_patterns_and_wire_bytes_match_simulated(self, miner_name, codec, matrix_data):
+        dictionary, database = matrix_data
+        factory = MATRIX_MINERS[miner_name]
+        reference = factory(dictionary, "simulated", codec).mine(database)
+        persistent = factory(dictionary, "persistent-processes", codec).mine(database)
+        assert persistent.patterns() == reference.patterns()
+        assert persistent.metrics.wire_bytes == reference.metrics.wire_bytes
+        assert persistent.metrics.wire_bytes > 0
+        assert persistent.metrics.shuffle_bytes == reference.metrics.shuffle_bytes
+        assert persistent.metrics.shuffle_records == reference.metrics.shuffle_records
+        # The descriptors replace the pickled chunks: a handful of bytes per
+        # map task instead of the serialized sequences themselves.
+        assert persistent.metrics.map_input_pickle_bytes < 1024
+
+    def test_database_pickle_bytes_drop_to_descriptor_size(self, ex_dictionary):
+        """The bigger the database, the bigger the win: pickle bytes stay flat."""
+        rng = random.Random(29)
+        database = SequenceDatabase(
+            [
+                [rng.randint(1, 7) for _ in range(rng.randint(3, 9))]
+                for _ in range(500)
+            ]
+        )
+        shipped = DSeqMiner(
+            MATRIX_PATEX, 2, ex_dictionary, num_workers=2, backend="processes"
+        ).mine(database)
+        descriptors = DSeqMiner(
+            MATRIX_PATEX, 2, ex_dictionary, num_workers=2, backend="persistent-processes"
+        ).mine(database)
+        assert descriptors.patterns() == shipped.patterns()
+        assert descriptors.metrics.wire_bytes == shipped.metrics.wire_bytes
+        # ~0: two descriptor-sized pickles versus the whole pickled database.
+        assert shipped.metrics.map_input_pickle_bytes > 5_000
+        assert descriptors.metrics.map_input_pickle_bytes < 500
+        assert (
+            descriptors.metrics.map_input_pickle_bytes
+            < shipped.metrics.map_input_pickle_bytes / 10
+        )
 
 
 #: Atoms of the random-expression grammar: plain items, wildcards, and the

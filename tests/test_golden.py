@@ -25,6 +25,14 @@ SIZES = {"NYT": 120, "AMZN": 200, "AMZN-F": 200, "CW": 150}
 
 #: Row keys that are deterministic (everything except timings).
 FIGURE10B_KEYS = ("constraint", "dataset", "variant", "shuffle_bytes", "patterns")
+FIGURE9C_KEYS = (
+    "constraint",
+    "algorithm",
+    "status",
+    "shuffle_bytes",
+    "wire_bytes",
+    "input_pickle_bytes",
+)
 
 
 def pick(rows: list[dict], keys) -> list[dict]:
@@ -42,9 +50,9 @@ class TestGoldenTables:
 class TestGoldenFigures:
     def test_figure9c_shuffle_sizes(self, golden):
         rows = figure9c(size=SIZES["AMZN"], num_workers=2)
-        # fig9c rows carry no timings: constraint, algorithm, status, and the
-        # modeled + measured byte counts are all deterministic.
-        golden("fig9c", rows)
+        # Snapshot only the deterministic fields: the modeled and measured
+        # byte counts are pure functions of the data, the makespan is not.
+        golden("fig9c", pick(rows, FIGURE9C_KEYS))
 
     def test_figure9c_wire_bytes_depend_on_codec_only(self):
         """Same data, different codec: modeled bytes equal, wire bytes differ."""

@@ -93,6 +93,58 @@ class TestPivotMerge:
         assert left == right
 
 
+#: Random output sets for the ⊕ algebra, *including* the empty set (an output
+#: set that lost all items to the frequency filter) and ε (fid 0).
+output_sets = st.sets(st.integers(min_value=0, max_value=9), max_size=6)
+
+
+class TestPivotMergeAlgebra:
+    """Theorem 1's algebraic laws of ⊕, checked over random output sets.
+
+    These are the properties that let D-SEQ fold ⊕ over a run in any
+    association order and let the grid share partial merges across runs: the
+    operator is commutative and associative, ∅ annihilates it, and {ε} is its
+    identity on non-empty operands.
+    """
+
+    @given(left=output_sets, right=output_sets)
+    @settings(max_examples=150, deadline=None)
+    def test_commutativity(self, left, right):
+        assert pivot_merge(left, right) == pivot_merge(right, left)
+
+    @given(a=output_sets, b=output_sets, c=output_sets)
+    @settings(max_examples=150, deadline=None)
+    def test_associativity_with_empty_operands(self, a, b, c):
+        left = pivot_merge(pivot_merge(a, b), c)
+        right = pivot_merge(a, pivot_merge(b, c))
+        assert left == right
+
+    @given(operand=output_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_empty_operand_annihilates(self, operand):
+        assert pivot_merge(operand, set()) == set()
+        assert pivot_merge(set(), operand) == set()
+
+    @given(operand=output_sets.filter(bool))
+    @settings(max_examples=100, deadline=None)
+    def test_epsilon_singleton_is_the_identity(self, operand):
+        assert pivot_merge({EPSILON_FID}, set(operand)) == operand
+        assert pivot_merge(set(operand), {EPSILON_FID}) == operand
+
+    @given(
+        sets=st.lists(output_sets.filter(bool), min_size=1, max_size=5).flatmap(
+            lambda sets: st.tuples(st.just(sets), st.permutations(sets))
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_fold_is_permutation_invariant(self, sets):
+        """Commutativity + associativity end to end: run order cannot matter."""
+        original, shuffled = sets
+        as_tuples = [tuple(s) for s in original]
+        shuffled_tuples = [tuple(s) for s in shuffled]
+        assert pivots_of_output_sets(as_tuples) == pivots_of_output_sets(shuffled_tuples)
+
+
 class TestPositionStateGrid:
     def test_fig3_pivot_items(self, ex_fst, ex_dictionary, ex_database):
         # Fig. 3, σ=2: K(T1)={a1,c}, K(T2)={a1}, K(T3)=∅, K(T4)=∅ (a2 infrequent

@@ -1,0 +1,292 @@
+"""Tests for the zero-copy encoded sequence store (:mod:`repro.sequences.store`).
+
+Three layers: round-trip and slicing over the varint block (including the
+edge cases that bite binary formats — empty databases, empty and single-item
+sequences, fids beyond 2**63, chunk boundaries landing mid-block), the
+publish/attach lifecycle over both transports (shared memory and mmap'd temp
+file), and the integration pieces the persistent backend relies on
+(descriptor resolution, per-process attach cache, database store caching).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.base import split_ranges, split_records
+from repro.sequences import (
+    EncodedSequenceStore,
+    SequenceDatabase,
+    SequenceStoreError,
+    StoreChunk,
+    StoreSlice,
+    as_encoded_store,
+    as_records,
+    attach_store,
+    detach_store,
+    resolve_chunk,
+)
+
+#: Databases exercising the format's edge cases.
+EDGE_CASE_DATABASES = [
+    [],  # empty database
+    [[]],  # a single empty sequence
+    [[], [], []],  # only empty sequences
+    [[1]],  # single single-item sequence
+    [[1], [2], [3]],  # single-item sequences
+    [[0]],  # fid 0 (ε) round-trips even though databases never store it
+    [[2**63], [2**63 - 1, 2**63 + 1], [2**70 + 7]],  # fids ≥ 2**63
+    [[1, 2, 3], [], [4], [5, 6], []],  # empties interleaved mid-block
+    [list(range(1, 130))],  # multi-byte varints (fids ≥ 128)
+]
+
+
+def sequences_strategy():
+    return st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=2**70),
+            max_size=12,
+        ),
+        max_size=25,
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sequences", EDGE_CASE_DATABASES)
+    def test_edge_cases(self, sequences):
+        store = EncodedSequenceStore.from_sequences(sequences)
+        assert len(store) == len(sequences)
+        assert list(store) == [tuple(sequence) for sequence in sequences]
+        for index, sequence in enumerate(sequences):
+            assert store[index] == tuple(sequence)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sequences=sequences_strategy())
+    def test_round_trip_property(self, sequences):
+        store = EncodedSequenceStore.from_sequences(sequences)
+        assert store.sequences() == [tuple(sequence) for sequence in sequences]
+
+    def test_negative_indexing(self):
+        store = EncodedSequenceStore.from_sequences([[1], [2, 3], [4]])
+        assert store[-1] == (4,)
+        assert store[-3] == (1,)
+        with pytest.raises(IndexError):
+            store[3]
+        with pytest.raises(IndexError):
+            store[-4]
+
+    def test_rejects_non_fid_records(self):
+        with pytest.raises(SequenceStoreError, match="non-negative integers"):
+            EncodedSequenceStore.from_sequences([["a", "b"]])
+        with pytest.raises(SequenceStoreError, match="negative"):
+            EncodedSequenceStore.from_sequences([[-1]])
+        # No silent coercion: floats and digit strings would round-trip as
+        # *different* values, breaking backend equivalence — reject them.
+        with pytest.raises(SequenceStoreError, match="non-negative integers"):
+            EncodedSequenceStore.from_sequences([[1.9]])
+        with pytest.raises(SequenceStoreError, match="non-negative integers"):
+            EncodedSequenceStore.from_sequences(["37"])
+        # bool is an int subtype; it stores as its integer value.
+        assert EncodedSequenceStore.from_sequences([[True]]).sequences() == [(1,)]
+
+    def test_rejects_garbage_blocks(self):
+        with pytest.raises(SequenceStoreError, match="too small"):
+            EncodedSequenceStore(b"short")
+        with pytest.raises(SequenceStoreError, match="bad store magic"):
+            EncodedSequenceStore(b"NOTSTORE" + b"\x00" * 24)
+        good = EncodedSequenceStore.from_sequences([[1, 2], [3]])
+        block = pickle.loads(pickle.dumps(good))._block  # round-trip the bytes
+        with pytest.raises(SequenceStoreError, match="truncated store block"):
+            EncodedSequenceStore(bytes(block)[:-1])
+
+    def test_pickle_ships_the_flat_block(self):
+        store = EncodedSequenceStore.from_sequences([[1, 2], [2**64]])
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.sequences() == store.sequences()
+        assert clone.nbytes == store.nbytes
+
+
+class TestSlicing:
+    def test_slice_is_a_zero_copy_view(self):
+        store = EncodedSequenceStore.from_sequences([[1], [2, 2], [3], [4, 4]])
+        view = store[1:3]
+        assert isinstance(view, StoreSlice)
+        assert view.store is store
+        assert list(view) == [(2, 2), (3,)]
+        assert view[0] == (2, 2)
+        assert view[-1] == (3,)
+        assert len(view) == 2
+
+    def test_slice_of_slice_and_errors(self):
+        store = EncodedSequenceStore.from_sequences([[i] for i in range(1, 9)])
+        view = store[2:7]
+        inner = view[1:3]
+        assert list(inner) == [(4,), (5,)]
+        with pytest.raises(IndexError):
+            view[5]
+        with pytest.raises(SequenceStoreError, match="contiguous"):
+            store[::2]
+        with pytest.raises(SequenceStoreError, match="contiguous"):
+            view[::-1]
+
+    def test_slice_pickles_as_a_materialized_list(self):
+        store = EncodedSequenceStore.from_sequences([[1], [2, 2], [3]])
+        shipped = pickle.loads(pickle.dumps(store[0:2]))
+        assert shipped == [(1,), (2, 2)]
+
+    @settings(max_examples=60, deadline=None)
+    @given(sequences=sequences_strategy(), data=st.data())
+    def test_any_slice_matches_materialized_slicing(self, sequences, data):
+        """Chunk boundaries landing anywhere mid-block decode correctly."""
+        store = EncodedSequenceStore.from_sequences(sequences)
+        materialized = [tuple(sequence) for sequence in sequences]
+        start = data.draw(st.integers(min_value=0, max_value=len(sequences)))
+        stop = data.draw(st.integers(min_value=0, max_value=len(sequences)))
+        assert list(store.slice(start, stop)) == materialized[start:stop]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sequences=sequences_strategy(),
+        parts=st.integers(min_value=1, max_value=9),
+    )
+    def test_split_ranges_tile_the_store_like_split_records(self, sequences, parts):
+        """The persistent backend's chunking matches the generic driver's.
+
+        Identical chunk boundaries — even when they land mid-sequence-run —
+        are what make combiner output and wire bytes byte-identical across
+        backends.
+        """
+        store = EncodedSequenceStore.from_sequences(sequences)
+        materialized = [tuple(sequence) for sequence in sequences]
+        ranges = split_ranges(len(store), parts)
+        chunks = [chunk for chunk in split_records(materialized, parts) if len(chunk)]
+        assert [list(store.iter_range(start, stop)) for start, stop in ranges] == [
+            list(chunk) for chunk in chunks
+        ]
+        # Ranges tile [0, len) without gaps or overlaps.
+        position = 0
+        for start, stop in ranges:
+            assert start == position
+            assert stop > start
+            position = stop
+        assert position == len(store)
+
+
+class TestPublishAttach:
+    @pytest.mark.parametrize("transport", ("shm", "file", "auto"))
+    @pytest.mark.parametrize(
+        "sequences", [[], [[1, 2, 3], [2**63 + 9], []], [[7] * 40] * 11]
+    )
+    def test_attach_round_trip(self, transport, sequences, tmp_path):
+        store = EncodedSequenceStore.from_sequences(sequences)
+        with store.published(str(tmp_path), transport) as handle:
+            attached = EncodedSequenceStore.attach(handle)
+            assert attached.sequences() == store.sequences()
+            assert attached.nbytes == store.nbytes
+            attached.close()
+        assert list(tmp_path.iterdir()) == []  # file transport cleaned up
+
+    def test_release_removes_the_segment(self):
+        store = EncodedSequenceStore.from_sequences([[1, 2]])
+        handle, release = store.publish()
+        EncodedSequenceStore.attach(handle).close()
+        release()
+        with pytest.raises(SequenceStoreError, match="cannot attach"):
+            EncodedSequenceStore.attach(handle)
+
+    def test_file_transport_writes_then_removes(self, tmp_path):
+        store = EncodedSequenceStore.from_sequences([[5, 6], [7]])
+        handle, release = store.publish(str(tmp_path), transport="file")
+        assert handle.kind == "file"
+        assert os.path.exists(handle.name)
+        assert os.path.getsize(handle.name) == store.nbytes
+        release()
+        assert not os.path.exists(handle.name)
+
+    def test_unknown_transport_and_handle_kind(self):
+        store = EncodedSequenceStore.from_sequences([[1]])
+        with pytest.raises(SequenceStoreError, match="unknown store transport"):
+            store.publish(transport="carrier-pigeon")
+        handle, release = store.publish()
+        try:
+            bogus = type(handle)(kind="socket", name=handle.name, nbytes=handle.nbytes)
+            with pytest.raises(SequenceStoreError, match="unknown store handle"):
+                EncodedSequenceStore.attach(bogus)
+        finally:
+            release()
+
+    def test_auto_transport_falls_back_to_file_without_shared_memory(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.sequences import store as store_module
+
+        def unavailable(*args, **kwargs):
+            raise OSError("no /dev/shm on this host")
+
+        monkeypatch.setattr(store_module.shared_memory, "SharedMemory", unavailable)
+        store = EncodedSequenceStore.from_sequences([[1, 2], [3]])
+        with pytest.raises(OSError):
+            store.publish(transport="shm")
+        with store.published(str(tmp_path), "auto") as handle:
+            assert handle.kind == "file"
+            attached = EncodedSequenceStore.attach(handle)
+            assert attached.sequences() == store.sequences()
+            attached.close()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_attach_cache_is_per_handle(self):
+        store = EncodedSequenceStore.from_sequences([[1], [2]])
+        with store.published() as handle:
+            first = attach_store(handle)
+            second = attach_store(handle)
+            assert first is second
+            chunk = StoreChunk(handle, 1, 2)
+            assert len(chunk) == 1
+            view = resolve_chunk(chunk)
+            assert view.store is first
+            assert list(view) == [(2,)]
+            detach_store(handle)
+            third = attach_store(handle)
+            assert third is not first
+            detach_store(handle)
+        detach_store(handle)  # idempotent after release
+
+
+class TestDatabaseIntegration:
+    def test_encoded_store_is_cached_until_append(self):
+        database = SequenceDatabase([(1, 2), (3,)])
+        store = database.encoded_store()
+        assert database.encoded_store() is store
+        database.append((4, 5))
+        rebuilt = database.encoded_store()
+        assert rebuilt is not store
+        assert rebuilt.sequences() == [(1, 2), (3,), (4, 5)]
+
+    def test_database_pickle_drops_the_store_cache(self):
+        database = SequenceDatabase([(1, 2)])
+        database.encoded_store()
+        clone = pickle.loads(pickle.dumps(database))
+        assert clone._store is None
+        assert clone.sequences() == database.sequences()
+
+    def test_as_encoded_store_coercions(self):
+        database = SequenceDatabase([(1,), (2, 3)])
+        assert as_encoded_store(database) is database.encoded_store()
+        store = database.encoded_store()
+        assert as_encoded_store(store) is store
+        assert as_encoded_store(store[0:2]) is store  # full-range slice
+        partial = as_encoded_store(store[1:2])
+        assert partial.sequences() == [(2, 3)]
+        packed = as_encoded_store([(4, 5), (6,)])
+        assert packed.sequences() == [(4, 5), (6,)]
+
+    def test_as_records_passes_databases_and_stores_through(self):
+        database = SequenceDatabase([(1,)])
+        assert as_records(database) is database
+        store = database.encoded_store()
+        assert as_records(store) is store
+        assert as_records(iter([(1, 2)])) == [(1, 2)]

@@ -304,6 +304,72 @@ class TestSpill:
         assert list(tmp_path.iterdir()) == []
 
 
+# Module-level (picklable) jobs for the worker-failure cleanup tests.
+class ExplodingMapperJob(MapReduceJob):
+    """Spills per-bucket payloads, then blows up on a marker record."""
+
+    def map(self, record):
+        if record == (0,):
+            raise ValueError("mapper boom")
+        yield record[0] % 3, record
+
+    def reduce(self, key, values):
+        yield key, sorted(values)
+
+
+class ExplodingReducerJob(MapReduceJob):
+    """Map spills normally; every reduce task raises mid-stage."""
+
+    def map(self, record):
+        yield record[0] % 3, record
+
+    def reduce(self, key, values):
+        raise ValueError("reducer boom")
+
+
+#: Fid-sequence records usable on every backend (incl. the store-backed one).
+FAILURE_RECORDS = [(index, index + 1) for index in range(1, 25)]
+
+
+class TestSpillCleanupOnWorkerFailure:
+    """A worker task raising mid-stage must not strand per-job spill files.
+
+    All of a run's spill files live in one per-job directory that the driver
+    removes after the executor scope has joined every worker task — so even
+    tasks that were already running when another task failed cannot recreate
+    files behind the cleanup's back.
+    """
+
+    def make_cluster(self, backend, tmp_path):
+        return make_cluster(
+            backend, num_workers=2, spill_budget_bytes=0, spill_dir=str(tmp_path)
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_failing_reducer_leaves_no_spill_files(self, backend, tmp_path):
+        cluster = self.make_cluster(backend, tmp_path)
+        with pytest.raises(ValueError, match="reducer boom"):
+            cluster.run(ExplodingReducerJob(), FAILURE_RECORDS)
+        assert list(tmp_path.iterdir()) == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_failing_mapper_leaves_no_spill_files(self, backend, tmp_path):
+        cluster = self.make_cluster(backend, tmp_path)
+        with pytest.raises(ValueError, match="mapper boom"):
+            cluster.run(ExplodingMapperJob(), FAILURE_RECORDS + [(0,)])
+        assert list(tmp_path.iterdir()) == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cluster_is_reusable_after_a_failed_run(self, backend, tmp_path):
+        """The failure cleans up without corrupting the cluster instance."""
+        cluster = self.make_cluster(backend, tmp_path)
+        with pytest.raises(ValueError, match="reducer boom"):
+            cluster.run(ExplodingReducerJob(), FAILURE_RECORDS)
+        result = cluster.run(ExplodingMapperJob(), FAILURE_RECORDS)
+        assert result.metrics.spilled_buckets > 0
+        assert list(tmp_path.iterdir()) == []
+
+
 # ---------------------------------------------------------- miner equivalence
 MINER_FACTORIES = {
     "dseq": DSeqMiner,
