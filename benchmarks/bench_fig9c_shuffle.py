@@ -7,10 +7,31 @@ from repro.experiments import figure9c, format_table, human_bytes
 from benchmarks.conftest import BENCH_SIZES, BENCH_WORKERS, run_once
 
 
+def _kernel_rows(rows: list[dict], kernel: str) -> list[dict]:
+    """Per-algorithm makespans of one kernel (timing only; bytes live in rows)."""
+    return [
+        {
+            "kernel": kernel,
+            "constraint": row["constraint"],
+            "algorithm": row["algorithm"],
+            "status": row["status"],
+            "total_s": row["total_s"],
+        }
+        for row in rows
+    ]
+
+
 def test_figure9c_shuffle_sizes(benchmark, bench_json):
     rows = run_once(
         benchmark, figure9c, size=BENCH_SIZES["AMZN"], num_workers=BENCH_WORKERS
     )
+    # Same experiment on the interpreted kernel: tracks the compiled kernel's
+    # speed-up per PR.  Byte counts are kernel-independent (the differential
+    # suite proves it); only the timings differ.
+    interpreted = figure9c(
+        size=BENCH_SIZES["AMZN"], num_workers=BENCH_WORKERS, kernel="interpreted"
+    )
+    kernels = _kernel_rows(rows, "compiled") + _kernel_rows(interpreted, "interpreted")
     artifact = bench_json(
         "fig9c",
         {
@@ -20,11 +41,23 @@ def test_figure9c_shuffle_sizes(benchmark, bench_json):
             # Each row: makespan (total_s), modeled shuffle_bytes, measured
             # wire_bytes, and per-task input pickle bytes.
             "rows": rows,
+            # Kernel-vs-interpreter makespans per algorithm and constraint.
+            "kernels": kernels,
         },
     )
     print()
     if artifact is not None:
         print(f"wrote {artifact}")
+    compiled_total = sum(r["total_s"] for r in rows if r["status"] == "ok")
+    interpreted_total = sum(r["total_s"] for r in interpreted if r["status"] == "ok")
+    print(
+        f"kernel makespan: compiled {compiled_total:.3f}s vs "
+        f"interpreted {interpreted_total:.3f}s"
+    )
+    for key in ("shuffle_bytes", "wire_bytes"):
+        assert [r[key] for r in rows] == [r[key] for r in interpreted], (
+            f"{key} must be kernel-independent"
+        )
     print("Fig. 9c (reproduced): shuffle size per algorithm, AMZN-like dataset")
     print("  (modeled = record_size cost model; wire = measured encoded payloads)")
     for row in rows:

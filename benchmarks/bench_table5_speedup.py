@@ -14,6 +14,23 @@ def test_table5_speedup_over_sequential(benchmark, bench_json):
     rows = run_once(
         benchmark, table5_speedup, num_workers=TABLE5_WORKERS, sizes=BENCH_SIZES
     )
+    # Same experiment on the interpreted kernel: tracks the compiled kernel's
+    # speed-up per PR on both the sequential baseline and the makespans.
+    interpreted = table5_speedup(
+        num_workers=TABLE5_WORKERS, sizes=BENCH_SIZES, kernel="interpreted"
+    )
+    kernels = [
+        {
+            "kernel": kernel,
+            "constraint": row["constraint"],
+            "dataset": row["dataset"],
+            "desq_dfs_s": row["desq_dfs_s"],
+            "dseq_s": row["dseq_s"],
+            "dcand_s": row["dcand_s"],
+        }
+        for kernel, kernel_rows in (("compiled", rows), ("interpreted", interpreted))
+        for row in kernel_rows
+    ]
     artifact = bench_json(
         "table5",
         {
@@ -22,11 +39,22 @@ def test_table5_speedup_over_sequential(benchmark, bench_json):
             # Each row: sequential + distributed makespans and speed-ups,
             # measured wire bytes, and per-task input pickle bytes.
             "rows": rows,
+            # Kernel-vs-interpreter makespans per constraint and dataset.
+            "kernels": kernels,
         },
     )
     print()
     if artifact is not None:
         print(f"wrote {artifact}")
+    compiled_seq = sum(r["desq_dfs_s"] for r in rows)
+    interpreted_seq = sum(r["desq_dfs_s"] for r in interpreted)
+    print(
+        f"kernel sequential time: compiled {compiled_seq:.3f}s vs "
+        f"interpreted {interpreted_seq:.3f}s"
+    )
+    assert [r["dseq_wire_bytes"] for r in rows] == [
+        r["dseq_wire_bytes"] for r in interpreted
+    ], "wire bytes must be kernel-independent"
     print("Table V (reproduced): speed-up over sequential DESQ-DFS "
           f"({TABLE5_WORKERS} simulated workers)")
     print(format_table(rows))

@@ -38,8 +38,10 @@ from repro.errors import (
     PatExSyntaxError,
     ReproError,
 )
+from repro.fst import KERNELS, CompiledFst, make_kernel
 from repro.mapreduce import (
     BACKENDS,
+    ClusterConfig,
     ProcessPoolCluster,
     SimulatedCluster,
     ThreadPoolCluster,
@@ -53,12 +55,15 @@ __version__ = "1.0.0"
 __all__ = [
     "BACKENDS",
     "CandidateExplosionError",
+    "CompiledFst",
+    "ClusterConfig",
     "DCandMiner",
     "DSeqMiner",
     "DesqDfsMiner",
     "Dictionary",
     "DictionaryBuilder",
     "Hierarchy",
+    "KERNELS",
     "MiningError",
     "MiningResult",
     "NaiveMiner",
@@ -73,6 +78,7 @@ __all__ = [
     "__version__",
     "build_dictionary",
     "make_cluster",
+    "make_kernel",
     "mine",
     "preprocess",
 ]

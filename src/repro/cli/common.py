@@ -83,6 +83,63 @@ def add_input_arguments(parser: ArgumentParser) -> None:
     )
 
 
+def add_kernel_argument(parser: ArgumentParser) -> None:
+    """``--kernel``: interpreted vs compiled FST mining kernel."""
+    from repro.fst import DEFAULT_KERNEL, KERNELS
+
+    parser.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=DEFAULT_KERNEL,
+        help=(
+            "FST mining kernel: 'compiled' runs on flat transition tables "
+            "with interval-encoded dictionary matchers and memoized "
+            "item-to-transition indexes, 'interpreted' evaluates every label "
+            "per probe (slower; the debugging reference) "
+            f"(default: {DEFAULT_KERNEL})"
+        ),
+    )
+
+
+def add_cap_arguments(parser: ArgumentParser) -> None:
+    """``--max-runs`` / ``--max-candidates``: per-sequence safety caps."""
+    parser.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-sequence cap on enumerated accepting runs before the run "
+            "is reported as a candidate explosion (default: the library "
+            "default; experiments use a tighter cap to emulate the paper's "
+            "out-of-memory failures)"
+        ),
+    )
+    parser.add_argument(
+        "--max-candidates",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-sequence cap on generated candidate subsequences for the "
+            "candidate-enumerating algorithms (naive, semi-naive, desq-count)"
+        ),
+    )
+
+
+def cluster_config_from_args(args: Namespace, num_workers: int | None = None):
+    """Build the one :class:`~repro.mapreduce.ClusterConfig` of a CLI run."""
+    from repro.mapreduce import ClusterConfig
+
+    return ClusterConfig(
+        backend=args.backend,
+        num_workers=num_workers,
+        codec=args.codec,
+        spill_budget_bytes=parse_byte_size(args.spill_budget),
+        kernel=getattr(args, "kernel", None),
+    )
+
+
 def add_shuffle_arguments(parser: ArgumentParser) -> None:
     """``--codec`` / ``--spill-budget``: shuffle wire format and spill knobs."""
     from repro.mapreduce import CODECS

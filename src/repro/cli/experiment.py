@@ -5,7 +5,13 @@ from __future__ import annotations
 import sys
 from argparse import Namespace
 
-from repro.cli.common import CliError, add_shuffle_arguments, parse_byte_size
+from repro.cli.common import (
+    CliError,
+    add_cap_arguments,
+    add_kernel_argument,
+    add_shuffle_arguments,
+    cluster_config_from_args,
+)
 from repro.experiments import (
     DEFAULT_WORKERS,
     figure9a,
@@ -79,6 +85,8 @@ def add_parser(subparsers) -> None:
         ),
     )
     add_shuffle_arguments(parser)
+    add_kernel_argument(parser)
+    add_cap_arguments(parser)
     parser.add_argument("--chart", action="store_true", help="also print an ASCII chart")
     parser.set_defaults(run=run)
 
@@ -115,9 +123,11 @@ def run(args: Namespace, stream=None) -> int:
     workers = args.workers
     backend = args.backend
     name = args.name
-    shuffle = {
-        "codec": args.codec,
-        "spill_budget_bytes": parse_byte_size(args.spill_budget),
+    cluster = cluster_config_from_args(args)
+    options = {
+        "cluster": cluster,
+        "max_runs": args.max_runs,
+        "max_candidates": args.max_candidates,
     }
 
     if name in ("table2", "table4"):
@@ -129,27 +139,34 @@ def run(args: Namespace, stream=None) -> int:
             raise CliError(
                 f"--codec/--spill-budget do not apply to {name} (it runs no mining jobs)"
             )
+        from repro.fst import DEFAULT_KERNEL
+
+        if args.kernel != DEFAULT_KERNEL:
+            raise CliError(f"--kernel does not apply to {name} (it runs no mining jobs)")
+        if args.max_runs is not None or args.max_candidates is not None:
+            raise CliError(
+                f"--max-runs/--max-candidates do not apply to {name} "
+                "(its candidate statistics use fixed caps)"
+            )
 
     if name == "table2":
         rows = table2_dataset_characteristics(sizes)
     elif name == "table4":
         rows = table4_candidate_statistics(sizes)
     elif name == "table5":
-        rows = table5_speedup(sizes=sizes, backend=backend, **shuffle)
+        rows = table5_speedup(sizes=sizes, **options)
     elif name == "fig9a":
-        rows = figure9a(size=(sizes or {}).get("NYT"), num_workers=workers, backend=backend, **shuffle)
+        rows = figure9a(size=(sizes or {}).get("NYT"), num_workers=workers, **options)
     elif name == "fig9b":
-        rows = figure9b(size=(sizes or {}).get("AMZN"), num_workers=workers, backend=backend, **shuffle)
+        rows = figure9b(size=(sizes or {}).get("AMZN"), num_workers=workers, **options)
     elif name == "fig9c":
-        rows = figure9c(size=(sizes or {}).get("AMZN"), num_workers=workers, backend=backend, **shuffle)
+        rows = figure9c(size=(sizes or {}).get("AMZN"), num_workers=workers, **options)
     elif name == "fig10a":
-        rows = figure10a(num_workers=workers, sizes=sizes, backend=backend, **shuffle)
+        rows = figure10a(num_workers=workers, sizes=sizes, **options)
     elif name == "fig10b":
-        rows = figure10b(num_workers=workers, sizes=sizes, backend=backend, **shuffle)
+        rows = figure10b(num_workers=workers, sizes=sizes, **options)
     elif name == "fig11":
-        results = figure11_scalability(
-            base_size=(sizes or {}).get("AMZN-F"), backend=backend, **shuffle
-        )
+        results = figure11_scalability(base_size=(sizes or {}).get("AMZN-F"), **options)
         for kind, series_rows in results.items():
             stream.write(f"\nFig. 11 ({kind} scalability):\n")
             stream.write(format_table(series_rows))
@@ -163,10 +180,10 @@ def run(args: Namespace, stream=None) -> int:
                 stream.write("\n")
         return 0
     elif name == "fig12":
-        rows = figure12_lash_setting(num_workers=workers, sizes=sizes, backend=backend, **shuffle)
+        rows = figure12_lash_setting(num_workers=workers, sizes=sizes, **options)
     elif name == "fig13":
         rows = figure13_mllib_setting(
-            num_workers=workers, size=(sizes or {}).get("AMZN"), backend=backend, **shuffle
+            num_workers=workers, size=(sizes or {}).get("AMZN"), **options
         )
     else:  # pragma: no cover - argparse restricts the choices
         raise CliError(f"unknown experiment {name!r}")

@@ -7,10 +7,12 @@ from argparse import Namespace
 
 from repro.cli.common import (
     CliError,
+    add_cap_arguments,
     add_input_arguments,
+    add_kernel_argument,
     add_shuffle_arguments,
+    cluster_config_from_args,
     load_input,
-    parse_byte_size,
     print_metrics,
     write_patterns,
 )
@@ -25,6 +27,12 @@ ALGORITHM_CHOICES = ("dseq", "dcand", "naive", "semi-naive", "desq-dfs", "desq-c
 
 #: Sequential reference miners (single worker, no shuffle).
 _SEQUENTIAL_MINERS = {"desq-dfs": SequentialDesqDfs, "desq-count": SequentialDesqCount}
+
+#: Algorithms whose accepting-run enumeration honours ``--max-runs``.
+_MAX_RUNS_ALGORITHMS = {"dseq", "dcand", "naive", "semi-naive", "desq-count"}
+
+#: Algorithms that enumerate candidates and honour ``--max-candidates``.
+_MAX_CANDIDATES_ALGORITHMS = {"naive", "semi-naive", "desq-count"}
 
 
 def add_parser(subparsers) -> None:
@@ -73,6 +81,8 @@ def add_parser(subparsers) -> None:
         ),
     )
     add_shuffle_arguments(parser)
+    add_kernel_argument(parser)
+    add_cap_arguments(parser)
     parser.add_argument(
         "--output",
         metavar="FILE",
@@ -111,6 +121,7 @@ def run(args: Namespace, stream=None) -> int:
     if args.algorithm in _SEQUENTIAL_MINERS:
         # Sequential reference miners run in-process and never shuffle;
         # silently accepting the cluster flags would misrepresent the run.
+        # (--kernel does apply: they simulate the same FSTs.)
         for flag, default in (("backend", "simulated"), ("codec", "compact")):
             if getattr(args, flag) != default:
                 raise CliError(
@@ -120,11 +131,27 @@ def run(args: Namespace, stream=None) -> int:
             raise CliError(
                 f"--spill-budget does not apply to the sequential {args.algorithm} miner"
             )
+    if args.max_runs is not None and args.algorithm not in _MAX_RUNS_ALGORITHMS:
+        raise CliError(f"--max-runs does not apply to {args.algorithm}")
+    if args.max_candidates is not None and args.algorithm not in _MAX_CANDIDATES_ALGORITHMS:
+        raise CliError(
+            f"--max-candidates does not apply to {args.algorithm} "
+            "(it never enumerates candidate sets)"
+        )
+    for flag, value in (("--max-runs", args.max_runs), ("--max-candidates", args.max_candidates)):
+        if value is not None and value < 1:
+            raise CliError(f"{flag} must be >= 1, got {value}")
 
-    spill_budget_bytes = parse_byte_size(args.spill_budget)
+    caps = {}
+    if args.max_runs is not None:
+        caps["max_runs"] = args.max_runs
+    if args.max_candidates is not None:
+        caps["max_candidates_per_sequence"] = args.max_candidates
     try:
         if args.algorithm in _SEQUENTIAL_MINERS:
-            miner = _SEQUENTIAL_MINERS[args.algorithm](expression, args.sigma, dictionary)
+            miner = _SEQUENTIAL_MINERS[args.algorithm](
+                expression, args.sigma, dictionary, kernel=args.kernel, **caps
+            )
             result = miner.mine(database)
         else:
             result = mine(
@@ -133,10 +160,8 @@ def run(args: Namespace, stream=None) -> int:
                 expression,
                 sigma=args.sigma,
                 algorithm=args.algorithm,
-                num_workers=args.workers,
-                backend=args.backend,
-                codec=args.codec,
-                spill_budget_bytes=spill_budget_bytes,
+                cluster=cluster_config_from_args(args, num_workers=args.workers),
+                **caps,
             )
     except CandidateExplosionError as error:
         raise CliError(

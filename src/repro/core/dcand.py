@@ -21,8 +21,16 @@ from repro.core.nfa_mining import NfaLocalMiner
 from repro.core.pivot_search import pivots_of_output_sets
 from repro.core.results import MiningResult
 from repro.dictionary import EPSILON_FID, Dictionary
-from repro.fst import Fst, accepting_runs, run_output_sets
-from repro.mapreduce import Cluster, MapReduceJob, resolve_cluster
+from repro.fst import (
+    DEFAULT_MAX_RUNS,
+    Fst,
+    MiningKernel,
+    accepting_runs,
+    ensure_kernel,
+    make_kernel,
+    run_output_sets,
+)
+from repro.mapreduce import Cluster, ClusterConfig, MapReduceJob, resolve_cluster
 from repro.nfa import TrieBuilder, deserialize, serialize
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase, as_records
@@ -33,20 +41,22 @@ class DCandJob(MapReduceJob):
 
     def __init__(
         self,
-        fst: Fst,
-        dictionary: Dictionary,
-        sigma: int,
+        fst: Fst | MiningKernel,
+        dictionary: Dictionary | None = None,
+        sigma: int = 1,
         minimize_nfas: bool = True,
         aggregate_nfas: bool = True,
-        max_runs: int = 100_000,
+        max_runs: int = DEFAULT_MAX_RUNS,
     ) -> None:
-        self.fst = fst
-        self.dictionary = dictionary
+        kernel = ensure_kernel(fst, dictionary)
+        self.kernel = kernel
+        self.fst = kernel.fst
+        self.dictionary = kernel.dictionary
         self.sigma = sigma
         self.minimize_nfas = minimize_nfas
         self.aggregate_nfas = aggregate_nfas
         self.max_runs = max_runs
-        self.max_frequent_fid = dictionary.largest_frequent_fid(sigma)
+        self.max_frequent_fid = self.dictionary.largest_frequent_fid(sigma)
         self.use_combiner = aggregate_nfas
 
     # ------------------------------------------------------------------- map
@@ -54,11 +64,9 @@ class DCandJob(MapReduceJob):
         """Build one NFA per pivot item of ``record`` and emit it serialized."""
         sequence = tuple(record)
         builders: dict[int, TrieBuilder] = {}
-        for run in accepting_runs(
-            self.fst, sequence, self.dictionary, max_runs=self.max_runs
-        ):
+        for run in accepting_runs(self.kernel, sequence, max_runs=self.max_runs):
             output_sets = run_output_sets(
-                run, sequence, self.dictionary, self.max_frequent_fid
+                run, sequence, self.kernel, self.max_frequent_fid
             )
             if any(not outputs for outputs in output_sets):
                 # Some captured output set lost all items to the frequency
@@ -134,6 +142,10 @@ class DCandMiner:
 
         miner = DCandMiner(patex, sigma=2, dictionary=dictionary)
         result = miner.mine(database)
+
+    The execution substrate is configured either through the legacy keyword
+    arguments (``backend=``, ``codec=``, ``spill_budget_bytes=``, ``kernel=``)
+    or by passing one :class:`~repro.mapreduce.ClusterConfig` as ``cluster=``.
     """
 
     algorithm_name = "D-CAND"
@@ -146,39 +158,39 @@ class DCandMiner:
         minimize_nfas: bool = True,
         aggregate_nfas: bool = True,
         num_workers: int = 4,
-        max_runs: int = 100_000,
+        max_runs: int = DEFAULT_MAX_RUNS,
         backend: str | Cluster = "simulated",
         codec: str = "compact",
         spill_budget_bytes: int | None = None,
+        kernel: str | None = None,
+        cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
         self.sigma = sigma
         self.dictionary = dictionary
         self.minimize_nfas = minimize_nfas
         self.aggregate_nfas = aggregate_nfas
-        self.num_workers = num_workers
         self.max_runs = max_runs
-        self.backend = backend
-        self.codec = codec
-        self.spill_budget_bytes = spill_budget_bytes
+        self.cluster = ClusterConfig.resolve(
+            cluster,
+            backend=backend,
+            num_workers=num_workers,
+            codec=codec,
+            spill_budget_bytes=spill_budget_bytes,
+            kernel=kernel,
+        )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent patterns of ``database`` under the constraint."""
         fst = self.patex.compile(self.dictionary)
+        kernel = make_kernel(fst, self.dictionary, self.cluster.kernel_name)
         job = DCandJob(
-            fst,
-            self.dictionary,
-            self.sigma,
+            kernel,
+            sigma=self.sigma,
             minimize_nfas=self.minimize_nfas,
             aggregate_nfas=self.aggregate_nfas,
             max_runs=self.max_runs,
         )
-        cluster = resolve_cluster(
-            self.backend,
-            num_workers=self.num_workers,
-            codec=self.codec,
-            spill_budget_bytes=self.spill_budget_bytes,
-        )
-        result = cluster.run(job, as_records(database))
+        result = resolve_cluster(self.cluster).run(job, as_records(database))
         patterns = dict(result.outputs)
         return MiningResult(patterns, result.metrics, algorithm=self.algorithm_name)

@@ -24,8 +24,8 @@ from repro.core.results import MiningResult
 from repro.core.rewriting import rewrite_for_pivot
 from repro.dictionary import Dictionary
 from repro.errors import CandidateExplosionError
-from repro.fst import Fst
-from repro.mapreduce import Cluster, MapReduceJob, resolve_cluster
+from repro.fst import DEFAULT_MAX_RUNS, Fst, MiningKernel, ensure_kernel, make_kernel
+from repro.mapreduce import Cluster, ClusterConfig, MapReduceJob, resolve_cluster
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase, as_records
 
@@ -37,22 +37,24 @@ class DSeqJob(MapReduceJob):
 
     def __init__(
         self,
-        fst: Fst,
-        dictionary: Dictionary,
-        sigma: int,
+        fst: Fst | MiningKernel,
+        dictionary: Dictionary | None = None,
+        sigma: int = 1,
         use_grid: bool = True,
         use_rewriting: bool = True,
         use_early_stopping: bool = True,
-        max_runs: int = 100_000,
+        max_runs: int = DEFAULT_MAX_RUNS,
     ) -> None:
-        self.fst = fst
-        self.dictionary = dictionary
+        kernel = ensure_kernel(fst, dictionary)
+        self.kernel = kernel
+        self.fst = kernel.fst
+        self.dictionary = kernel.dictionary
         self.sigma = sigma
         self.use_grid = use_grid
         self.use_rewriting = use_rewriting
         self.use_early_stopping = use_early_stopping
         self.max_runs = max_runs
-        self.max_frequent_fid = dictionary.largest_frequent_fid(sigma)
+        self.max_frequent_fid = self.dictionary.largest_frequent_fid(sigma)
 
     # ------------------------------------------------------------------- map
     def map(self, record: Sequence[int]) -> Iterable[tuple[int, tuple[int, ...]]]:
@@ -61,17 +63,16 @@ class DSeqJob(MapReduceJob):
         grid: PositionStateGrid | None = None
         if self.use_grid or self.use_rewriting:
             grid = PositionStateGrid(
-                self.fst, sequence, self.dictionary, self.max_frequent_fid
+                self.kernel, sequence, max_frequent_fid=self.max_frequent_fid
             )
         if self.use_grid:
             pivots = grid.pivot_items()
         else:
             try:
                 pivots = pivots_by_run_enumeration(
-                    self.fst,
+                    self.kernel,
                     sequence,
-                    self.dictionary,
-                    self.max_frequent_fid,
+                    max_frequent_fid=self.max_frequent_fid,
                     max_runs=self.max_runs,
                 )
             except CandidateExplosionError:
@@ -80,7 +81,7 @@ class DSeqJob(MapReduceJob):
                 # Fig. 10a measures the cost of reaching this point).
                 if grid is None:
                     grid = PositionStateGrid(
-                        self.fst, sequence, self.dictionary, self.max_frequent_fid
+                        self.kernel, sequence, max_frequent_fid=self.max_frequent_fid
                     )
                 pivots = grid.pivot_items()
         for pivot in pivots:
@@ -107,8 +108,8 @@ class DSeqJob(MapReduceJob):
         sequences = [sequence for sequence, _weight in values]
         weights = [weight for _sequence, weight in values]
         miner = DesqDfsMiner(
-            self.fst,
-            self.dictionary,
+            self.kernel,
+            None,
             self.sigma,
             pivot=key,
             use_early_stopping=self.use_early_stopping,
@@ -130,6 +131,11 @@ class DSeqMiner:
 
         miner = DSeqMiner(patex, sigma=2, dictionary=dictionary)
         result = miner.mine(database)
+
+    The execution substrate is configured either through the legacy keyword
+    arguments (``backend=``, ``codec=``, ``spill_budget_bytes=``, ``kernel=``)
+    or by passing one :class:`~repro.mapreduce.ClusterConfig` as ``cluster=``
+    (which then fully specifies the run).
     """
 
     algorithm_name = "D-SEQ"
@@ -143,10 +149,12 @@ class DSeqMiner:
         use_rewriting: bool = True,
         use_early_stopping: bool = True,
         num_workers: int = 4,
-        max_runs: int = 100_000,
+        max_runs: int = DEFAULT_MAX_RUNS,
         backend: str | Cluster = "simulated",
         codec: str = "compact",
         spill_budget_bytes: int | None = None,
+        kernel: str | None = None,
+        cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
         self.sigma = sigma
@@ -154,30 +162,28 @@ class DSeqMiner:
         self.use_grid = use_grid
         self.use_rewriting = use_rewriting
         self.use_early_stopping = use_early_stopping
-        self.num_workers = num_workers
         self.max_runs = max_runs
-        self.backend = backend
-        self.codec = codec
-        self.spill_budget_bytes = spill_budget_bytes
+        self.cluster = ClusterConfig.resolve(
+            cluster,
+            backend=backend,
+            num_workers=num_workers,
+            codec=codec,
+            spill_budget_bytes=spill_budget_bytes,
+            kernel=kernel,
+        )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent patterns of ``database`` under the constraint."""
         fst = self.patex.compile(self.dictionary)
+        kernel = make_kernel(fst, self.dictionary, self.cluster.kernel_name)
         job = DSeqJob(
-            fst,
-            self.dictionary,
-            self.sigma,
+            kernel,
+            sigma=self.sigma,
             use_grid=self.use_grid,
             use_rewriting=self.use_rewriting,
             use_early_stopping=self.use_early_stopping,
             max_runs=self.max_runs,
         )
-        cluster = resolve_cluster(
-            self.backend,
-            num_workers=self.num_workers,
-            codec=self.codec,
-            spill_budget_bytes=self.spill_budget_bytes,
-        )
-        result = cluster.run(job, as_records(database))
+        result = resolve_cluster(self.cluster).run(job, as_records(database))
         patterns = dict(result.outputs)
         return MiningResult(patterns, result.metrics, algorithm=self.algorithm_name)

@@ -9,6 +9,11 @@ item at a time, and each search-tree node keeps a projected database of
 
 With ``pivot=None`` the same code is the *sequential* DESQ-DFS baseline used
 in Table V: it mines all frequent patterns of the given sequences.
+
+All FST probes go through a :class:`~repro.fst.compiled.MiningKernel`; a raw
+``(fst, dictionary)`` pair is wrapped in the default (compiled) kernel, whose
+memoized matching/output indexes are shared by every sequence and every
+search-tree node of a partition.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from collections.abc import Sequence
 
 from repro.dictionary import Dictionary
 from repro.errors import MiningError
-from repro.fst import Fst, reachability_table
+from repro.fst import Fst, MiningKernel, ensure_kernel
 from repro.core.pivot_search import PositionStateGrid
 
 
@@ -30,41 +35,21 @@ class _SequenceState:
         self,
         sequence: tuple[int, ...],
         weight: int,
-        fst: Fst,
-        dictionary: Dictionary,
+        kernel: MiningKernel,
         pivot: int | None,
         max_frequent_fid: int,
     ) -> None:
         self.sequence = sequence
         self.weight = weight
-        self.alive = reachability_table(fst, sequence, dictionary)
-        self.finishable = self._compute_finishable(fst, dictionary)
+        self.alive = kernel.reachability_table(sequence)
+        self.finishable = kernel.finishable_table(sequence)
         if pivot is not None:
-            grid = PositionStateGrid(fst, sequence, dictionary, max_frequent_fid)
+            grid = PositionStateGrid(
+                kernel, sequence, max_frequent_fid=max_frequent_fid
+            )
             self.last_pivot_position = grid.last_pivot_producing_position(pivot)
         else:
             self.last_pivot_position = len(sequence)
-
-    def _compute_finishable(self, fst: Fst, dictionary: Dictionary) -> list[list[bool]]:
-        """``finishable[i][q]``: can reach acceptance from (i, q) producing only ε."""
-        n = len(self.sequence)
-        table = [[False] * fst.num_states for _ in range(n + 1)]
-        for state in fst.final_states:
-            table[n][state] = True
-        for position in range(n - 1, -1, -1):
-            item = self.sequence[position]
-            row = table[position]
-            next_row = table[position + 1]
-            for state in range(fst.num_states):
-                for transition in fst.outgoing(state):
-                    if transition.label.captured:
-                        continue
-                    if next_row[transition.target] and transition.label.matches(
-                        item, dictionary
-                    ):
-                        row[state] = True
-                        break
-        return table
 
 
 class DesqDfsMiner:
@@ -73,7 +58,10 @@ class DesqDfsMiner:
     Parameters
     ----------
     fst, dictionary, sigma:
-        The compiled constraint, the item dictionary and the minimum support.
+        The compiled constraint (an :class:`~repro.fst.fst.Fst` or a
+        ready-made :class:`~repro.fst.compiled.MiningKernel`), the item
+        dictionary (may be None when a kernel is given) and the minimum
+        support.
     pivot:
         When given, only pivot sequences for this item are output and the
         search never expands prefixes with items larger than the pivot.
@@ -86,8 +74,8 @@ class DesqDfsMiner:
 
     def __init__(
         self,
-        fst: Fst,
-        dictionary: Dictionary,
+        fst: Fst | MiningKernel,
+        dictionary: Dictionary | None,
         sigma: int,
         pivot: int | None = None,
         use_early_stopping: bool = True,
@@ -95,13 +83,15 @@ class DesqDfsMiner:
     ) -> None:
         if sigma < 1:
             raise MiningError(f"sigma must be >= 1, got {sigma}")
-        self.fst = fst
-        self.dictionary = dictionary
+        kernel = ensure_kernel(fst, dictionary)
+        self.kernel = kernel
+        self.fst = kernel.fst
+        self.dictionary = kernel.dictionary
         self.sigma = sigma
         self.pivot = pivot
         self.use_early_stopping = use_early_stopping
         self.max_patterns = max_patterns
-        self.max_frequent_fid = dictionary.largest_frequent_fid(sigma)
+        self.max_frequent_fid = self.dictionary.largest_frequent_fid(sigma)
 
     # --------------------------------------------------------------------- API
     def mine(
@@ -119,6 +109,7 @@ class DesqDfsMiner:
         if len(weights) != len(sequences):
             raise MiningError("weights must align with sequences")
 
+        kernel = self.kernel
         states: list[_SequenceState] = []
         root_snapshots: list[set[tuple[int, int]]] = []
         for sequence, weight in zip(sequences, weights):
@@ -126,14 +117,13 @@ class DesqDfsMiner:
             state = _SequenceState(
                 sequence,
                 weight,
-                self.fst,
-                self.dictionary,
+                kernel,
                 self.pivot if self.use_early_stopping else None,
                 self.max_frequent_fid,
             )
-            if state.alive and state.alive[0][self.fst.initial_state]:
+            if state.alive and state.alive[0][kernel.initial_state]:
                 states.append(state)
-                root_snapshots.append({(0, self.fst.initial_state)})
+                root_snapshots.append({(0, kernel.initial_state)})
         patterns: dict[tuple[int, ...], int] = {}
         if states:
             projected = list(zip(range(len(states)), root_snapshots))
@@ -199,6 +189,7 @@ class DesqDfsMiner:
         at the first captured transition, which emits each of its (filtered)
         output items.
         """
+        kernel = self.kernel
         sequence = state.sequence
         alive = state.alive
         n = len(sequence)
@@ -221,22 +212,19 @@ class DesqDfsMiner:
                 continue
             item = sequence[position]
             next_alive = alive[position + 1]
-            for transition in self.fst.outgoing(fst_state):
-                if not next_alive[transition.target]:
+            for tid in kernel.matching(fst_state, item):
+                target = kernel.target(tid)
+                if not next_alive[target]:
                     continue
-                if not transition.label.matches(item, self.dictionary):
+                if not kernel.is_captured(tid):
+                    stack.append((position + 1, target))
                     continue
-                if not transition.label.captured:
-                    stack.append((position + 1, transition.target))
-                    continue
-                for output in transition.label.outputs(item, self.dictionary):
+                for output in kernel.outputs(tid, item):
                     if output > self.max_frequent_fid:
                         continue
                     if self.pivot is not None and output > self.pivot:
                         continue
-                    expansions.setdefault(output, set()).add(
-                        (position + 1, transition.target)
-                    )
+                    expansions.setdefault(output, set()).add((position + 1, target))
         return expansions
 
     def _support(

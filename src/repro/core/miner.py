@@ -58,9 +58,13 @@ def mine(
         ``backend`` — one of ``"simulated"``, ``"threads"``, ``"processes"``,
         ``"persistent-processes"`` — to pick the execution backend, ``codec``
         — one of ``"compact"``,
-        ``"zlib"``, ``"pickle"`` — to pick the shuffle wire format, or
+        ``"zlib"``, ``"pickle"`` — to pick the shuffle wire format,
         ``spill_budget_bytes`` to let map tasks spill encoded shuffle
-        payloads to disk past an in-memory budget).
+        payloads to disk past an in-memory budget, ``kernel`` — one of
+        ``"compiled"``, ``"interpreted"`` — to pick the FST mining kernel,
+        ``max_runs`` to tune the accepting-run safety cap, or ``cluster`` —
+        a :class:`~repro.mapreduce.ClusterConfig` that specifies the whole
+        execution substrate in one object).
 
     Returns
     -------

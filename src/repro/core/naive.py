@@ -17,8 +17,16 @@ from collections.abc import Iterable, Sequence
 
 from repro.core.results import MiningResult
 from repro.dictionary import Dictionary
-from repro.fst import Fst, generate_candidates
-from repro.mapreduce import Cluster, MapReduceJob, resolve_cluster
+from repro.fst import (
+    DEFAULT_MAX_CANDIDATES,
+    DEFAULT_MAX_RUNS,
+    Fst,
+    MiningKernel,
+    ensure_kernel,
+    generate_candidates,
+    make_kernel,
+)
+from repro.mapreduce import Cluster, ClusterConfig, MapReduceJob, resolve_cluster
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase, as_records
 
@@ -30,15 +38,17 @@ class NaiveJob(MapReduceJob):
 
     def __init__(
         self,
-        fst: Fst,
-        dictionary: Dictionary,
-        sigma: int,
-        prune_infrequent_items: bool,
-        max_candidates_per_sequence: int = 1_000_000,
-        max_runs: int = 100_000,
+        fst: Fst | MiningKernel,
+        dictionary: Dictionary | None = None,
+        sigma: int = 1,
+        prune_infrequent_items: bool = False,
+        max_candidates_per_sequence: int = DEFAULT_MAX_CANDIDATES,
+        max_runs: int = DEFAULT_MAX_RUNS,
     ) -> None:
-        self.fst = fst
-        self.dictionary = dictionary
+        kernel = ensure_kernel(fst, dictionary)
+        self.kernel = kernel
+        self.fst = kernel.fst
+        self.dictionary = kernel.dictionary
         self.sigma = sigma
         self.prune_infrequent_items = prune_infrequent_items
         self.max_candidates_per_sequence = max_candidates_per_sequence
@@ -46,9 +56,8 @@ class NaiveJob(MapReduceJob):
 
     def map(self, record: Sequence[int]) -> Iterable[tuple[tuple[int, ...], int]]:
         candidates = generate_candidates(
-            self.fst,
+            self.kernel,
             tuple(record),
-            self.dictionary,
             sigma=self.sigma if self.prune_infrequent_items else None,
             max_runs=self.max_runs,
             max_candidates=self.max_candidates_per_sequence,
@@ -84,40 +93,40 @@ class _SubsequenceBaselineMiner:
         sigma: int,
         dictionary: Dictionary,
         num_workers: int = 4,
-        max_candidates_per_sequence: int = 1_000_000,
-        max_runs: int = 100_000,
+        max_candidates_per_sequence: int = DEFAULT_MAX_CANDIDATES,
+        max_runs: int = DEFAULT_MAX_RUNS,
         backend: str | Cluster = "simulated",
         codec: str = "compact",
         spill_budget_bytes: int | None = None,
+        kernel: str | None = None,
+        cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
         self.sigma = sigma
         self.dictionary = dictionary
-        self.num_workers = num_workers
         self.max_candidates_per_sequence = max_candidates_per_sequence
         self.max_runs = max_runs
-        self.backend = backend
-        self.codec = codec
-        self.spill_budget_bytes = spill_budget_bytes
+        self.cluster = ClusterConfig.resolve(
+            cluster,
+            backend=backend,
+            num_workers=num_workers,
+            codec=codec,
+            spill_budget_bytes=spill_budget_bytes,
+            kernel=kernel,
+        )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent patterns; may raise ``CandidateExplosionError``."""
         fst = self.patex.compile(self.dictionary)
+        kernel = make_kernel(fst, self.dictionary, self.cluster.kernel_name)
         job = NaiveJob(
-            fst,
-            self.dictionary,
-            self.sigma,
+            kernel,
+            sigma=self.sigma,
             prune_infrequent_items=self.prune_infrequent_items,
             max_candidates_per_sequence=self.max_candidates_per_sequence,
             max_runs=self.max_runs,
         )
-        cluster = resolve_cluster(
-            self.backend,
-            num_workers=self.num_workers,
-            codec=self.codec,
-            spill_budget_bytes=self.spill_budget_bytes,
-        )
-        result = cluster.run(job, as_records(database))
+        result = resolve_cluster(self.cluster).run(job, as_records(database))
         return MiningResult(dict(result.outputs), result.metrics, self.algorithm_name)
 
 

@@ -66,9 +66,9 @@ class NfaLocalMiner:
     ) -> None:
         children: dict[int, dict[int, set[int]]] = {}
         for nfa_index, states in projected:
-            nfa = nfas[nfa_index]
+            outgoing = nfas[nfa_index].outgoing
             for state in states:
-                for label, target in nfa.outgoing(state):
+                for label, target in outgoing(state):
                     for item in label:
                         children.setdefault(item, {}).setdefault(nfa_index, set()).add(
                             target

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from repro.dictionary import EPSILON_FID, Dictionary
 from repro.errors import CandidateExplosionError
-from repro.fst import Fst, accepting_runs, reachability_table, run_output_sets
+from repro.fst import Fst, MiningKernel, accepting_runs, ensure_kernel, run_output_sets
 from repro.fst.fst import Transition
 
 
@@ -58,9 +58,9 @@ def pivots_of_output_sets(output_sets: Iterable[Iterable[int]]) -> set[int]:
 
 
 def pivots_by_run_enumeration(
-    fst: Fst,
+    fst: Fst | MiningKernel,
     sequence: Sequence[int],
-    dictionary: Dictionary,
+    dictionary: Dictionary | None = None,
     max_frequent_fid: int | None = None,
     max_runs: int = 100_000,
 ) -> set[int]:
@@ -70,9 +70,10 @@ def pivots_by_run_enumeration(
     anyway to build its NFAs).  Raises
     :class:`~repro.errors.CandidateExplosionError` when ``max_runs`` is hit.
     """
+    kernel = ensure_kernel(fst, dictionary)
     pivots: set[int] = set()
-    for run in accepting_runs(fst, sequence, dictionary, max_runs=max_runs):
-        output_sets = run_output_sets(run, sequence, dictionary, max_frequent_fid)
+    for run in accepting_runs(kernel, sequence, max_runs=max_runs):
+        output_sets = run_output_sets(run, sequence, kernel, max_frequent_fid)
         pivots.update(pivots_of_output_sets(output_sets))
     return pivots
 
@@ -113,35 +114,39 @@ class PositionStateGrid:
 
     def __init__(
         self,
-        fst: Fst,
+        fst: Fst | MiningKernel,
         sequence: Sequence[int],
-        dictionary: Dictionary,
+        dictionary: Dictionary | None = None,
         max_frequent_fid: int | None = None,
     ) -> None:
-        self.fst = fst
+        kernel = ensure_kernel(fst, dictionary)
+        self.kernel = kernel
+        self.fst = kernel.fst
         self.sequence = tuple(sequence)
-        self.dictionary = dictionary
+        self.dictionary = kernel.dictionary
         self.max_frequent_fid = max_frequent_fid
-        self._alive = reachability_table(fst, self.sequence, dictionary)
+        self._alive = kernel.reachability_table(self.sequence)
         self._edges: list[list[GridEdge]] = [[] for _ in range(len(self.sequence) + 1)]
         self._pivot_sets: list[dict[int, set[int]]] = [
             {} for _ in range(len(self.sequence) + 1)
         ]
         self._has_accepting_run = (
-            self._alive[0][fst.initial_state] if self.sequence else fst.is_final(fst.initial_state)
+            self._alive[0][kernel.initial_state]
+            if self.sequence
+            else kernel.is_final(kernel.initial_state)
         )
         if self._has_accepting_run and self.sequence:
             self._build()
 
     # ------------------------------------------------------------ construction
     def _build(self) -> None:
-        fst = self.fst
-        dictionary = self.dictionary
+        kernel = self.kernel
         sequence = self.sequence
+        max_frequent_fid = self.max_frequent_fid
         n = len(sequence)
         reachable = [set() for _ in range(n + 1)]
-        reachable[0].add(fst.initial_state)
-        self._pivot_sets[0][fst.initial_state] = {EPSILON_FID}
+        reachable[0].add(kernel.initial_state)
+        self._pivot_sets[0][kernel.initial_state] = {EPSILON_FID}
 
         for position in range(1, n + 1):
             item = sequence[position - 1]
@@ -150,35 +155,28 @@ class PositionStateGrid:
                 source_pivots = self._pivot_sets[position - 1].get(source)
                 if source_pivots is None or not source_pivots:
                     continue
-                for transition in fst.outgoing(source):
-                    if not alive_row[transition.target]:
+                for tid in kernel.matching(source, item):
+                    target = kernel.target(tid)
+                    if not alive_row[target]:
                         continue
-                    if not transition.label.matches(item, dictionary):
-                        continue
-                    outputs = transition.label.outputs(item, dictionary)
-                    if self.max_frequent_fid is not None and outputs != (EPSILON_FID,):
-                        outputs = tuple(
-                            fid for fid in outputs if fid <= self.max_frequent_fid
-                        )
+                    outputs = kernel.filtered_outputs(tid, item, max_frequent_fid)
                     edge = GridEdge(
                         position=position,
                         source=source,
-                        target=transition.target,
-                        transition=transition,
+                        target=target,
+                        transition=kernel.transition(tid),
                         outputs=outputs,
                     )
                     self._edges[position].append(edge)
-                    reachable[position].add(transition.target)
+                    reachable[position].add(target)
                     contribution = pivot_merge(source_pivots, outputs)
                     if contribution:
-                        bucket = self._pivot_sets[position].setdefault(
-                            transition.target, set()
-                        )
+                        bucket = self._pivot_sets[position].setdefault(target, set())
                         bucket.update(contribution)
                     else:
                         # Keep the coordinate reachable even if no frequent
                         # candidate passes through this particular edge.
-                        self._pivot_sets[position].setdefault(transition.target, set())
+                        self._pivot_sets[position].setdefault(target, set())
 
     # ------------------------------------------------------------------ access
     @property
@@ -257,23 +255,28 @@ class PositionStateGrid:
 
 
 def pivot_items(
-    fst: Fst,
+    fst: Fst | MiningKernel,
     sequence: Sequence[int],
-    dictionary: Dictionary,
+    dictionary: Dictionary | None = None,
     sigma: int | None = None,
     use_grid: bool = True,
     max_runs: int = 100_000,
 ) -> set[int]:
     """Compute ``K(T)`` with either the grid or run enumeration."""
+    kernel = ensure_kernel(fst, dictionary)
     max_frequent_fid = (
-        dictionary.largest_frequent_fid(sigma) if sigma is not None else None
+        kernel.dictionary.largest_frequent_fid(sigma) if sigma is not None else None
     )
     if use_grid:
-        return PositionStateGrid(fst, sequence, dictionary, max_frequent_fid).pivot_items()
+        return PositionStateGrid(
+            kernel, sequence, max_frequent_fid=max_frequent_fid
+        ).pivot_items()
     try:
         return pivots_by_run_enumeration(
-            fst, sequence, dictionary, max_frequent_fid, max_runs=max_runs
+            kernel, sequence, max_frequent_fid=max_frequent_fid, max_runs=max_runs
         )
     except CandidateExplosionError:
         # Fall back to the grid, which never enumerates runs explicitly.
-        return PositionStateGrid(fst, sequence, dictionary, max_frequent_fid).pivot_items()
+        return PositionStateGrid(
+            kernel, sequence, max_frequent_fid=max_frequent_fid
+        ).pivot_items()

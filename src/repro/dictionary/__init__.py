@@ -3,12 +3,15 @@
 from repro.dictionary.builder import DictionaryBuilder, build_dictionary
 from repro.dictionary.dictionary import EPSILON_FID, Dictionary, Item
 from repro.dictionary.hierarchy import Hierarchy
+from repro.dictionary.intervals import DescendantIndex, IntervalSet
 
 __all__ = [
+    "DescendantIndex",
     "Dictionary",
     "DictionaryBuilder",
     "EPSILON_FID",
     "Hierarchy",
+    "IntervalSet",
     "Item",
     "build_dictionary",
 ]

@@ -18,6 +18,7 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.dictionary.hierarchy import Hierarchy
+from repro.dictionary.intervals import DescendantIndex
 from repro.errors import DictionaryError, UnknownItemError
 
 #: fid value used to represent the empty output ε.  It is smaller than every
@@ -64,6 +65,8 @@ class Dictionary:
         self._validate_links()
         self._ancestor_cache: dict[int, frozenset[int]] = {}
         self._descendant_cache: dict[int, frozenset[int]] = {}
+        self._descendant_index: DescendantIndex | None = None
+        self._content_fingerprint: bytes | None = None
 
     # ------------------------------------------------------------ construction
     @classmethod
@@ -192,6 +195,36 @@ class Dictionary:
         """True if every item has at most one parent."""
         return all(len(item.parent_fids) <= 1 for item in self._by_fid.values())
 
+    def descendant_index(self) -> DescendantIndex:
+        """The interval-encoded descendant index of this dictionary (cached).
+
+        Built lazily by the compiled mining kernel; see
+        :mod:`repro.dictionary.intervals` for the encoding.
+        """
+        if self._descendant_index is None:
+            self._descendant_index = DescendantIndex(self)
+        return self._descendant_index
+
+    def content_fingerprint(self) -> bytes:
+        """A digest of the hierarchy and frequencies (cached).
+
+        Two dictionaries with equal fingerprints behave identically for every
+        hierarchy and frequency query, which is what lets compiled kernels be
+        interned per worker process across task unpickles.
+        """
+        if self._content_fingerprint is None:
+            import hashlib
+            import pickle
+
+            payload = tuple(
+                (item.fid, item.document_frequency, tuple(sorted(item.parent_fids)))
+                for item in self
+            )
+            self._content_fingerprint = hashlib.sha1(
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            ).digest()
+        return self._content_fingerprint
+
     # ------------------------------------------------------------ conveniences
     def encode(self, gids: Iterable[str]) -> tuple[int, ...]:
         """Translate a sequence of gids into a tuple of fids."""
@@ -221,6 +254,17 @@ class Dictionary:
         }
 
     # ----------------------------------------------------------------- private
+    def __getstate__(self):
+        # The descendant index is derived state: compiled kernels ship their
+        # own interval matchers, so shipping the index with every pickled
+        # dictionary would only duplicate bytes on the wire.
+        state = dict(self.__dict__)
+        state["_descendant_index"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
     def _validate_links(self) -> None:
         for item in self._by_fid.values():
             for linked in item.parent_fids | item.children_fids:

@@ -13,9 +13,32 @@ from repro.experiments.configs import (
     prepare_dataset,
 )
 from repro.experiments.harness import RunRecord, run_algorithm, run_comparison
+from repro.mapreduce import ClusterConfig
 
 #: The algorithms compared in Fig. 9.
 FIGURE9_ALGORITHMS = ("naive", "semi-naive", "dseq", "dcand")
+
+
+def _config(
+    cluster: ClusterConfig | None,
+    backend: str,
+    codec: str,
+    spill_budget_bytes: int | None,
+    kernel: str | None,
+) -> ClusterConfig:
+    """One ClusterConfig from a figure function's substrate arguments.
+
+    An explicit ``kernel`` wins over the config's kernel (resolve semantics),
+    so ``figure9c(cluster=cfg, kernel="interpreted")`` reliably compares
+    kernels.
+    """
+    return ClusterConfig.resolve(
+        cluster,
+        backend=backend,
+        codec=codec,
+        spill_budget_bytes=spill_budget_bytes,
+        kernel=kernel,
+    )
 
 
 # --------------------------------------------------------------------- Fig. 9
@@ -25,15 +48,20 @@ def figure9a(
     backend: str = "simulated",
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
+    kernel: str | None = None,
+    cluster: ClusterConfig | None = None,
+    max_runs: int | None = None,
+    max_candidates: int | None = None,
 ) -> list[dict]:
     """Fig. 9a: total time per algorithm for N1–N5 on the NYT-like dataset."""
     prepared = prepare_dataset("NYT", size)
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
     rows = []
     for constraint in figure9a_constraints():
         for record in run_comparison(
             list(FIGURE9_ALGORITHMS), constraint, prepared.dictionary, prepared.database,
-            num_workers=num_workers, dataset_name="NYT", backend=backend,
-            codec=codec, spill_budget_bytes=spill_budget_bytes,
+            num_workers=num_workers, dataset_name="NYT", cluster=config,
+            max_runs=max_runs, max_candidates=max_candidates,
         ):
             rows.append(record.as_row())
     return rows
@@ -45,15 +73,20 @@ def figure9b(
     backend: str = "simulated",
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
+    kernel: str | None = None,
+    cluster: ClusterConfig | None = None,
+    max_runs: int | None = None,
+    max_candidates: int | None = None,
 ) -> list[dict]:
     """Fig. 9b: total time per algorithm for A1–A4 on the AMZN-like dataset."""
     prepared = prepare_dataset("AMZN", size)
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
     rows = []
     for constraint in figure9b_constraints():
         for record in run_comparison(
             list(FIGURE9_ALGORITHMS), constraint, prepared.dictionary, prepared.database,
-            num_workers=num_workers, dataset_name="AMZN", backend=backend,
-            codec=codec, spill_budget_bytes=spill_budget_bytes,
+            num_workers=num_workers, dataset_name="AMZN", cluster=config,
+            max_runs=max_runs, max_candidates=max_candidates,
         ):
             rows.append(record.as_row())
     return rows
@@ -65,9 +98,14 @@ def figure9c(
     backend: str = "simulated",
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
+    kernel: str | None = None,
+    cluster: ClusterConfig | None = None,
+    max_runs: int | None = None,
+    max_candidates: int | None = None,
 ) -> list[dict]:
     """Fig. 9c: shuffle size per algorithm for A1 and A4 on the AMZN-like dataset."""
     prepared = prepare_dataset("AMZN", size)
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
     rows = []
     for constraint in (
         make_constraint("A1", SCALED_SIGMA["A1"]),
@@ -75,8 +113,8 @@ def figure9c(
     ):
         for record in run_comparison(
             list(FIGURE9_ALGORITHMS), constraint, prepared.dictionary, prepared.database,
-            num_workers=num_workers, dataset_name="AMZN", backend=backend,
-            codec=codec, spill_budget_bytes=spill_budget_bytes,
+            num_workers=num_workers, dataset_name="AMZN", cluster=config,
+            max_runs=max_runs, max_candidates=max_candidates,
         ):
             row = record.as_row()
             rows.append(
@@ -118,6 +156,10 @@ def figure10a(
     backend: str = "simulated",
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
+    kernel: str | None = None,
+    cluster: ClusterConfig | None = None,
+    max_runs: int | None = None,
+    max_candidates: int | None = None,
 ) -> list[dict]:
     """Fig. 10a: effect of the grid, rewrites, and early stopping in D-SEQ."""
     if constraints is None:
@@ -127,14 +169,18 @@ def figure10a(
             ("AMZN-F", make_constraint("T3", SCALED_SIGMA["T3"], 1, 6)),
             ("AMZN-F", make_constraint("T3", 10 * SCALED_SIGMA["T3"], 3, 5)),
         ]
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
+    if config.num_workers is None:
+        config = config.merged(num_workers=num_workers)
     rows = []
     for dataset_name, constraint in constraints:
         prepared = prepare_dataset(dataset_name, (sizes or {}).get(dataset_name))
         for variant_name, options in DSEQ_ABLATION_VARIANTS:
+            if max_runs is not None:
+                options = {**options, "max_runs": max_runs}
             miner = DSeqMiner(
                 constraint.expression, constraint.sigma, prepared.dictionary,
-                num_workers=num_workers, backend=backend, codec=codec,
-                spill_budget_bytes=spill_budget_bytes, **options,
+                cluster=config, **options,
             )
             result = miner.mine(prepared.database)
             rows.append(
@@ -158,6 +204,10 @@ def figure10b(
     backend: str = "simulated",
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
+    kernel: str | None = None,
+    cluster: ClusterConfig | None = None,
+    max_runs: int | None = None,
+    max_candidates: int | None = None,
 ) -> list[dict]:
     """Fig. 10b: effect of aggregating and minimizing NFAs in D-CAND."""
     if constraints is None:
@@ -166,14 +216,18 @@ def figure10b(
             ("NYT", make_constraint("N4", SCALED_SIGMA["N4"])),
             ("AMZN-F", make_constraint("T3", SCALED_SIGMA["T3"], 1, 6)),
         ]
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
+    if config.num_workers is None:
+        config = config.merged(num_workers=num_workers)
     rows = []
     for dataset_name, constraint in constraints:
         prepared = prepare_dataset(dataset_name, (sizes or {}).get(dataset_name))
         for variant_name, options in DCAND_ABLATION_VARIANTS:
+            if max_runs is not None:
+                options = {**options, "max_runs": max_runs}
             miner = DCandMiner(
                 constraint.expression, constraint.sigma, prepared.dictionary,
-                num_workers=num_workers, backend=backend, codec=codec,
-                spill_budget_bytes=spill_budget_bytes, **options,
+                cluster=config, **options,
             )
             try:
                 result = miner.mine(prepared.database)
@@ -215,6 +269,10 @@ def figure11_scalability(
     backend: str = "simulated",
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
+    kernel: str | None = None,
+    cluster: ClusterConfig | None = None,
+    max_runs: int | None = None,
+    max_candidates: int | None = None,
 ) -> dict[str, list[dict]]:
     """Fig. 11: data, strong, and weak scalability of D-SEQ and D-CAND.
 
@@ -223,6 +281,7 @@ def figure11_scalability(
     """
     prepared = prepare_dataset("AMZN-F", base_size)
     base_sigma = base_sigma or SCALED_SIGMA["T3"]
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
     samples = {
         fraction: prepared.database.sample(fraction, seed=7) if fraction < 1.0 else prepared.database
         for fraction in fractions
@@ -231,14 +290,15 @@ def figure11_scalability(
     def run(fraction: float, workers: int) -> RunRecord:
         sigma = max(2, round(base_sigma * fraction))
         constraint = make_constraint("T3", sigma, 1, 5)
+        worker_config = config.merged(num_workers=workers)
         return run_algorithm(
             "dseq", constraint, prepared.dictionary, samples[fraction],
-            num_workers=workers, dataset_name="AMZN-F", backend=backend,
-            codec=codec, spill_budget_bytes=spill_budget_bytes,
+            num_workers=workers, dataset_name="AMZN-F", cluster=worker_config,
+            max_runs=max_runs, max_candidates=max_candidates,
         ), run_algorithm(
             "dcand", constraint, prepared.dictionary, samples[fraction],
-            num_workers=workers, dataset_name="AMZN-F", backend=backend,
-            codec=codec, spill_budget_bytes=spill_budget_bytes,
+            num_workers=workers, dataset_name="AMZN-F", cluster=worker_config,
+            max_runs=max_runs, max_candidates=max_candidates,
         )
 
     results: dict[str, list[dict]] = {"data": [], "strong": [], "weak": []}
@@ -290,6 +350,10 @@ def figure12_lash_setting(
     backend: str = "simulated",
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
+    kernel: str | None = None,
+    cluster: ClusterConfig | None = None,
+    max_runs: int | None = None,
+    max_candidates: int | None = None,
 ) -> list[dict]:
     """Fig. 12: LASH vs D-SEQ vs D-CAND in the specialist gap/length setting."""
     entries = [
@@ -300,6 +364,7 @@ def figure12_lash_setting(
         ("CW", make_constraint("T2", SCALED_SIGMA["T2"], 0, 5)),
         ("CW", make_constraint("T2", 4 * SCALED_SIGMA["T2"], 0, 5)),
     ]
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
     rows = []
     for dataset_name, constraint in entries:
         prepared = prepare_dataset(dataset_name, (sizes or {}).get(dataset_name))
@@ -307,8 +372,8 @@ def figure12_lash_setting(
         for algorithm in (specialist, "dseq", "dcand"):
             record = run_algorithm(
                 algorithm, constraint, prepared.dictionary, prepared.database,
-                num_workers=num_workers, dataset_name=dataset_name, backend=backend,
-                codec=codec, spill_budget_bytes=spill_budget_bytes,
+                num_workers=num_workers, dataset_name=dataset_name, cluster=config,
+                max_runs=max_runs, max_candidates=max_candidates,
             )
             rows.append(record.as_row())
     return rows
@@ -323,17 +388,22 @@ def figure13_mllib_setting(
     backend: str = "simulated",
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
+    kernel: str | None = None,
+    cluster: ClusterConfig | None = None,
+    max_runs: int | None = None,
+    max_candidates: int | None = None,
 ) -> list[dict]:
     """Fig. 13: MLlib (PrefixSpan) setting T1(σ, 5) with decreasing σ on AMZN."""
     prepared = prepare_dataset("AMZN", size)
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
     rows = []
     for sigma in sigmas:
         constraint = make_constraint("T1", sigma, max_length)
         for algorithm in ("prefixspan", "lash", "dseq", "dcand"):
             record = run_algorithm(
                 algorithm, constraint, prepared.dictionary, prepared.database,
-                num_workers=num_workers, dataset_name="AMZN", backend=backend,
-                codec=codec, spill_budget_bytes=spill_budget_bytes,
+                num_workers=num_workers, dataset_name="AMZN", cluster=config,
+                max_runs=max_runs, max_candidates=max_candidates,
             )
             row = record.as_row()
             row["sigma"] = sigma

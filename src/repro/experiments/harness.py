@@ -9,6 +9,7 @@ from repro.core import DCandMiner, DSeqMiner, NaiveMiner, SemiNaiveMiner
 from repro.datasets import Constraint
 from repro.dictionary import Dictionary
 from repro.errors import CandidateExplosionError, MiningError
+from repro.mapreduce import ClusterConfig
 from repro.sequences import SequenceDatabase
 from repro.sequential import (
     GapConstrainedMiner,
@@ -69,47 +70,65 @@ def build_miner(
     backend: str = "simulated",
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
+    cluster: ClusterConfig | None = None,
+    max_runs: int | None = None,
+    max_candidates: int | None = None,
     **options,
 ):
     """Instantiate a miner by algorithm name for the given constraint.
 
-    ``backend`` selects the execution backend of the distributed miners
-    (``"simulated"``, ``"threads"``, ``"processes"``, or
-    ``"persistent-processes"``), ``codec`` their
-    shuffle wire format, and ``spill_budget_bytes`` the per-map-task budget
-    before shuffle payloads spill to disk; the sequential reference miners
-    ignore all three.
+    The execution substrate is one :class:`~repro.mapreduce.ClusterConfig` —
+    pass it as ``cluster`` (it then wins over the legacy ``backend`` /
+    ``codec`` / ``spill_budget_bytes`` keywords, which remain for
+    compatibility).  The sequential reference miners ignore the cluster
+    settings but honour the kernel choice.  ``max_runs`` / ``max_candidates``
+    override the per-sequence safety caps; by default the harness applies the
+    tighter :data:`OOM_MAX_RUNS` / :data:`OOM_MAX_CANDIDATES` to the
+    candidate-enumerating algorithms to emulate the paper's out-of-memory
+    failures.
     """
     name = algorithm.lower()
     patex = constraint.expression
     sigma = constraint.sigma
-    shuffle = {"codec": codec, "spill_budget_bytes": spill_budget_bytes}
+    config = ClusterConfig.resolve(
+        cluster,
+        backend=backend,
+        num_workers=num_workers,
+        codec=codec,
+        spill_budget_bytes=spill_budget_bytes,
+    )
+    if config.num_workers is None:
+        config = config.merged(num_workers=num_workers)
     if name in ("dseq", "d-seq"):
-        return DSeqMiner(
-            patex, sigma, dictionary, num_workers=num_workers, backend=backend,
-            **shuffle, **options,
-        )
+        if max_runs is not None:
+            options.setdefault("max_runs", max_runs)
+        return DSeqMiner(patex, sigma, dictionary, cluster=config, **options)
     if name in ("dcand", "d-cand"):
+        runs_cap = max_runs if max_runs is not None else options.pop("max_runs", OOM_MAX_RUNS)
         return DCandMiner(
-            patex, sigma, dictionary, num_workers=num_workers, backend=backend,
-            max_runs=options.pop("max_runs", OOM_MAX_RUNS), **shuffle, **options,
+            patex, sigma, dictionary, cluster=config, max_runs=runs_cap, **options,
         )
-    if name == "naive":
-        return NaiveMiner(
-            patex, sigma, dictionary, num_workers=num_workers, backend=backend,
-            max_candidates_per_sequence=OOM_MAX_CANDIDATES, max_runs=OOM_MAX_RUNS,
-            **shuffle,
-        )
-    if name in ("semi-naive", "seminaive"):
-        return SemiNaiveMiner(
-            patex, sigma, dictionary, num_workers=num_workers, backend=backend,
-            max_candidates_per_sequence=OOM_MAX_CANDIDATES, max_runs=OOM_MAX_RUNS,
-            **shuffle,
+    if name in ("naive", "semi-naive", "seminaive"):
+        miner_class = NaiveMiner if name == "naive" else SemiNaiveMiner
+        return miner_class(
+            patex, sigma, dictionary, cluster=config,
+            max_candidates_per_sequence=(
+                max_candidates if max_candidates is not None else OOM_MAX_CANDIDATES
+            ),
+            max_runs=max_runs if max_runs is not None else OOM_MAX_RUNS,
         )
     if name == "desq-dfs":
-        return SequentialDesqDfs(patex, sigma, dictionary)
+        return SequentialDesqDfs(patex, sigma, dictionary, kernel=config.kernel)
     if name == "desq-count":
-        return SequentialDesqCount(patex, sigma, dictionary)
+        return SequentialDesqCount(
+            patex, sigma, dictionary, kernel=config.kernel,
+            **(
+                {"max_candidates_per_sequence": max_candidates}
+                if max_candidates is not None
+                else {}
+            ),
+            **({"max_runs": max_runs} if max_runs is not None else {}),
+        )
     if name in ("lash", "mg-fsm", "mgfsm"):
         spec = constraint.specialized or {}
         return GapConstrainedMiner(
@@ -119,9 +138,7 @@ def build_miner(
             max_length=spec.get("max_length", 5),
             min_length=spec.get("min_length", 2),
             use_hierarchy=spec.get("use_hierarchy", name == "lash"),
-            num_workers=num_workers,
-            backend=backend,
-            **shuffle,
+            cluster=config,
         )
     if name in ("prefixspan", "mllib"):
         spec = constraint.specialized or {}
@@ -139,6 +156,9 @@ def run_algorithm(
     backend: str = "simulated",
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
+    cluster: ClusterConfig | None = None,
+    max_runs: int | None = None,
+    max_candidates: int | None = None,
     **options,
 ) -> RunRecord:
     """Run one algorithm and collect a :class:`RunRecord`.
@@ -146,16 +166,25 @@ def run_algorithm(
     Candidate or run explosions (the reproduction's analogue of the paper's
     out-of-memory failures) are caught and reported as ``status="oom"``.
     """
+    if cluster is not None:
+        backend_label = (
+            cluster.backend
+            if isinstance(cluster.backend, str)
+            else getattr(cluster.backend, "backend_name", "cluster")
+        )
+    else:
+        backend_label = backend
     record = RunRecord(
         algorithm=algorithm,
         constraint=constraint.name,
         dataset=dataset_name or constraint.dataset,
         num_workers=num_workers,
-        backend=backend,
+        backend=backend_label,
     )
     miner = build_miner(
         algorithm, constraint, dictionary, num_workers, backend=backend,
-        codec=codec, spill_budget_bytes=spill_budget_bytes, **options,
+        codec=codec, spill_budget_bytes=spill_budget_bytes, cluster=cluster,
+        max_runs=max_runs, max_candidates=max_candidates, **options,
     )
     started = time.perf_counter()
     try:
@@ -189,6 +218,9 @@ def run_comparison(
     backend: str = "simulated",
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
+    cluster: ClusterConfig | None = None,
+    max_runs: int | None = None,
+    max_candidates: int | None = None,
 ) -> list[RunRecord]:
     """Run several algorithms on the same constraint and dataset."""
     return [
@@ -202,6 +234,9 @@ def run_comparison(
             backend=backend,
             codec=codec,
             spill_budget_bytes=spill_budget_bytes,
+            cluster=cluster,
+            max_runs=max_runs,
+            max_candidates=max_candidates,
         )
         for algorithm in algorithms
     ]

@@ -13,6 +13,7 @@ from repro.experiments.configs import (
 )
 from repro.experiments.harness import run_algorithm
 from repro.fst import generate_candidates
+from repro.mapreduce import ClusterConfig
 
 
 # -------------------------------------------------------------------- Table II
@@ -107,13 +108,18 @@ def table5_speedup(
     backend: str = "simulated",
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
+    kernel: str | None = None,
+    cluster: ClusterConfig | None = None,
+    max_runs: int | None = None,
+    max_candidates: int | None = None,
 ) -> list[dict]:
     """Table V: speed-up of D-SEQ and D-CAND over sequential DESQ-DFS.
 
     Speed-ups compare the sequential run time against the makespan of the
     distributed algorithms on ``num_workers`` workers of ``backend`` (the
     paper uses 65 cores for the distributed algorithms and 1 core for
-    DESQ-DFS; the default backend models that cluster in-process).
+    DESQ-DFS; the default backend models that cluster in-process).  The
+    sequential baseline uses the same mining kernel as the distributed runs.
     """
     from repro.datasets import constraint as make_constraint
     from repro.experiments.configs import SCALED_SIGMA
@@ -126,22 +132,30 @@ def table5_speedup(
             ("AMZN-F", make_constraint("T3", 4 * SCALED_SIGMA["T3"], 1, 5)),
             ("CW", make_constraint("T2", SCALED_SIGMA["T2"], 0, 5)),
         ]
+    config = ClusterConfig.resolve(
+        cluster,
+        backend=backend,
+        codec=codec,
+        spill_budget_bytes=spill_budget_bytes,
+        kernel=kernel,
+    )
     rows = []
     for dataset_name, constraint in entries:
         prepared = prepare_dataset(dataset_name, (sizes or {}).get(dataset_name))
         sequential = run_algorithm(
             "desq-dfs", constraint, prepared.dictionary, prepared.database,
             num_workers=1, dataset_name=dataset_name,
+            cluster=config.merged(backend="simulated", num_workers=1),
         )
         dseq = run_algorithm(
             "dseq", constraint, prepared.dictionary, prepared.database,
-            num_workers=num_workers, dataset_name=dataset_name, backend=backend,
-            codec=codec, spill_budget_bytes=spill_budget_bytes,
+            num_workers=num_workers, dataset_name=dataset_name, cluster=config,
+            max_runs=max_runs, max_candidates=max_candidates,
         )
         dcand = run_algorithm(
             "dcand", constraint, prepared.dictionary, prepared.database,
-            num_workers=num_workers, dataset_name=dataset_name, backend=backend,
-            codec=codec, spill_budget_bytes=spill_budget_bytes,
+            num_workers=num_workers, dataset_name=dataset_name, cluster=config,
+            max_runs=max_runs, max_candidates=max_candidates,
         )
         row = {
             "constraint": constraint.name,

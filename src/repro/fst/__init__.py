@@ -1,5 +1,16 @@
 """Finite state transducers for DESQ subsequence constraints (Sec. IV)."""
 
+from repro.fst.compiled import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    CompiledFst,
+    InterpretedKernel,
+    MiningKernel,
+    ensure_kernel,
+    kernel_fingerprint,
+    make_kernel,
+    normalize_kernel,
+)
 from repro.fst.compiler import compile_ast, compile_expression
 from repro.fst.export import (
     FstStatistics,
@@ -25,17 +36,26 @@ from repro.fst.simulation import (
 )
 
 __all__ = [
+    "DEFAULT_KERNEL",
     "DEFAULT_MAX_CANDIDATES",
     "DEFAULT_MAX_RUNS",
     "EPSILON_OUTPUT",
+    "CompiledFst",
     "Fst",
     "FstStatistics",
+    "InterpretedKernel",
+    "KERNELS",
     "Label",
+    "MiningKernel",
     "NfaStatistics",
     "Transition",
     "accepting_runs",
     "compile_ast",
     "compile_expression",
+    "ensure_kernel",
+    "kernel_fingerprint",
+    "make_kernel",
+    "normalize_kernel",
     "expand_output_sets",
     "fst_statistics",
     "fst_to_dot",

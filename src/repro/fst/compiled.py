@@ -1,0 +1,456 @@
+"""The compiled mining kernel: flat transition tables and interval matchers.
+
+Every miner in this library ultimately simulates an FST over input sequences:
+the reachability table, run enumeration, the position–state grid, and the
+pattern-growth local miner all ask the same two questions for every
+(position × state × transition) triple — *does this transition match the item
+at this position?* and *what does it output?*  The interpreted path answers
+them by calling :meth:`~repro.fst.labels.Label.matches` /
+:meth:`~repro.fst.labels.Label.outputs` per call, walking the dictionary's
+hierarchy closures.
+
+This module compiles an ``(Fst, Dictionary)`` pair into a
+:class:`CompiledFst`: per-state transition ids in a flat CSR layout
+(``array`` columns), one precompiled matcher per transition label
+(equality test, match-all, or an interval probe over the dictionary's
+DFS-interval descendant encoding — see :mod:`repro.dictionary.intervals`),
+and memoized item → matching-transitions / output-set indexes that are shared
+by every sequence a worker processes.  Both kernels expose the same API, so
+all consumers are written once against :class:`MiningKernel`:
+
+* ``kernel="compiled"`` (the default) for speed;
+* ``kernel="interpreted"`` for debugging — it calls the original per-label
+  methods on every probe and is the reference the differential suite compares
+  the compiled kernel against.
+
+A compiled kernel is cheaply picklable (the hot tables are ``array``/``bytes``
+columns) and *interns* itself per process by a content fingerprint: the
+persistent process pool ships the kernel once per worker through its pool
+initializer, and every later task unpickle returns the already-warm kernel
+object instead of re-deriving tables and memos.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from array import array
+from collections.abc import Sequence
+
+from repro.dictionary import Dictionary
+from repro.errors import FstError
+from repro.fst.fst import Fst, Transition
+from repro.fst.labels import EPSILON_OUTPUT
+
+#: Kernel names accepted by miners, ``make_cluster``, and ``--kernel``.
+KERNELS = ("compiled", "interpreted")
+
+#: Kernel used when none is requested explicitly.
+DEFAULT_KERNEL = "compiled"
+
+#: Matcher opcodes of compiled labels.
+_MATCH_ALL, _MATCH_EQ, _MATCH_DESC = 0, 1, 2
+
+
+def normalize_kernel(kernel: str | None) -> str:
+    """Map a user-provided kernel name to a canonical one (None → default)."""
+    if kernel is None:
+        return DEFAULT_KERNEL
+    name = str(kernel).strip().lower()
+    if name not in KERNELS:
+        raise FstError(
+            f"unknown mining kernel {kernel!r}; choose one of {', '.join(KERNELS)}"
+        )
+    return name
+
+
+class MiningKernel:
+    """Common API of the interpreted and compiled FST kernels.
+
+    A kernel owns an :class:`~repro.fst.fst.Fst` and a
+    :class:`~repro.dictionary.Dictionary` and answers the hot-loop queries of
+    every consumer: matching transition ids per (state, item), transition
+    targets/capture flags, (filtered) output sets, and the two per-sequence
+    dynamic-programming tables.
+    """
+
+    kind = "abstract"
+
+    def __init__(self, fst: Fst, dictionary: Dictionary) -> None:
+        self.fst = fst
+        self.dictionary = dictionary
+        self.num_states = fst.num_states
+        self.initial_state = fst.initial_state
+        self.final_states = frozenset(fst.final_states)
+        self.transitions: tuple[Transition, ...] = fst.transitions
+        self._targets = array("q", (t.target for t in self.transitions))
+        self._captured = bytes(1 if t.label.captured else 0 for t in self.transitions)
+
+    # ----------------------------------------------------------------- access
+    def is_final(self, state: int) -> bool:
+        return state in self.final_states
+
+    def transition(self, tid: int) -> Transition:
+        return self.transitions[tid]
+
+    def target(self, tid: int) -> int:
+        return self._targets[tid]
+
+    def is_captured(self, tid: int) -> bool:
+        return bool(self._captured[tid])
+
+    # ------------------------------------------------------------ hot queries
+    def matching(self, state: int, item: int) -> tuple[int, ...]:
+        """Transition ids leaving ``state`` that match ``item`` (stable order)."""
+        raise NotImplementedError
+
+    def outputs(self, tid: int, item: int) -> tuple[int, ...]:
+        """``out_δ(item)`` of transition ``tid`` (sorted; ``(0,)`` is ε)."""
+        raise NotImplementedError
+
+    def filtered_outputs(
+        self, tid: int, item: int, max_frequent_fid: int | None
+    ) -> tuple[int, ...]:
+        """Output set with infrequent items removed (ε sets pass unfiltered)."""
+        outputs = self.outputs(tid, item)
+        if max_frequent_fid is not None and outputs != EPSILON_OUTPUT:
+            outputs = tuple(fid for fid in outputs if fid <= max_frequent_fid)
+        return outputs
+
+    # ------------------------------------------------------------- DP tables
+    def reachability_table(self, sequence: Sequence[int]) -> list[list[bool]]:
+        """``alive[i][q]``: an accepting run exists from position i, state q."""
+        n = len(sequence)
+        num_states = self.num_states
+        alive = [[False] * num_states for _ in range(n + 1)]
+        row = alive[n]
+        for state in self.final_states:
+            row[state] = True
+        targets = self._targets
+        for i in range(n - 1, -1, -1):
+            item = sequence[i]
+            row = alive[i]
+            next_row = alive[i + 1]
+            for state in range(num_states):
+                for tid in self.matching(state, item):
+                    if next_row[targets[tid]]:
+                        row[state] = True
+                        break
+        return alive
+
+    def finishable_table(self, sequence: Sequence[int]) -> list[list[bool]]:
+        """``finishable[i][q]``: acceptance reachable producing only ε outputs."""
+        n = len(sequence)
+        num_states = self.num_states
+        table = [[False] * num_states for _ in range(n + 1)]
+        row = table[n]
+        for state in self.final_states:
+            row[state] = True
+        targets = self._targets
+        captured = self._captured
+        for i in range(n - 1, -1, -1):
+            item = sequence[i]
+            row = table[i]
+            next_row = table[i + 1]
+            for state in range(num_states):
+                for tid in self.matching(state, item):
+                    if not captured[tid] and next_row[targets[tid]]:
+                        row[state] = True
+                        break
+        return table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(states={self.num_states}, "
+            f"transitions={len(self.transitions)})"
+        )
+
+
+class InterpretedKernel(MiningKernel):
+    """Reference kernel: per-call :class:`~repro.fst.labels.Label` evaluation.
+
+    Every probe goes through the original label methods (and therefore the
+    dictionary's closure caches) exactly as the pre-kernel code did; use it
+    with ``--kernel interpreted`` to debug the compiled tables against the
+    executable specification.
+    """
+
+    kind = "interpreted"
+
+    def matching(self, state: int, item: int) -> tuple[int, ...]:
+        dictionary = self.dictionary
+        return tuple(
+            t.tid for t in self.fst.outgoing(state) if t.label.matches(item, dictionary)
+        )
+
+    def outputs(self, tid: int, item: int) -> tuple[int, ...]:
+        return self.transitions[tid].label.outputs(item, self.dictionary)
+
+
+#: Per-process intern cache of compiled kernels, keyed by content fingerprint.
+#: Bounded FIFO: mining sessions cycle through a handful of (pattern,
+#: dictionary) pairs, and eviction only costs a rebuild on the next unpickle.
+_KERNEL_CACHE: dict[str, "CompiledFst"] = {}
+_KERNEL_CACHE_LIMIT = 16
+
+#: Warm per-kernel memo fields, rebuilt empty after an unpickle cache miss.
+_MEMO_FIELDS = ("_match_memo", "_uncaptured_memo", "_output_memo", "_filtered_memo")
+
+
+def _intern_kernel(kernel: "CompiledFst") -> "CompiledFst":
+    cached = _KERNEL_CACHE.get(kernel.fingerprint)
+    if cached is not None:
+        return cached
+    while len(_KERNEL_CACHE) >= _KERNEL_CACHE_LIMIT:
+        _KERNEL_CACHE.pop(next(iter(_KERNEL_CACHE)))
+    _KERNEL_CACHE[kernel.fingerprint] = kernel
+    return kernel
+
+
+def _restore_compiled(state: dict) -> "CompiledFst":
+    """Unpickle hook: return the interned kernel when the worker has it."""
+    cached = _KERNEL_CACHE.get(state["fingerprint"])
+    if cached is not None:
+        return cached
+    kernel = CompiledFst.__new__(CompiledFst)
+    kernel.__dict__.update(state)
+    for field in _MEMO_FIELDS:
+        kernel.__dict__[field] = {}
+    return _intern_kernel(kernel)
+
+
+def kernel_fingerprint(fst: Fst, dictionary: Dictionary) -> str:
+    """Content digest of a kernel: FST structure plus dictionary content."""
+    structure = (
+        fst.num_states,
+        fst.initial_state,
+        tuple(sorted(fst.final_states)),
+        tuple(
+            (t.source, t.target, t.label.fid, t.label.exact, t.label.generalize,
+             t.label.captured)
+            for t in fst.transitions
+        ),
+    )
+    digest = hashlib.sha1(pickle.dumps(structure, protocol=pickle.HIGHEST_PROTOCOL))
+    digest.update(dictionary.content_fingerprint())
+    return digest.hexdigest()
+
+
+class CompiledFst(MiningKernel):
+    """Flat-table FST kernel with memoized matching and output indexes.
+
+    Construction freezes the FST into CSR transition columns and compiles one
+    matcher per label: wildcards become match-all, exact item labels an
+    integer comparison, and hierarchy labels an interval probe over the
+    dictionary's DFS-interval descendant encoding.  The first time an item is
+    seen, its matching transitions for *all* states are resolved once and
+    memoized — every later (position, state) probe on any sequence is a dict
+    hit plus integer reads.
+    """
+
+    kind = "compiled"
+
+    def __init__(
+        self, fst: Fst, dictionary: Dictionary, fingerprint: str | None = None
+    ) -> None:
+        super().__init__(fst, dictionary)
+        index = dictionary.descendant_index()
+        self._positions = index.positions
+        out_start = array("q", [0])
+        out_tids = array("q")
+        for state in range(self.num_states):
+            for transition in fst.outgoing(state):
+                out_tids.append(transition.tid)
+            out_start.append(len(out_tids))
+        self._out_start = out_start
+        self._out_tids = out_tids
+        kinds = bytearray()
+        fids = []
+        intervals = []
+        for transition in self.transitions:
+            label = transition.label
+            if label.fid is None:
+                kinds.append(_MATCH_ALL)
+                fids.append(0)
+                intervals.append(None)
+            elif label.exact and not label.generalize:
+                kinds.append(_MATCH_EQ)
+                fids.append(label.fid)
+                intervals.append(None)
+            else:
+                kinds.append(_MATCH_DESC)
+                fids.append(label.fid)
+                intervals.append(index.descendant_intervals(label.fid))
+        self._match_kind = bytes(kinds)
+        self._match_fid = tuple(fids)
+        self._match_interval = tuple(intervals)
+        self._labels = tuple(t.label for t in self.transitions)
+        self.fingerprint = fingerprint or kernel_fingerprint(fst, dictionary)
+        self._match_memo: dict[int, tuple[tuple[int, ...], ...]] = {}
+        self._uncaptured_memo: dict[int, tuple[tuple[int, ...], ...]] = {}
+        self._output_memo: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._filtered_memo: dict[tuple[int, int, int], tuple[int, ...]] = {}
+
+    # ---------------------------------------------------------------- pickling
+    def __reduce__(self):
+        state = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key not in _MEMO_FIELDS
+        }
+        return (_restore_compiled, (state,))
+
+    # ------------------------------------------------------------ hot queries
+    def _match_rows(self, item: int) -> tuple[tuple[int, ...], ...]:
+        rows = self._match_memo.get(item)
+        if rows is None:
+            position = self._positions.get(item)
+            kind = self._match_kind
+            fid_of = self._match_fid
+            interval_of = self._match_interval
+            out_start = self._out_start
+            out_tids = self._out_tids
+            built = []
+            for state in range(self.num_states):
+                matched = []
+                for tid in out_tids[out_start[state] : out_start[state + 1]]:
+                    opcode = kind[tid]
+                    if opcode == _MATCH_ALL:
+                        ok = True
+                    elif opcode == _MATCH_EQ:
+                        ok = item == fid_of[tid]
+                    else:
+                        ok = position is not None and position in interval_of[tid]
+                    if ok:
+                        matched.append(tid)
+                built.append(tuple(matched))
+            rows = tuple(built)
+            self._match_memo[item] = rows
+        return rows
+
+    def _uncaptured_rows(self, item: int) -> tuple[tuple[int, ...], ...]:
+        rows = self._uncaptured_memo.get(item)
+        if rows is None:
+            captured = self._captured
+            rows = tuple(
+                tuple(tid for tid in row if not captured[tid])
+                for row in self._match_rows(item)
+            )
+            self._uncaptured_memo[item] = rows
+        return rows
+
+    def matching(self, state: int, item: int) -> tuple[int, ...]:
+        return self._match_rows(item)[state]
+
+    def outputs(self, tid: int, item: int) -> tuple[int, ...]:
+        key = (tid, item)
+        cached = self._output_memo.get(key)
+        if cached is None:
+            cached = self._labels[tid].outputs(item, self.dictionary)
+            self._output_memo[key] = cached
+        return cached
+
+    def filtered_outputs(
+        self, tid: int, item: int, max_frequent_fid: int | None
+    ) -> tuple[int, ...]:
+        if max_frequent_fid is None:
+            return self.outputs(tid, item)
+        key = (tid, item, max_frequent_fid)
+        cached = self._filtered_memo.get(key)
+        if cached is None:
+            outputs = self.outputs(tid, item)
+            if outputs != EPSILON_OUTPUT:
+                outputs = tuple(fid for fid in outputs if fid <= max_frequent_fid)
+            cached = outputs
+            self._filtered_memo[key] = cached
+        return cached
+
+    # ------------------------------------------------------------- DP tables
+    def reachability_table(self, sequence: Sequence[int]) -> list[list[bool]]:
+        n = len(sequence)
+        num_states = self.num_states
+        alive = [[False] * num_states for _ in range(n + 1)]
+        row = alive[n]
+        for state in self.final_states:
+            row[state] = True
+        targets = self._targets
+        for i in range(n - 1, -1, -1):
+            rows = self._match_rows(sequence[i])
+            row = alive[i]
+            next_row = alive[i + 1]
+            for state in range(num_states):
+                for tid in rows[state]:
+                    if next_row[targets[tid]]:
+                        row[state] = True
+                        break
+        return alive
+
+    def finishable_table(self, sequence: Sequence[int]) -> list[list[bool]]:
+        n = len(sequence)
+        num_states = self.num_states
+        table = [[False] * num_states for _ in range(n + 1)]
+        row = table[n]
+        for state in self.final_states:
+            row[state] = True
+        targets = self._targets
+        for i in range(n - 1, -1, -1):
+            rows = self._uncaptured_rows(sequence[i])
+            row = table[i]
+            next_row = table[i + 1]
+            for state in range(num_states):
+                for tid in rows[state]:
+                    if next_row[targets[tid]]:
+                        row[state] = True
+                        break
+        return table
+
+
+def make_kernel(
+    fst: Fst, dictionary: Dictionary, kernel: str | None = None
+) -> MiningKernel:
+    """Build a mining kernel by name (``"compiled"`` or ``"interpreted"``).
+
+    Compiled kernels are interned per process by content fingerprint, so
+    compiling the same (pattern, dictionary) pair twice returns the same
+    warm kernel object.
+    """
+    name = normalize_kernel(kernel)
+    if name == "interpreted":
+        return InterpretedKernel(fst, dictionary)
+    fingerprint = kernel_fingerprint(fst, dictionary)
+    cached = _KERNEL_CACHE.get(fingerprint)
+    if cached is not None:
+        return cached
+    return _intern_kernel(CompiledFst(fst, dictionary, fingerprint))
+
+
+def ensure_kernel(
+    subject: Fst | MiningKernel,
+    dictionary: Dictionary | None = None,
+    kernel: str | None = None,
+) -> MiningKernel:
+    """Normalize an ``Fst`` or ready-made kernel to a :class:`MiningKernel`.
+
+    Raw FSTs are wrapped in the requested (default: compiled) kernel; the
+    result is cached on the FST instance per (kernel, dictionary), so legacy
+    call sites that pass ``(fst, dictionary)`` pairs repeatedly do not pay
+    repeated compilation.  Each cache entry stores the exact dictionary
+    object it was keyed on (an interned kernel may hold a content-equal but
+    different instance), which keeps that ``id`` from being reused by a new
+    dictionary for the entry's lifetime.
+    """
+    if isinstance(subject, MiningKernel):
+        return subject
+    if dictionary is None:
+        raise FstError("a dictionary is required to build a kernel from a raw Fst")
+    name = normalize_kernel(kernel)
+    cache = getattr(subject, "_kernel_cache", None)
+    if cache is None:
+        cache = {}
+        subject._kernel_cache = cache
+    key = (name, id(dictionary))
+    entry = cache.get(key)
+    if entry is None:
+        entry = (dictionary, make_kernel(subject, dictionary, name))
+        cache[key] = entry
+    return entry[1]

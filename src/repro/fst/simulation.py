@@ -8,6 +8,13 @@ semantics of the DESQ computational model:
 * :func:`run_output_sets` -- the output sets produced by one run;
 * :func:`generate_candidates` -- the candidate set ``G_π(T)`` (or ``G^σ_π(T)``).
 
+All entry points accept either a raw :class:`~repro.fst.fst.Fst` (plus a
+dictionary, as before) or a ready-made
+:class:`~repro.fst.compiled.MiningKernel`; raw FSTs are wrapped in the
+default (compiled) kernel on first use, so the interpreted per-label walk and
+the compiled flat-table kernel share one implementation of the simulation
+semantics.
+
 Run enumeration and candidate expansion can be exponential for loose
 constraints; both carry explicit caps that raise
 :class:`~repro.errors.CandidateExplosionError` when exceeded.
@@ -19,6 +26,7 @@ from collections.abc import Iterator, Sequence
 
 from repro.dictionary import EPSILON_FID, Dictionary
 from repro.errors import CandidateExplosionError
+from repro.fst.compiled import MiningKernel, ensure_kernel
 from repro.fst.fst import Fst, Transition
 
 #: Default safety cap for enumerated accepting runs per input sequence.
@@ -28,42 +36,34 @@ DEFAULT_MAX_CANDIDATES = 1_000_000
 
 
 def reachability_table(
-    fst: Fst, sequence: Sequence[int], dictionary: Dictionary
+    fst: Fst | MiningKernel,
+    sequence: Sequence[int],
+    dictionary: Dictionary | None = None,
 ) -> list[list[bool]]:
     """``alive[i][q]`` is True iff an accepting run exists from position i, state q.
 
     Position ``i`` means "the first ``i`` items have been consumed"; the table
     therefore has ``len(sequence) + 1`` rows.
     """
-    n = len(sequence)
-    alive = [[False] * fst.num_states for _ in range(n + 1)]
-    for state in fst.final_states:
-        alive[n][state] = True
-    for i in range(n - 1, -1, -1):
-        item = sequence[i]
-        row = alive[i]
-        next_row = alive[i + 1]
-        for state in range(fst.num_states):
-            for transition in fst.outgoing(state):
-                if next_row[transition.target] and transition.label.matches(
-                    item, dictionary
-                ):
-                    row[state] = True
-                    break
-    return alive
+    return ensure_kernel(fst, dictionary).reachability_table(sequence)
 
 
-def matches(fst: Fst, sequence: Sequence[int], dictionary: Dictionary) -> bool:
+def matches(
+    fst: Fst | MiningKernel,
+    sequence: Sequence[int],
+    dictionary: Dictionary | None = None,
+) -> bool:
     """True iff the FST has at least one accepting run for ``sequence``."""
+    kernel = ensure_kernel(fst, dictionary)
     if len(sequence) == 0:
-        return fst.is_final(fst.initial_state)
-    return reachability_table(fst, sequence, dictionary)[0][fst.initial_state]
+        return kernel.is_final(kernel.initial_state)
+    return kernel.reachability_table(sequence)[0][kernel.initial_state]
 
 
 def accepting_runs(
-    fst: Fst,
+    fst: Fst | MiningKernel,
     sequence: Sequence[int],
-    dictionary: Dictionary,
+    dictionary: Dictionary | None = None,
     max_runs: int = DEFAULT_MAX_RUNS,
     alive: list[list[bool]] | None = None,
 ) -> Iterator[tuple[Transition, ...]]:
@@ -74,23 +74,25 @@ def accepting_runs(
     are explored.  Raises :class:`CandidateExplosionError` if more than
     ``max_runs`` runs are produced.
     """
+    kernel = ensure_kernel(fst, dictionary)
     n = len(sequence)
     if alive is None:
-        alive = reachability_table(fst, sequence, dictionary)
+        alive = kernel.reachability_table(sequence)
     if n == 0:
-        if fst.is_final(fst.initial_state):
+        if kernel.is_final(kernel.initial_state):
             yield ()
         return
-    if not alive[0][fst.initial_state]:
+    if not alive[0][kernel.initial_state]:
         return
 
     produced = 0
     stack: list[Transition] = []
+    transitions = kernel.transitions
 
     def walk(position: int, state: int) -> Iterator[tuple[Transition, ...]]:
         nonlocal produced
         if position == n:
-            if fst.is_final(state):
+            if kernel.is_final(state):
                 produced += 1
                 if produced > max_runs:
                     raise CandidateExplosionError("accepting runs", max_runs)
@@ -98,21 +100,20 @@ def accepting_runs(
             return
         item = sequence[position]
         next_alive = alive[position + 1]
-        for transition in fst.outgoing(state):
-            if next_alive[transition.target] and transition.label.matches(
-                item, dictionary
-            ):
-                stack.append(transition)
-                yield from walk(position + 1, transition.target)
+        for tid in kernel.matching(state, item):
+            target = kernel.target(tid)
+            if next_alive[target]:
+                stack.append(transitions[tid])
+                yield from walk(position + 1, target)
                 stack.pop()
 
-    yield from walk(0, fst.initial_state)
+    yield from walk(0, kernel.initial_state)
 
 
 def run_output_sets(
     run: Sequence[Transition],
     sequence: Sequence[int],
-    dictionary: Dictionary,
+    dictionary: Dictionary | MiningKernel,
     max_frequent_fid: int | None = None,
 ) -> list[tuple[int, ...]]:
     """The output sets produced by ``run`` on ``sequence``.
@@ -121,8 +122,15 @@ def run_output_sets(
     If ``max_frequent_fid`` is given, items with a larger fid (i.e. infrequent
     items, because fids are frequency ordered) are removed; a captured set may
     then become empty, which callers treat as "no frequent candidate passes
-    through this run".
+    through this run".  Passing a kernel instead of a dictionary reads the
+    kernel's memoized (filtered) output index.
     """
+    if isinstance(dictionary, MiningKernel):
+        kernel = dictionary
+        return [
+            kernel.filtered_outputs(transition.tid, item, max_frequent_fid)
+            for transition, item in zip(run, sequence)
+        ]
     sets: list[tuple[int, ...]] = []
     for transition, item in zip(run, sequence):
         outputs = transition.label.outputs(item, dictionary)
@@ -161,9 +169,9 @@ def expand_output_sets(
 
 
 def generate_candidates(
-    fst: Fst,
+    fst: Fst | MiningKernel,
     sequence: Sequence[int],
-    dictionary: Dictionary,
+    dictionary: Dictionary | None = None,
     sigma: int | None = None,
     max_runs: int = DEFAULT_MAX_RUNS,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
@@ -174,12 +182,13 @@ def generate_candidates(
     pattern).  Raises :class:`CandidateExplosionError` if enumeration exceeds
     the configured caps.
     """
+    kernel = ensure_kernel(fst, dictionary)
     max_frequent_fid = (
-        dictionary.largest_frequent_fid(sigma) if sigma is not None else None
+        kernel.dictionary.largest_frequent_fid(sigma) if sigma is not None else None
     )
     candidates: set[tuple[int, ...]] = set()
-    for run in accepting_runs(fst, sequence, dictionary, max_runs=max_runs):
-        output_sets = run_output_sets(run, sequence, dictionary, max_frequent_fid)
+    for run in accepting_runs(kernel, sequence, max_runs=max_runs):
+        output_sets = run_output_sets(run, sequence, kernel, max_frequent_fid)
         if any(not outputs for outputs in output_sets):
             continue
         for candidate in expand_output_sets(output_sets, max_candidates=max_candidates):
@@ -191,34 +200,34 @@ def generate_candidates(
 
 
 def generates(
-    fst: Fst,
+    fst: Fst | MiningKernel,
     candidate: Sequence[int],
     sequence: Sequence[int],
-    dictionary: Dictionary,
+    dictionary: Dictionary | None = None,
 ) -> bool:
     """True iff ``candidate`` is π-generated by ``sequence`` (``S ∈ G_π(T)``).
 
     Decided by a joint dynamic program over (input position, FST state,
     candidate position) without materializing ``G_π(T)``.
     """
+    kernel = ensure_kernel(fst, dictionary)
     candidate = tuple(candidate)
     n = len(sequence)
     m = len(candidate)
     # states of the DP: frozenset of (fst state, matched prefix length)
-    current: set[tuple[int, int]] = {(fst.initial_state, 0)}
+    current: set[tuple[int, int]] = {(kernel.initial_state, 0)}
     for position in range(n):
         item = sequence[position]
         following: set[tuple[int, int]] = set()
         for state, matched in current:
-            for transition in fst.outgoing(state):
-                if not transition.label.matches(item, dictionary):
-                    continue
-                for output in transition.label.outputs(item, dictionary):
+            for tid in kernel.matching(state, item):
+                target = kernel.target(tid)
+                for output in kernel.outputs(tid, item):
                     if output == EPSILON_FID:
-                        following.add((transition.target, matched))
+                        following.add((target, matched))
                     elif matched < m and candidate[matched] == output:
-                        following.add((transition.target, matched + 1))
+                        following.add((target, matched + 1))
         current = following
         if not current:
             return False
-    return any(fst.is_final(state) and matched == m for state, matched in current)
+    return any(kernel.is_final(state) and matched == m for state, matched in current)

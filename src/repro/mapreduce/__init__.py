@@ -17,7 +17,12 @@ Use :func:`make_cluster` to pick a backend by name.
 
 from repro.mapreduce.base import Cluster, JobResult, StageDriverCluster
 from repro.mapreduce.engine import SimulatedCluster, run_job
-from repro.mapreduce.factory import BACKENDS, make_cluster, resolve_cluster
+from repro.mapreduce.factory import (
+    BACKENDS,
+    ClusterConfig,
+    make_cluster,
+    resolve_cluster,
+)
 from repro.mapreduce.job import MapReduceJob, iter_map_output, stable_hash
 from repro.mapreduce.metrics import JobMetrics
 from repro.mapreduce.parallel import (
@@ -39,6 +44,7 @@ __all__ = [
     "BACKENDS",
     "CODECS",
     "Cluster",
+    "ClusterConfig",
     "Codec",
     "CompactCodec",
     "JobMetrics",

@@ -99,6 +99,12 @@ class StageDriverCluster:
         ``0`` spills everything).  Results are identical either way.
     spill_dir:
         Directory for spill files (defaults to the system temp directory).
+    kernel:
+        The FST mining-kernel choice (``"compiled"`` / ``"interpreted"``)
+        carried for the miners: a cluster never simulates FSTs itself, but a
+        miner handed a ready-made cluster instance inherits this setting
+        (like ``codec``), so one :class:`~repro.mapreduce.factory.ClusterConfig`
+        fully describes a run.
     """
 
     #: Human-readable backend identifier (also used by :func:`repr`).
@@ -115,6 +121,7 @@ class StageDriverCluster:
         codec: str | Codec = "compact",
         spill_budget_bytes: int | None = None,
         spill_dir: str | None = None,
+        kernel: str | None = None,
     ) -> None:
         if num_workers is None:
             num_workers = self.default_num_workers
@@ -132,6 +139,14 @@ class StageDriverCluster:
             )
         self.spill_budget_bytes = spill_budget_bytes
         self.spill_dir = spill_dir
+        if kernel is not None:
+            # Fail fast on typos, like make_codec does for codec names (the
+            # import is deferred to keep repro.mapreduce importable without
+            # pulling in the FST stack).
+            from repro.fst.compiled import normalize_kernel
+
+            kernel = normalize_kernel(kernel)
+        self.kernel = kernel
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -167,7 +182,7 @@ class StageDriverCluster:
                             )
                         except Exception:
                             pass
-                with self._executor_scope(chunks) as execute:
+                with self._executor_scope(chunks, job) as execute:
                     # Map stage: each task partitions, combines, and encodes
                     # its reduce buckets locally (worker-side shuffle write),
                     # spilling payloads to disk past the in-memory budget.
@@ -240,12 +255,15 @@ class StageDriverCluster:
         )
 
     @contextmanager
-    def _executor_scope(self, chunks: Sequence[Any]):
+    def _executor_scope(self, chunks: Sequence[Any], job: MapReduceJob):
         """Yield a ``tasks -> results`` callable; the scope spans both stages.
 
         ``chunks`` are the map inputs prepared by :meth:`_input_scope`
         (backends that initialize their workers per job batch read the store
-        handle from them).  Results come back in submission order.  The
+        handle from them) and ``job`` is the job about to run (backends that
+        warm their workers once per job batch ship
+        :meth:`~repro.mapreduce.job.MapReduceJob.worker_warmup` through the
+        pool initializer).  Results come back in submission order.  The
         default runs tasks serially in the calling process; pool backends
         yield a closure over a freshly created executor, so one cluster
         instance can safely serve concurrent :meth:`run` calls.

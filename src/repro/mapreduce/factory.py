@@ -1,6 +1,8 @@
-"""Backend selection: names, aliases, and the :func:`make_cluster` factory."""
+"""Backend selection: :class:`ClusterConfig`, names/aliases, and the factory."""
 
 from __future__ import annotations
+
+from dataclasses import dataclass, replace
 
 from repro.errors import MapReduceError
 from repro.mapreduce.base import Cluster
@@ -42,16 +44,87 @@ _CLUSTER_CLASSES = {
 }
 
 
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One value object for everything that configures a mining run's substrate.
+
+    Collapses the previously copy-pasted ``backend=`` / ``codec=`` /
+    ``spill_budget_bytes=`` plumbing: the miners, the experiment harness, and
+    both CLI commands build exactly one of these and hand it around.
+    ``backend`` may be a backend name or a ready-made
+    :class:`~repro.mapreduce.base.Cluster` instance (which then wins over the
+    worker/codec/spill fields, as before).  ``kernel`` selects the FST mining
+    kernel (``"compiled"`` or ``"interpreted"``; None → the library default)
+    and is consumed by the miners rather than the cluster itself.
+    """
+
+    backend: str | Cluster = "simulated"
+    num_workers: int | None = None
+    num_reduce_tasks: int | None = None
+    measure_shuffle: bool = True
+    codec: str | Codec = "compact"
+    spill_budget_bytes: int | None = None
+    spill_dir: str | None = None
+    kernel: str | None = None
+
+    @classmethod
+    def resolve(
+        cls, value: "ClusterConfig | str | Cluster | None" = None, /, **defaults
+    ) -> "ClusterConfig":
+        """Normalize a config, backend name, or cluster instance to a config.
+
+        ``value=None`` builds a config from ``defaults`` (the caller's legacy
+        keyword arguments); a :class:`ClusterConfig` is used as-is (it
+        specifies the run); a backend name or cluster instance becomes the
+        ``backend`` of a config built from the remaining defaults.  One
+        exception to "the config wins": an explicit non-None ``kernel``
+        default overrides the config's kernel, so
+        ``miner(..., cluster=config, kernel="interpreted")`` reliably selects
+        the debugging kernel.
+        """
+        kernel = defaults.pop("kernel", None)
+        if value is None:
+            config = cls(**defaults, kernel=kernel)
+        elif isinstance(value, ClusterConfig):
+            config = value
+        else:
+            config = cls(**{**defaults, "backend": value}, kernel=kernel)
+        if kernel is not None and config.kernel != kernel:
+            config = config.merged(kernel=kernel)
+        return config
+
+    def merged(self, **overrides) -> "ClusterConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def kernel_name(self) -> str:
+        """The effective kernel name (falling back to the cluster's, then the
+        library default)."""
+        from repro.fst.compiled import DEFAULT_KERNEL
+
+        if self.kernel is not None:
+            return self.kernel
+        backend = self.backend
+        attached = None if isinstance(backend, str) else getattr(backend, "kernel", None)
+        return attached or DEFAULT_KERNEL
+
+    def build(self) -> Cluster:
+        """Build (or pass through) the execution backend for this config."""
+        return resolve_cluster(self)
+
+
 def make_cluster(
-    backend: str = "simulated",
+    backend: str | ClusterConfig = "simulated",
     num_workers: int | None = None,
     num_reduce_tasks: int | None = None,
     measure_shuffle: bool = True,
     codec: str | Codec = "compact",
     spill_budget_bytes: int | None = None,
     spill_dir: str | None = None,
+    kernel: str | None = None,
 ) -> Cluster:
-    """Build an execution backend by name.
+    """Build an execution backend by name or from a :class:`ClusterConfig`.
 
     ``backend`` is one of :data:`BACKENDS` (a few aliases such as ``"process"``
     are accepted): ``"simulated"`` models the makespan of ``num_workers``
@@ -64,8 +137,27 @@ def make_cluster(
     ``num_workers=None`` uses the backend's default worker count.  ``codec``
     picks the shuffle wire format (:data:`~repro.mapreduce.wire.CODECS`) and
     ``spill_budget_bytes`` caps the encoded payload bytes a map task keeps in
-    memory before spilling to ``spill_dir``.
+    memory before spilling to ``spill_dir``.  ``kernel`` records the FST
+    mining-kernel choice on the cluster so miners handed a ready-made
+    instance inherit it.
     """
+    if isinstance(backend, ClusterConfig):
+        config = backend
+        if not isinstance(config.backend, str):
+            raise MapReduceError(
+                "make_cluster() requires a backend name; the config already "
+                "holds a cluster instance"
+            )
+        return make_cluster(
+            config.backend,
+            num_workers=config.num_workers,
+            num_reduce_tasks=config.num_reduce_tasks,
+            measure_shuffle=config.measure_shuffle,
+            codec=config.codec,
+            spill_budget_bytes=config.spill_budget_bytes,
+            spill_dir=config.spill_dir,
+            kernel=config.kernel,
+        )
     key = _ALIASES.get(str(backend).strip().lower())
     if key is None:
         raise MapReduceError(
@@ -79,26 +171,34 @@ def make_cluster(
         codec=codec,
         spill_budget_bytes=spill_budget_bytes,
         spill_dir=spill_dir,
+        kernel=kernel,
     )
 
 
 def resolve_cluster(
-    backend: str | Cluster,
+    backend: str | Cluster | ClusterConfig,
     num_workers: int | None = None,
     num_reduce_tasks: int | None = None,
     measure_shuffle: bool = True,
     codec: str | Codec = "compact",
     spill_budget_bytes: int | None = None,
     spill_dir: str | None = None,
+    kernel: str | None = None,
 ) -> Cluster:
     """Return ``backend`` itself if it already is a cluster, else build one.
 
-    Miners accept either a backend name or a ready-made cluster instance; this
-    helper normalizes both to a :class:`~repro.mapreduce.base.Cluster`.  When
-    an instance is passed, its own configuration wins and the remaining
-    arguments are ignored (job metrics always report the cluster's actual
-    worker count, so timings stay correctly attributed either way).
+    Miners accept a backend name, a ready-made cluster instance, or a
+    :class:`ClusterConfig`; this helper normalizes all three to a
+    :class:`~repro.mapreduce.base.Cluster`.  When an instance is passed, its
+    own configuration wins and the remaining arguments are ignored (job
+    metrics always report the cluster's actual worker count, so timings stay
+    correctly attributed either way).
     """
+    if isinstance(backend, ClusterConfig):
+        config = backend
+        if not isinstance(config.backend, str) and isinstance(config.backend, Cluster):
+            return config.backend
+        return make_cluster(config)
     if not isinstance(backend, str) and isinstance(backend, Cluster):
         return backend
     return make_cluster(
@@ -109,4 +209,5 @@ def resolve_cluster(
         codec=codec,
         spill_budget_bytes=spill_budget_bytes,
         spill_dir=spill_dir,
+        kernel=kernel,
     )

@@ -85,6 +85,18 @@ class MapReduceJob:
         return len(pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL))
 
     # -------------------------------------------------------------- utilities
+    def worker_warmup(self) -> Any:
+        """Picklable object shipped once per worker by persistent backends.
+
+        The persistent process pool passes this through its pool initializer
+        before the first task runs.  The default ships the job's mining
+        kernel when it has one: unpickling a compiled kernel interns it per
+        process by content fingerprint, so every later task unpickle of the
+        job returns the already-warm kernel instead of re-deriving its
+        tables and memoized indexes.
+        """
+        return getattr(self, "kernel", None)
+
     def partition(self, key: Any, num_reduce_tasks: int) -> int:
         """Assign a key to a reduce task (hash partitioning by default).
 

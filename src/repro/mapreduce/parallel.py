@@ -58,12 +58,12 @@ class ExecutorCluster(StageDriverCluster):
 
     default_num_workers = 2
 
-    def _make_executor(self, chunks: Sequence[Any]) -> Executor:
+    def _make_executor(self, chunks: Sequence[Any], job: MapReduceJob) -> Executor:
         raise NotImplementedError
 
     @contextmanager
-    def _executor_scope(self, chunks: Sequence[Any]):
-        with self._make_executor(chunks) as pool:
+    def _executor_scope(self, chunks: Sequence[Any], job: MapReduceJob):
+        with self._make_executor(chunks, job) as pool:
 
             def execute(tasks: list[Task]) -> list[Any]:
                 futures = [pool.submit(function, *args) for function, args in tasks]
@@ -96,7 +96,7 @@ class ThreadPoolCluster(ExecutorCluster):
 
     backend_name = "threads"
 
-    def _make_executor(self, chunks: Sequence[Any]) -> Executor:
+    def _make_executor(self, chunks: Sequence[Any], job: MapReduceJob) -> Executor:
         return ThreadPoolExecutor(max_workers=self.num_workers)
 
 
@@ -114,12 +114,19 @@ class ProcessPoolCluster(ExecutorCluster):
 
     backend_name = "processes"
 
-    def _make_executor(self, chunks: Sequence[Any]) -> Executor:
+    def _make_executor(self, chunks: Sequence[Any], job: MapReduceJob) -> Executor:
         return ProcessPoolExecutor(max_workers=self.num_workers)
 
 
-def _initialize_worker(handle: StoreHandle) -> None:
-    """Pool initializer: attach the job batch's shared store once per worker."""
+def _initialize_worker(handle: StoreHandle, warmup: Any = None) -> None:
+    """Pool initializer: attach the job batch's shared store once per worker.
+
+    ``warmup`` is the job's :meth:`~repro.mapreduce.job.MapReduceJob.worker_warmup`
+    payload, shipped once per worker through the initializer arguments.  For
+    jobs with a compiled mining kernel, merely *unpickling* the payload here
+    interns the kernel by content fingerprint, so every per-task job unpickle
+    that follows reuses the warm kernel instead of re-deriving its tables.
+    """
     attach_store(handle)
 
 
@@ -173,11 +180,11 @@ class PersistentProcessPoolCluster(ExecutorCluster):
             ),
         )
 
-    def _make_executor(self, chunks: Sequence[StoreChunk]) -> Executor:
+    def _make_executor(self, chunks: Sequence[StoreChunk], job: MapReduceJob) -> Executor:
         if not chunks:
             return ProcessPoolExecutor(max_workers=self.num_workers)
         return ProcessPoolExecutor(
             max_workers=self.num_workers,
             initializer=_initialize_worker,
-            initargs=(chunks[0].handle,),
+            initargs=(chunks[0].handle, job.worker_warmup()),
         )

@@ -13,14 +13,23 @@ from collections.abc import Sequence
 
 from repro.core.results import MiningResult
 from repro.dictionary import Dictionary
-from repro.fst import generate_candidates
+from repro.fst import (
+    DEFAULT_MAX_CANDIDATES,
+    DEFAULT_MAX_RUNS,
+    generate_candidates,
+    make_kernel,
+)
 from repro.mapreduce.metrics import JobMetrics
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase
 
 
 class SequentialDesqCount:
-    """Generate-and-count mining with flexible constraints (sequential)."""
+    """Generate-and-count mining with flexible constraints (sequential).
+
+    ``kernel`` picks the FST mining kernel (``"compiled"`` by default,
+    ``"interpreted"`` for debugging).
+    """
 
     algorithm_name = "DESQ-COUNT"
 
@@ -29,14 +38,16 @@ class SequentialDesqCount:
         patex: PatEx | str,
         sigma: int,
         dictionary: Dictionary,
-        max_candidates_per_sequence: int = 1_000_000,
-        max_runs: int = 100_000,
+        max_candidates_per_sequence: int = DEFAULT_MAX_CANDIDATES,
+        max_runs: int = DEFAULT_MAX_RUNS,
+        kernel: str | None = None,
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
         self.sigma = sigma
         self.dictionary = dictionary
         self.max_candidates_per_sequence = max_candidates_per_sequence
         self.max_runs = max_runs
+        self.kernel = kernel
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent patterns by candidate counting.
@@ -45,14 +56,14 @@ class SequentialDesqCount:
         generates more candidates than the configured cap.
         """
         fst = self.patex.compile(self.dictionary)
+        kernel = make_kernel(fst, self.dictionary, self.kernel)
         started = time.perf_counter()
         counts: Counter[tuple[int, ...]] = Counter()
         total = 0
         for sequence in database:
             candidates = generate_candidates(
-                fst,
+                kernel,
                 tuple(sequence),
-                self.dictionary,
                 sigma=self.sigma,
                 max_runs=self.max_runs,
                 max_candidates=self.max_candidates_per_sequence,

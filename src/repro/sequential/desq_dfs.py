@@ -13,6 +13,7 @@ from collections.abc import Sequence
 from repro.core.local_mining import DesqDfsMiner
 from repro.core.results import MiningResult
 from repro.dictionary import Dictionary
+from repro.fst import make_kernel
 from repro.mapreduce.metrics import JobMetrics
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase
@@ -25,6 +26,9 @@ class SequentialDesqDfs:
 
         miner = SequentialDesqDfs(patex, sigma=100, dictionary=dictionary)
         result = miner.mine(database)
+
+    ``kernel`` picks the FST mining kernel (``"compiled"`` by default,
+    ``"interpreted"`` for debugging).
     """
 
     algorithm_name = "DESQ-DFS"
@@ -35,18 +39,21 @@ class SequentialDesqDfs:
         sigma: int,
         dictionary: Dictionary,
         max_patterns: int = 10_000_000,
+        kernel: str | None = None,
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
         self.sigma = sigma
         self.dictionary = dictionary
         self.max_patterns = max_patterns
+        self.kernel = kernel
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent patterns sequentially."""
         fst = self.patex.compile(self.dictionary)
+        kernel = make_kernel(fst, self.dictionary, self.kernel)
         miner = DesqDfsMiner(
-            fst,
-            self.dictionary,
+            kernel,
+            None,
             self.sigma,
             pivot=None,
             max_patterns=self.max_patterns,

@@ -21,7 +21,7 @@ from collections.abc import Iterable, Sequence
 from repro.core.results import MiningResult
 from repro.dictionary import Dictionary
 from repro.errors import MiningError
-from repro.mapreduce import Cluster, MapReduceJob, resolve_cluster
+from repro.mapreduce import Cluster, ClusterConfig, MapReduceJob, resolve_cluster
 from repro.sequences import SequenceDatabase, as_records
 
 
@@ -207,6 +207,8 @@ class GapConstrainedMiner:
         backend: str | Cluster = "simulated",
         codec: str = "compact",
         spill_budget_bytes: int | None = None,
+        kernel: str | None = None,
+        cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
         if sigma < 1:
             raise MiningError(f"sigma must be >= 1, got {sigma}")
@@ -218,10 +220,17 @@ class GapConstrainedMiner:
         self.max_length = max_length
         self.min_length = min_length
         self.use_hierarchy = use_hierarchy
-        self.num_workers = num_workers
-        self.backend = backend
-        self.codec = codec
-        self.spill_budget_bytes = spill_budget_bytes
+        # The specialist avoids FST machinery entirely, so the ``kernel``
+        # knob is accepted (one ClusterConfig drives all five cluster miners)
+        # but has no effect on its mining semantics or timings.
+        self.cluster = ClusterConfig.resolve(
+            cluster,
+            backend=backend,
+            num_workers=num_workers,
+            codec=codec,
+            spill_budget_bytes=spill_budget_bytes,
+            kernel=kernel,
+        )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent gap/length(/hierarchy) constrained patterns."""
@@ -233,13 +242,7 @@ class GapConstrainedMiner:
             min_length=self.min_length,
             use_hierarchy=self.use_hierarchy,
         )
-        cluster = resolve_cluster(
-            self.backend,
-            num_workers=self.num_workers,
-            codec=self.codec,
-            spill_budget_bytes=self.spill_budget_bytes,
-        )
-        result = cluster.run(job, as_records(database))
+        result = resolve_cluster(self.cluster).run(job, as_records(database))
         name = self.algorithm_name if self.use_hierarchy else "MG-FSM"
         return MiningResult(dict(result.outputs), result.metrics, algorithm=name)
 

@@ -234,6 +234,70 @@ class TestMine:
         )
         assert code == 2
 
+    def test_kernel_flag_selects_the_mining_kernel(self, tmp_path):
+        """Both kernels mine the same patterns (the CLI-level differential)."""
+        sequences = tmp_path / "dex.txt"
+        sequences.write_text("a c b\na b\nc b\na c c b\n")
+        outputs = {}
+        for kernel in ("compiled", "interpreted"):
+            for algorithm in ("dseq", "desq-dfs", "desq-count"):
+                output = tmp_path / f"{kernel}-{algorithm}.tsv"
+                code, _ = run_cli(
+                    "mine",
+                    "--sequences", str(sequences),
+                    "--pattern", ".*(a)[.*(b)]?.*",
+                    "--sigma", "2",
+                    "--algorithm", algorithm,
+                    "--kernel", kernel,
+                    "--output", str(output),
+                )
+                assert code == 0
+                outputs[(kernel, algorithm)] = sorted(output.read_text().splitlines())
+        assert len(set(map(tuple, outputs.values()))) == 1
+
+    def test_max_runs_and_max_candidates_flags(self, tmp_path):
+        sequences = tmp_path / "dex.txt"
+        sequences.write_text("a c b\na b\nc b\n")
+        # Generous caps leave the result unchanged.
+        code, text = run_cli(
+            "mine",
+            "--sequences", str(sequences),
+            "--pattern", ".*(a)[.*(b)]?.*",
+            "--sigma", "2",
+            "--algorithm", "naive",
+            "--max-runs", "1000",
+            "--max-candidates", "1000",
+        )
+        assert code == 0
+        assert "frequent patterns" in text
+        # A cap of one candidate per sequence turns the run into the paper's
+        # out-of-memory outcome, surfaced as a CLI error.
+        code, _ = run_cli(
+            "mine",
+            "--sequences", str(sequences),
+            "--pattern", ".*(a)[.*(b)]?.*",
+            "--sigma", "2",
+            "--algorithm", "naive",
+            "--max-candidates", "1",
+        )
+        assert code == 2
+
+    def test_cap_flags_rejected_where_not_applicable(self, tmp_path):
+        sequences = tmp_path / "dex.txt"
+        sequences.write_text("a b\n")
+        base = [
+            "mine",
+            "--sequences", str(sequences),
+            "--pattern", ".*(a)(b).*",
+            "--sigma", "1",
+        ]
+        code, _ = run_cli(*base, "--algorithm", "desq-dfs", "--max-runs", "10")
+        assert code == 2
+        code, _ = run_cli(*base, "--algorithm", "dseq", "--max-candidates", "10")
+        assert code == 2
+        code, _ = run_cli(*base, "--algorithm", "dseq", "--max-runs", "0")
+        assert code == 2
+
     def test_shuffle_flags_rejected_for_sequential_miners(self, tmp_path):
         sequences = tmp_path / "dex.txt"
         sequences.write_text("a b\n")
@@ -341,6 +405,39 @@ class TestExperiment:
         )
         assert code == 0
         assert "hierarchy_items" in output
+
+    def test_kernel_and_cap_flags_rejected_for_statistics_tables(self):
+        base = ["experiment", "--name", "table2", "--sizes", "NYT=60,AMZN=60,AMZN-F=60,CW=60"]
+        code, _ = run_cli(*base, "--kernel", "interpreted")
+        assert code == 2
+        code, _ = run_cli(*base, "--max-runs", "10")
+        assert code == 2
+        code, _ = run_cli(
+            "experiment", "--name", "table4",
+            "--sizes", "NYT=60,AMZN=60,AMZN-F=60,CW=60",
+            "--max-candidates", "10",
+        )
+        assert code == 2
+
+    def test_kernel_flag_reaches_the_experiment_runs(self):
+        code, output = run_cli(
+            "experiment", "--name", "fig9c",
+            "--sizes", "AMZN=80",
+            "--kernel", "interpreted",
+        )
+        assert code == 0
+        assert "shuffle size" in output
+
+    def test_cap_flags_reach_the_experiment_runs(self):
+        # A one-run cap forces the candidate-enumerating baselines into the
+        # paper's out-of-memory outcome, reported per row as status "oom".
+        code, output = run_cli(
+            "experiment", "--name", "fig9c",
+            "--sizes", "AMZN=80",
+            "--max-runs", "1",
+        )
+        assert code == 0
+        assert "oom" in output
 
     def test_parse_sizes(self):
         assert parse_sizes("NYT=500, amzn=1200") == {"NYT": 500, "AMZN": 1200}

@@ -1,0 +1,370 @@
+"""The compiled mining kernel: interval matchers, flat tables, and interning.
+
+The compiled kernel must be an *exact* drop-in for the interpreted per-label
+walk: every matching decision, output set, DP table, accepting run, and pivot
+set has to be identical.  These tests pin that equivalence on the paper's
+running example, on random DAG hierarchies (hypothesis), and on adversarial
+dictionary shapes (multi-parent items, fids ≥ 2^63, ε handling), plus the
+pickling/interning contract that lets workers reuse a warm kernel.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pivot_search import PositionStateGrid, pivot_items
+from repro.dictionary import Dictionary, EPSILON_FID, Hierarchy, IntervalSet, Item
+from repro.fst import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    CompiledFst,
+    InterpretedKernel,
+    Label,
+    accepting_runs,
+    ensure_kernel,
+    generate_candidates,
+    make_kernel,
+    normalize_kernel,
+    run_output_sets,
+)
+from repro.fst.compiled import _KERNEL_CACHE
+from repro.fst.fst import Fst
+from repro.errors import FstError
+from repro.patex import PatEx
+
+from tests.conftest import RUNNING_EXAMPLE_PATEX
+
+
+# ------------------------------------------------------------- interval sets
+class TestIntervalSet:
+    def test_coalesces_adjacent_positions_into_runs(self):
+        interval = IntervalSet.from_positions([5, 1, 2, 3, 9, 10])
+        assert interval.runs == ((1, 3), (5, 5), (9, 10))
+        assert len(interval) == 6
+
+    def test_membership_probe(self):
+        interval = IntervalSet.from_positions([1, 2, 3, 7])
+        for position in (1, 2, 3, 7):
+            assert position in interval
+        for position in (0, 4, 6, 8, 100, -3):
+            assert position not in interval
+
+    def test_empty_set_contains_nothing(self):
+        interval = IntervalSet.from_positions([])
+        assert 0 not in interval
+        assert len(interval) == 0
+        assert interval.runs == ()
+
+    def test_duplicates_are_deduplicated(self):
+        interval = IntervalSet.from_positions([2, 2, 2, 3])
+        assert interval.runs == ((2, 3),)
+        assert len(interval) == 2
+
+    def test_equality_and_pickle_round_trip(self):
+        interval = IntervalSet.from_positions([1, 2, 8])
+        clone = pickle.loads(pickle.dumps(interval))
+        assert clone == interval
+        assert hash(clone) == hash(interval)
+        assert 8 in clone and 5 not in clone
+
+
+# --------------------------------------------------------- descendant index
+class TestDescendantIndex:
+    def test_forest_descendants_are_single_runs(self, ex_dictionary):
+        index = ex_dictionary.descendant_index()
+        for fid in ex_dictionary.fids():
+            assert len(index.descendant_intervals(fid).runs) == 1
+
+    def test_probe_agrees_with_closure(self, ex_dictionary):
+        index = ex_dictionary.descendant_index()
+        for ancestor in ex_dictionary.fids():
+            descendants = ex_dictionary.descendants(ancestor)
+            for item in ex_dictionary.fids():
+                assert index.is_descendant(item, ancestor) == (item in descendants)
+
+    def test_unknown_items_are_never_descendants(self, ex_dictionary):
+        index = ex_dictionary.descendant_index()
+        assert not index.is_descendant(10_000, ex_dictionary.fid_of("A"))
+
+    def test_multi_parent_dag_item(self):
+        # E is reachable through both B and C: desc(B) and desc(C) overlap,
+        # and whichever parent is off the spanning tree gets a fragmented
+        # (multi-run or single-position) interval set.
+        hierarchy = Hierarchy()
+        hierarchy.add_edge("B", "A")
+        hierarchy.add_edge("C", "A")
+        hierarchy.add_edge("E", "B")
+        hierarchy.add_edge("E", "C")
+        hierarchy.add_edge("F", "C")
+        dictionary = Dictionary.from_hierarchy(
+            hierarchy, {"A": 9, "B": 5, "C": 4, "E": 2, "F": 1}
+        )
+        index = dictionary.descendant_index()
+        for ancestor in dictionary.fids():
+            closure = dictionary.descendants(ancestor)
+            for item in dictionary.fids():
+                assert index.is_descendant(item, ancestor) == (item in closure), (
+                    dictionary.gid_of(item),
+                    dictionary.gid_of(ancestor),
+                )
+
+    def test_huge_fids_beyond_63_bits(self):
+        # Positions are dense regardless of fid magnitude, so fids past the
+        # signed-64-bit range must work end to end.
+        base = 2**63
+        items = [
+            Item(gid="root", fid=base + 7, children_fids=frozenset({base + 11, 3}),
+                 document_frequency=5),
+            Item(gid="child", fid=base + 11, parent_fids=frozenset({base + 7}),
+                 document_frequency=2),
+            Item(gid="small", fid=3, parent_fids=frozenset({base + 7}),
+                 document_frequency=1),
+        ]
+        dictionary = Dictionary(items)
+        index = dictionary.descendant_index()
+        assert index.is_descendant(base + 11, base + 7)
+        assert index.is_descendant(3, base + 7)
+        assert not index.is_descendant(base + 7, base + 11)
+        label = Label(fid=base + 7, captured=True)
+        fst = Fst(2, 0, [1], [(0, label, 1)])
+        compiled = make_kernel(fst, dictionary, "compiled")
+        interpreted = InterpretedKernel(fst, dictionary)
+        for item in dictionary.fids():
+            assert compiled.matching(0, item) == interpreted.matching(0, item)
+            if compiled.matching(0, item):
+                assert compiled.outputs(0, item) == interpreted.outputs(0, item)
+
+
+# ------------------------------------------------- random-hierarchy property
+def hierarchy_dictionaries():
+    """Random DAG dictionaries: items may have several parents."""
+
+    @st.composite
+    def build(draw):
+        count = draw(st.integers(min_value=1, max_value=8))
+        hierarchy = Hierarchy()
+        names = [f"i{i}" for i in range(count)]
+        for index, name in enumerate(names):
+            hierarchy.add_item(name)
+            if index:
+                parents = draw(
+                    st.sets(st.sampled_from(names[:index]), min_size=0, max_size=2)
+                )
+                for parent in parents:
+                    hierarchy.add_edge(name, parent)
+        frequencies = {
+            name: draw(st.integers(min_value=0, max_value=9)) for name in names
+        }
+        return Dictionary.from_hierarchy(hierarchy, frequencies)
+
+    return build()
+
+
+def all_labels(dictionary: Dictionary) -> list[Label]:
+    """Every label shape over the dictionary's items, plus the wildcards."""
+    labels = [
+        Label(fid=None, exact=exact, generalize=generalize, captured=captured)
+        for exact in (False, True)
+        for generalize in (False, True)
+        for captured in (False, True)
+    ]
+    for fid in dictionary.fids():
+        for exact in (False, True):
+            for generalize in (False, True):
+                for captured in (False, True):
+                    labels.append(
+                        Label(fid=fid, exact=exact, generalize=generalize,
+                              captured=captured)
+                    )
+    return labels
+
+
+class TestCompiledLabelEquivalence:
+    """CompiledFst matching/outputs ≡ Label.matches/outputs, for any DAG."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(dictionary=hierarchy_dictionaries())
+    def test_matches_and_outputs_agree_over_random_hierarchies(self, dictionary):
+        labels = all_labels(dictionary)
+        fst = Fst(
+            2, 0, [1], [(0, label, 1) for label in labels]
+        )
+        compiled = CompiledFst(fst, dictionary)
+        for item in dictionary.fids():
+            expected = tuple(
+                tid
+                for tid, label in enumerate(labels)
+                if label.matches(item, dictionary)
+            )
+            assert compiled.matching(0, item) == expected
+            for tid in expected:
+                assert compiled.outputs(tid, item) == labels[tid].outputs(
+                    item, dictionary
+                )
+
+    def test_epsilon_output_of_uncaptured_labels_survives_filtering(
+        self, ex_dictionary
+    ):
+        fst = Fst(2, 0, [1], [(0, Label(fid=None), 1)])
+        kernel = CompiledFst(fst, ex_dictionary)
+        item = ex_dictionary.fid_of("e")
+        assert kernel.outputs(0, item) == (EPSILON_FID,)
+        # ε sets pass the frequency filter untouched (mff smaller than every
+        # real fid would otherwise empty them and kill the run).
+        assert kernel.filtered_outputs(0, item, 0) == (EPSILON_FID,)
+
+
+# ----------------------------------------------------- kernel equivalence
+EXPRESSIONS = [
+    RUNNING_EXAMPLE_PATEX,
+    ".*(a1)(b).*",
+    ".*(A^)[.{0,2}(A^)]{1,2}.*",
+    ".*(.)[.*(.)]?.*",
+    "[.*(A^=)]+.*",
+]
+
+
+def sequences_strategy(max_fid: int = 7):
+    return st.lists(
+        st.lists(st.integers(min_value=1, max_value=max_fid), min_size=0, max_size=6),
+        min_size=1,
+        max_size=6,
+    )
+
+
+class TestKernelEquivalence:
+    """Compiled and interpreted kernels agree on every simulation product."""
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    @settings(max_examples=25, deadline=None)
+    @given(sequences=sequences_strategy(), sigma=st.integers(min_value=1, max_value=4))
+    def test_tables_runs_candidates_and_pivots_agree(
+        self, expression, sequences, sigma, ex_dictionary
+    ):
+        fst = PatEx(expression).compile(ex_dictionary)
+        compiled = make_kernel(fst, ex_dictionary, "compiled")
+        interpreted = make_kernel(fst, ex_dictionary, "interpreted")
+        mff = ex_dictionary.largest_frequent_fid(sigma)
+        for sequence in map(tuple, sequences):
+            assert compiled.reachability_table(sequence) == (
+                interpreted.reachability_table(sequence)
+            )
+            assert compiled.finishable_table(sequence) == (
+                interpreted.finishable_table(sequence)
+            )
+            compiled_runs = list(accepting_runs(compiled, sequence))
+            interpreted_runs = list(accepting_runs(interpreted, sequence))
+            assert compiled_runs == interpreted_runs
+            for run in compiled_runs:
+                assert run_output_sets(run, sequence, compiled, mff) == (
+                    run_output_sets(run, sequence, ex_dictionary, mff)
+                )
+            assert generate_candidates(compiled, sequence, sigma=sigma) == (
+                generate_candidates(interpreted, sequence, sigma=sigma)
+            )
+            # K(T) through the grid and through run enumeration.
+            assert pivot_items(compiled, sequence, sigma=sigma) == (
+                pivot_items(interpreted, sequence, sigma=sigma)
+            )
+            compiled_grid = PositionStateGrid(compiled, sequence, max_frequent_fid=mff)
+            interpreted_grid = PositionStateGrid(
+                interpreted, sequence, max_frequent_fid=mff
+            )
+            n = len(sequence)
+            for position in range(n + 1):
+                for state in range(compiled.num_states):
+                    assert compiled_grid.pivot_set(position, state) == (
+                        interpreted_grid.pivot_set(position, state)
+                    )
+
+
+# ----------------------------------------------------- pickling & interning
+class TestKernelInterning:
+    def test_unpickling_returns_the_interned_kernel(self, ex_dictionary):
+        fst = PatEx(RUNNING_EXAMPLE_PATEX).compile(ex_dictionary)
+        kernel = make_kernel(fst, ex_dictionary, "compiled")
+        assert pickle.loads(pickle.dumps(kernel)) is kernel
+
+    def test_unpickling_rebuilds_after_cache_eviction(self, ex_dictionary):
+        fst = PatEx(".*(a1)(b).*").compile(ex_dictionary)
+        kernel = make_kernel(fst, ex_dictionary, "compiled")
+        item = ex_dictionary.fid_of("a1")
+        expected = kernel.matching(0, item)
+        payload = pickle.dumps(kernel)
+        _KERNEL_CACHE.pop(kernel.fingerprint, None)
+        try:
+            restored = pickle.loads(payload)
+            assert restored is not kernel
+            assert restored.fingerprint == kernel.fingerprint
+            assert restored.matching(0, item) == expected
+            # The rebuilt kernel is interned again: a second unpickle hits it.
+            assert pickle.loads(payload) is restored
+        finally:
+            _KERNEL_CACHE.pop(kernel.fingerprint, None)
+
+    def test_same_content_compiles_to_the_same_kernel(self, ex_dictionary):
+        first = make_kernel(
+            PatEx(RUNNING_EXAMPLE_PATEX).compile(ex_dictionary), ex_dictionary
+        )
+        second = make_kernel(
+            PatEx(RUNNING_EXAMPLE_PATEX).compile(ex_dictionary), ex_dictionary
+        )
+        assert first is second
+
+    def test_memo_fields_are_not_shipped(self, ex_dictionary):
+        fst = PatEx(RUNNING_EXAMPLE_PATEX).compile(ex_dictionary)
+        kernel = CompiledFst(fst, ex_dictionary)
+        kernel.matching(0, ex_dictionary.fid_of("b"))
+        _restore, (state,) = kernel.__reduce__()
+        assert "_match_memo" not in state
+        assert "_output_memo" not in state
+
+
+# ------------------------------------------------------------- entry points
+class TestKernelSelection:
+    def test_kernel_names(self):
+        assert DEFAULT_KERNEL == "compiled"
+        assert set(KERNELS) == {"compiled", "interpreted"}
+        assert normalize_kernel(None) == DEFAULT_KERNEL
+        assert normalize_kernel(" Interpreted ") == "interpreted"
+        with pytest.raises(FstError, match="unknown mining kernel"):
+            normalize_kernel("jit")
+
+    def test_ensure_kernel_caches_on_the_fst(self, ex_dictionary):
+        fst = PatEx(RUNNING_EXAMPLE_PATEX).compile(ex_dictionary)
+        first = ensure_kernel(fst, ex_dictionary)
+        second = ensure_kernel(fst, ex_dictionary)
+        assert first is second
+        assert isinstance(first, CompiledFst)
+        interpreted = ensure_kernel(fst, ex_dictionary, kernel="interpreted")
+        assert isinstance(interpreted, InterpretedKernel)
+        assert ensure_kernel(fst, ex_dictionary, kernel="interpreted") is interpreted
+
+    def test_ensure_kernel_cache_pins_the_keyed_dictionary(self, ex_dictionary):
+        # An interned kernel may hold a content-equal but *different*
+        # dictionary object; the per-fst cache must still pin the exact
+        # dictionary it keyed on, or its id could be reused by a new,
+        # content-different dictionary and alias a stale kernel.
+        from tests.conftest import make_running_example_dictionary
+
+        fst = PatEx(RUNNING_EXAMPLE_PATEX).compile(ex_dictionary)
+        ensure_kernel(fst, ex_dictionary)
+        clone = make_running_example_dictionary()
+        kernel = ensure_kernel(fst, clone)
+        entry = fst._kernel_cache[("compiled", id(clone))]
+        assert entry[0] is clone
+        assert entry[1] is kernel
+
+    def test_ensure_kernel_passes_kernels_through(self, ex_dictionary):
+        fst = PatEx(RUNNING_EXAMPLE_PATEX).compile(ex_dictionary)
+        kernel = make_kernel(fst, ex_dictionary, "interpreted")
+        assert ensure_kernel(kernel) is kernel
+
+    def test_ensure_kernel_requires_a_dictionary_for_raw_fsts(self, ex_dictionary):
+        fst = PatEx(RUNNING_EXAMPLE_PATEX).compile(ex_dictionary)
+        with pytest.raises(FstError, match="dictionary"):
+            ensure_kernel(fst, None)

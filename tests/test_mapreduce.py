@@ -8,10 +8,14 @@ from hypothesis import strategies as st
 
 from repro.errors import MapReduceError
 from repro.mapreduce import (
+    ClusterConfig,
     JobMetrics,
     MapReduceJob,
     SimulatedCluster,
+    ThreadPoolCluster,
     iter_map_output,
+    make_cluster,
+    resolve_cluster,
     run_job,
 )
 
@@ -147,3 +151,84 @@ class TestJobMetrics:
     def test_default_record_size_positive(self):
         job = MapReduceJob()
         assert job.record_size(("k",), (1, 2, 3)) > 0
+
+    def test_worker_warmup_ships_the_kernel_when_present(self):
+        job = MapReduceJob()
+        assert job.worker_warmup() is None
+        job.kernel = object()
+        assert job.worker_warmup() is job.kernel
+
+
+class TestClusterConfig:
+    """One value object configures the whole execution substrate."""
+
+    def test_resolve_from_legacy_keywords(self):
+        config = ClusterConfig.resolve(
+            None, backend="threads", num_workers=3, codec="zlib",
+            spill_budget_bytes=64, kernel="interpreted",
+        )
+        assert config.backend == "threads"
+        assert config.num_workers == 3
+        assert config.codec == "zlib"
+        assert config.spill_budget_bytes == 64
+        assert config.kernel_name == "interpreted"
+
+    def test_resolve_passes_configs_through(self):
+        config = ClusterConfig(backend="processes", num_workers=2)
+        assert ClusterConfig.resolve(config, backend="threads") is config
+
+    def test_explicit_kernel_overrides_a_provided_config(self):
+        # miner(..., cluster=config, kernel="interpreted") must reliably pick
+        # the debugging kernel even though the config otherwise wins.
+        config = ClusterConfig(backend="simulated")
+        resolved = ClusterConfig.resolve(config, kernel="interpreted")
+        assert resolved.kernel_name == "interpreted"
+        assert config.kernel is None  # the original is untouched
+        pinned = ClusterConfig(backend="simulated", kernel="compiled")
+        assert ClusterConfig.resolve(pinned, kernel="interpreted").kernel_name == (
+            "interpreted"
+        )
+        assert ClusterConfig.resolve(pinned).kernel_name == "compiled"
+
+    def test_cluster_construction_rejects_unknown_kernels(self):
+        from repro.errors import FstError
+
+        with pytest.raises(FstError, match="unknown mining kernel"):
+            make_cluster("threads", kernel="jit")
+
+    def test_resolve_wraps_backend_names_and_instances(self):
+        named = ClusterConfig.resolve("threads", codec="zlib")
+        assert named.backend == "threads" and named.codec == "zlib"
+        instance = ThreadPoolCluster(num_workers=2)
+        wrapped = ClusterConfig.resolve(instance)
+        assert wrapped.backend is instance
+        assert resolve_cluster(wrapped) is instance
+
+    def test_kernel_name_defaults_and_inherits_from_cluster_instances(self):
+        assert ClusterConfig().kernel_name == "compiled"
+        cluster = SimulatedCluster(num_workers=1, kernel="interpreted")
+        assert ClusterConfig(backend=cluster).kernel_name == "interpreted"
+        assert ClusterConfig(backend=cluster, kernel="compiled").kernel_name == "compiled"
+
+    def test_build_makes_a_matching_cluster(self):
+        cluster = ClusterConfig(
+            backend="threads", num_workers=3, codec="zlib", kernel="interpreted"
+        ).build()
+        assert isinstance(cluster, ThreadPoolCluster)
+        assert cluster.num_workers == 3
+        assert cluster.kernel == "interpreted"
+
+    def test_make_cluster_accepts_a_config(self):
+        cluster = make_cluster(ClusterConfig(backend="simulated", num_workers=5))
+        assert isinstance(cluster, SimulatedCluster)
+        assert cluster.num_workers == 5
+
+    def test_make_cluster_rejects_configs_holding_instances(self):
+        instance = SimulatedCluster(num_workers=1)
+        with pytest.raises(MapReduceError, match="cluster instance"):
+            make_cluster(ClusterConfig(backend=instance))
+
+    def test_merged_replaces_fields(self):
+        config = ClusterConfig(backend="threads").merged(num_workers=9)
+        assert config.backend == "threads"
+        assert config.num_workers == 9
