@@ -7,15 +7,18 @@ from repro.experiments import figure9c, format_table, human_bytes
 from benchmarks.conftest import BENCH_SIZES, BENCH_WORKERS, run_once
 
 
-def _kernel_rows(rows: list[dict], kernel: str) -> list[dict]:
-    """Per-algorithm makespans of one kernel (timing only; bytes live in rows)."""
+def _timing_rows(rows: list[dict], label_key: str, label: str) -> list[dict]:
+    """Per-algorithm makespans of one kernel/grid (timing only; bytes live in
+    the main rows, which the differential suite proves knob-independent)."""
     return [
         {
-            "kernel": kernel,
+            label_key: label,
             "constraint": row["constraint"],
             "algorithm": row["algorithm"],
             "status": row["status"],
             "total_s": row["total_s"],
+            "map_s": row["map_s"],
+            "reduce_s": row["reduce_s"],
         }
         for row in rows
     ]
@@ -25,24 +28,37 @@ def test_figure9c_shuffle_sizes(benchmark, bench_json):
     rows = run_once(
         benchmark, figure9c, size=BENCH_SIZES["AMZN"], num_workers=BENCH_WORKERS
     )
-    # Same experiment on the interpreted kernel: tracks the compiled kernel's
-    # speed-up per PR.  Byte counts are kernel-independent (the differential
+    # Same experiment on the interpreted kernel and on the legacy grid
+    # engine: tracks the compiled kernel's and the flat grid's speed-ups per
+    # PR.  Byte counts are kernel- and grid-independent (the differential
     # suite proves it); only the timings differ.
     interpreted = figure9c(
         size=BENCH_SIZES["AMZN"], num_workers=BENCH_WORKERS, kernel="interpreted"
     )
-    kernels = _kernel_rows(rows, "compiled") + _kernel_rows(interpreted, "interpreted")
+    legacy_grid = figure9c(
+        size=BENCH_SIZES["AMZN"], num_workers=BENCH_WORKERS, grid="legacy"
+    )
+    kernels = _timing_rows(rows, "kernel", "compiled") + _timing_rows(
+        interpreted, "kernel", "interpreted"
+    )
+    grids = _timing_rows(rows, "grid", "flat") + _timing_rows(
+        legacy_grid, "grid", "legacy"
+    )
     artifact = bench_json(
         "fig9c",
         {
             "experiment": "fig9c",
             "workers": BENCH_WORKERS,
             "dataset_size": BENCH_SIZES["AMZN"],
-            # Each row: makespan (total_s), modeled shuffle_bytes, measured
-            # wire_bytes, and per-task input pickle bytes.
+            # Each row: makespan (total_s = map_s + reduce_s), modeled
+            # shuffle_bytes, measured wire_bytes, and per-task input pickle
+            # bytes.
             "rows": rows,
             # Kernel-vs-interpreter makespans per algorithm and constraint.
             "kernels": kernels,
+            # Flat-vs-legacy grid-engine makespans (map_s carries the
+            # grid-side win; only D-SEQ rows exercise the grid).
+            "grids": grids,
         },
     )
     print()
@@ -54,9 +70,21 @@ def test_figure9c_shuffle_sizes(benchmark, bench_json):
         f"kernel makespan: compiled {compiled_total:.3f}s vs "
         f"interpreted {interpreted_total:.3f}s"
     )
+    flat_dseq = sum(
+        r["map_s"] for r in rows if r["algorithm"] == "dseq" and r["status"] == "ok"
+    )
+    legacy_dseq = sum(
+        r["map_s"]
+        for r in legacy_grid
+        if r["algorithm"] == "dseq" and r["status"] == "ok"
+    )
+    print(f"dseq map stage: flat grid {flat_dseq:.3f}s vs legacy {legacy_dseq:.3f}s")
     for key in ("shuffle_bytes", "wire_bytes"):
         assert [r[key] for r in rows] == [r[key] for r in interpreted], (
             f"{key} must be kernel-independent"
+        )
+        assert [r[key] for r in rows] == [r[key] for r in legacy_grid], (
+            f"{key} must be grid-independent"
         )
     print("Fig. 9c (reproduced): shuffle size per algorithm, AMZN-like dataset")
     print("  (modeled = record_size cost model; wire = measured encoded payloads)")

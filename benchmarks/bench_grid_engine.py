@@ -1,0 +1,89 @@
+"""Microbenchmark: flat vs legacy position–state grid, per input sequence.
+
+Measures the map-side hot path of D-SEQ in isolation — grid construction plus
+the per-pivot queries (``pivot_items``, ``rewrite_for_pivot`` bounds, and the
+early-stopping oracle) — for both grid engines over the same prepared
+dataset, without any cluster or shuffle machinery in the way.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import make_grid
+from repro.core.rewriting import rewrite_for_pivot
+from repro.datasets import constraint as make_constraint
+from repro.experiments import SCALED_SIGMA, format_table, prepare_dataset
+from repro.fst import make_kernel
+
+from benchmarks.conftest import BENCH_SIZES, run_once
+
+#: Workloads: one hierarchy-heavy flexible constraint, one gap-shaped one.
+WORKLOADS = [
+    ("AMZN", make_constraint("A1", SCALED_SIGMA["A1"])),
+    ("AMZN-F", make_constraint("T3", SCALED_SIGMA["T3"], 1, 5)),
+]
+
+#: Passes over the dataset per engine (amortizes timer noise at tiny scales).
+REPEATS = 3
+
+
+def _time_engine(kernel, sequences, max_frequent_fid, grid: str) -> tuple[float, int]:
+    """Total seconds for grid build + pivot extraction + per-pivot queries."""
+    started = time.perf_counter()
+    total_pivots = 0
+    for _ in range(REPEATS):
+        for sequence in sequences:
+            built = make_grid(
+                kernel, sequence, max_frequent_fid=max_frequent_fid, grid=grid
+            )
+            pivots = built.pivot_items()
+            total_pivots += len(pivots)
+            for pivot in pivots:
+                rewrite_for_pivot(built, pivot)
+                built.last_pivot_producing_position(pivot)
+    return time.perf_counter() - started, total_pivots
+
+
+def measure(sizes):
+    rows = []
+    for dataset_name, task in WORKLOADS:
+        prepared = prepare_dataset(dataset_name, (sizes or {}).get(dataset_name))
+        kernel = make_kernel(
+            task.patex().compile(prepared.dictionary), prepared.dictionary, "compiled"
+        )
+        max_frequent_fid = prepared.dictionary.largest_frequent_fid(task.sigma)
+        sequences = prepared.database.sequences()
+        timings = {}
+        pivot_counts = {}
+        for grid in ("flat", "legacy"):
+            timings[grid], pivot_counts[grid] = _time_engine(
+                kernel, sequences, max_frequent_fid, grid
+            )
+        assert pivot_counts["flat"] == pivot_counts["legacy"], "engines disagree"
+        rows.append(
+            {
+                "constraint": task.name,
+                "dataset": dataset_name,
+                "sequences": len(sequences),
+                "flat_s": round(timings["flat"], 4),
+                "legacy_s": round(timings["legacy"], 4),
+                "speedup": round(timings["legacy"] / max(timings["flat"], 1e-9), 2),
+                "pivots": pivot_counts["flat"] // REPEATS,
+            }
+        )
+    return rows
+
+
+def test_grid_engine_microbenchmark(benchmark):
+    rows = run_once(benchmark, measure, BENCH_SIZES)
+    print()
+    print("Grid-engine microbenchmark: build + pivot extraction per sequence")
+    print(format_table(rows))
+    # Shape check: both engines extracted pivots on every workload (the
+    # speed-up itself is asserted at meaningful scales by the perf-smoke CI
+    # step over the committed BENCH artifacts, not here, where tiny datasets
+    # make timings noisy).
+    for row in rows:
+        assert row["pivots"] > 0
+        assert row["flat_s"] > 0 and row["legacy_s"] > 0

@@ -8,39 +8,59 @@ from repro.experiments.tables import TABLE5_WORKERS
 from benchmarks.conftest import BENCH_SCALE, BENCH_SIZES, run_once
 
 
+def _timing_rows(label_key: str, labelled: list[tuple[str, list[dict]]]) -> list[dict]:
+    """Sequential + distributed makespans (with the map/reduce split) per
+    kernel or grid engine."""
+    return [
+        {
+            label_key: label,
+            "constraint": row["constraint"],
+            "dataset": row["dataset"],
+            "desq_dfs_s": row["desq_dfs_s"],
+            "dseq_s": row["dseq_s"],
+            "dcand_s": row["dcand_s"],
+            "dseq_map_s": row["dseq_map_s"],
+            "dseq_reduce_s": row["dseq_reduce_s"],
+            "dcand_map_s": row["dcand_map_s"],
+            "dcand_reduce_s": row["dcand_reduce_s"],
+        }
+        for label, rows in labelled
+        for row in rows
+    ]
+
+
 def test_table5_speedup_over_sequential(benchmark, bench_json):
     # The paper's Table V compares DESQ-DFS on 1 core against the distributed
     # algorithms on 65 cores; we simulate the equivalent 64-worker makespan.
     rows = run_once(
         benchmark, table5_speedup, num_workers=TABLE5_WORKERS, sizes=BENCH_SIZES
     )
-    # Same experiment on the interpreted kernel: tracks the compiled kernel's
-    # speed-up per PR on both the sequential baseline and the makespans.
+    # Same experiment on the interpreted kernel and the legacy grid engine:
+    # tracks the compiled kernel's and the flat grid's speed-ups per PR.
     interpreted = table5_speedup(
         num_workers=TABLE5_WORKERS, sizes=BENCH_SIZES, kernel="interpreted"
     )
-    kernels = [
-        {
-            "kernel": kernel,
-            "constraint": row["constraint"],
-            "dataset": row["dataset"],
-            "desq_dfs_s": row["desq_dfs_s"],
-            "dseq_s": row["dseq_s"],
-            "dcand_s": row["dcand_s"],
-        }
-        for kernel, kernel_rows in (("compiled", rows), ("interpreted", interpreted))
-        for row in kernel_rows
-    ]
+    legacy_grid = table5_speedup(
+        num_workers=TABLE5_WORKERS, sizes=BENCH_SIZES, grid="legacy"
+    )
+    kernels = _timing_rows(
+        "kernel", [("compiled", rows), ("interpreted", interpreted)]
+    )
+    grids = _timing_rows("grid", [("flat", rows), ("legacy", legacy_grid)])
     artifact = bench_json(
         "table5",
         {
             "experiment": "table5",
             "workers": TABLE5_WORKERS,
-            # Each row: sequential + distributed makespans and speed-ups,
-            # measured wire bytes, and per-task input pickle bytes.
+            # Each row: sequential + distributed makespans (with the
+            # map_s/reduce_s split per algorithm) and speed-ups, measured
+            # wire bytes, and per-task input pickle bytes.
             "rows": rows,
             # Kernel-vs-interpreter makespans per constraint and dataset.
             "kernels": kernels,
+            # Flat-vs-legacy grid-engine makespans (D-SEQ's map stage is the
+            # grid consumer; D-CAND and DESQ-DFS ride only the dedup pass).
+            "grids": grids,
         },
     )
     print()
@@ -52,9 +72,15 @@ def test_table5_speedup_over_sequential(benchmark, bench_json):
         f"kernel sequential time: compiled {compiled_seq:.3f}s vs "
         f"interpreted {interpreted_seq:.3f}s"
     )
+    flat_map = sum(r["dseq_map_s"] for r in rows)
+    legacy_map = sum(r["dseq_map_s"] for r in legacy_grid)
+    print(f"dseq map stage: flat grid {flat_map:.3f}s vs legacy {legacy_map:.3f}s")
     assert [r["dseq_wire_bytes"] for r in rows] == [
         r["dseq_wire_bytes"] for r in interpreted
     ], "wire bytes must be kernel-independent"
+    assert [r["dseq_wire_bytes"] for r in rows] == [
+        r["dseq_wire_bytes"] for r in legacy_grid
+    ], "wire bytes must be grid-independent"
     print("Table V (reproduced): speed-up over sequential DESQ-DFS "
           f"({TABLE5_WORKERS} simulated workers)")
     print(format_table(rows))

@@ -40,7 +40,7 @@ def plain_ngrams(num_sentences: int) -> None:
                 "algorithm": algorithm,
                 "ngrams": len(result),
                 "map_s": round(result.metrics.map_seconds, 2),
-                "mine_s": round(result.metrics.reduce_seconds, 2),
+                "reduce_s": round(result.metrics.reduce_seconds, 2),
                 "shuffle_bytes": result.metrics.shuffle_bytes,
             }
         )
@@ -51,7 +51,7 @@ def plain_ngrams(num_sentences: int) -> None:
             "algorithm": "mg-fsm",
             "ngrams": len(specialist_result),
             "map_s": round(specialist_result.metrics.map_seconds, 2),
-            "mine_s": round(specialist_result.metrics.reduce_seconds, 2),
+            "reduce_s": round(specialist_result.metrics.reduce_seconds, 2),
             "shuffle_bytes": specialist_result.metrics.shuffle_bytes,
         }
     )

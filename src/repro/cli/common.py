@@ -101,6 +101,24 @@ def add_kernel_argument(parser: ArgumentParser) -> None:
     )
 
 
+def add_grid_argument(parser: ArgumentParser) -> None:
+    """``--grid``: flat vs legacy position–state grid engine."""
+    from repro.core.grid_engine import DEFAULT_GRID, GRIDS
+
+    parser.add_argument(
+        "--grid",
+        choices=GRIDS,
+        default=DEFAULT_GRID,
+        help=(
+            "position-state grid engine for pivot search, rewriting, and "
+            "early stopping: 'flat' runs on columnar edge arenas with "
+            "sorted-run pivot merges and per-worker grid memos, 'legacy' is "
+            "the per-edge-object reference implementation (slower; for "
+            f"debugging) (default: {DEFAULT_GRID})"
+        ),
+    )
+
+
 def add_cap_arguments(parser: ArgumentParser) -> None:
     """``--max-runs`` / ``--max-candidates``: per-sequence safety caps."""
     parser.add_argument(
@@ -137,6 +155,7 @@ def cluster_config_from_args(args: Namespace, num_workers: int | None = None):
         codec=args.codec,
         spill_budget_bytes=parse_byte_size(args.spill_budget),
         kernel=getattr(args, "kernel", None),
+        grid=getattr(args, "grid", None),
     )
 
 
@@ -263,7 +282,7 @@ def print_metrics(metrics, stream=None) -> None:
     stream = stream or sys.stdout
     summary = metrics.as_dict()
     stream.write(
-        "map {:.3f}s  mine {:.3f}s  total {:.3f}s  shuffle {:,} bytes modeled / "
+        "map {:.3f}s  reduce {:.3f}s  total {:.3f}s  shuffle {:,} bytes modeled / "
         "{:,} bytes wire / {:,} records\n".format(
             summary["map_seconds"],
             summary["reduce_seconds"],

@@ -8,6 +8,7 @@ from argparse import Namespace
 from repro.cli.common import (
     CliError,
     add_cap_arguments,
+    add_grid_argument,
     add_kernel_argument,
     add_shuffle_arguments,
     cluster_config_from_args,
@@ -86,6 +87,7 @@ def add_parser(subparsers) -> None:
     )
     add_shuffle_arguments(parser)
     add_kernel_argument(parser)
+    add_grid_argument(parser)
     add_cap_arguments(parser)
     parser.add_argument("--chart", action="store_true", help="also print an ASCII chart")
     parser.set_defaults(run=run)
@@ -139,10 +141,13 @@ def run(args: Namespace, stream=None) -> int:
             raise CliError(
                 f"--codec/--spill-budget do not apply to {name} (it runs no mining jobs)"
             )
+        from repro.core.grid_engine import DEFAULT_GRID
         from repro.fst import DEFAULT_KERNEL
 
         if args.kernel != DEFAULT_KERNEL:
             raise CliError(f"--kernel does not apply to {name} (it runs no mining jobs)")
+        if args.grid != DEFAULT_GRID:
+            raise CliError(f"--grid does not apply to {name} (it runs no mining jobs)")
         if args.max_runs is not None or args.max_candidates is not None:
             raise CliError(
                 f"--max-runs/--max-candidates do not apply to {name} "

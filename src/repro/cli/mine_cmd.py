@@ -8,6 +8,7 @@ from argparse import Namespace
 from repro.cli.common import (
     CliError,
     add_cap_arguments,
+    add_grid_argument,
     add_input_arguments,
     add_kernel_argument,
     add_shuffle_arguments,
@@ -82,6 +83,7 @@ def add_parser(subparsers) -> None:
     )
     add_shuffle_arguments(parser)
     add_kernel_argument(parser)
+    add_grid_argument(parser)
     add_cap_arguments(parser)
     parser.add_argument(
         "--output",
@@ -99,7 +101,7 @@ def add_parser(subparsers) -> None:
         "--top", type=int, default=0, help="only report the K most frequent patterns"
     )
     parser.add_argument(
-        "--metrics", action="store_true", help="print map/mine timing and shuffle size"
+        "--metrics", action="store_true", help="print map/reduce timing and shuffle size"
     )
     parser.set_defaults(run=run)
 
@@ -121,12 +123,20 @@ def run(args: Namespace, stream=None) -> int:
     if args.algorithm in _SEQUENTIAL_MINERS:
         # Sequential reference miners run in-process and never shuffle;
         # silently accepting the cluster flags would misrepresent the run.
-        # (--kernel does apply: they simulate the same FSTs.)
+        # (--kernel does apply: they simulate the same FSTs.  --grid does
+        # not: without a pivot restriction they never build a grid.)
         for flag, default in (("backend", "simulated"), ("codec", "compact")):
             if getattr(args, flag) != default:
                 raise CliError(
                     f"--{flag} does not apply to the sequential {args.algorithm} miner"
                 )
+        from repro.core.grid_engine import DEFAULT_GRID
+
+        if args.grid != DEFAULT_GRID:
+            raise CliError(
+                f"--grid does not apply to the sequential {args.algorithm} miner "
+                "(it never builds a position-state grid)"
+            )
         if args.spill_budget is not None:
             raise CliError(
                 f"--spill-budget does not apply to the sequential {args.algorithm} miner"

@@ -8,6 +8,14 @@ from repro.core.balance import (
 )
 from repro.core.dcand import DCandJob, DCandMiner
 from repro.core.dseq import DSeqJob, DSeqMiner
+from repro.core.grid_engine import (
+    DEFAULT_GRID,
+    GRIDS,
+    FlatPivotGrid,
+    cached_grid,
+    make_grid,
+    normalize_grid,
+)
 from repro.core.local_mining import DesqDfsMiner
 from repro.core.miner import ALGORITHMS, mine
 from repro.core.naive import NaiveMiner, SemiNaiveMiner
@@ -33,21 +41,27 @@ __all__ = [
     "ALGORITHMS",
     "DCandJob",
     "DCandMiner",
+    "DEFAULT_GRID",
     "DSeqJob",
     "DSeqMiner",
     "DesqDfsMiner",
+    "FlatPivotGrid",
+    "GRIDS",
     "MiningResult",
     "NaiveMiner",
     "NfaLocalMiner",
     "PartitionBalance",
     "PositionStateGrid",
     "SemiNaiveMiner",
+    "cached_grid",
     "dcand_partition_balance",
     "dseq_partition_balance",
+    "make_grid",
     "measure_partition_balance",
     "group_candidates_by_pivot",
     "is_pivot_sequence",
     "mine",
+    "normalize_grid",
     "pivot_item",
     "pivot_items",
     "pivot_items_of_candidates",

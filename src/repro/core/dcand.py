@@ -6,6 +6,12 @@ per-pivot candidate sets into minimized NFAs, and ships the serialized NFAs to
 the partitions.  Identical NFAs are aggregated into weighted NFAs by a
 combiner.  Local mining simply counts on the weighted NFAs.
 
+With corpus-level dedup (``dedup=True``, the default) the run enumeration —
+the dominant map cost — executes once per *distinct* input sequence: the map
+input is the database's
+:meth:`~repro.sequences.store.EncodedSequenceStore.unique_view` and each
+record's multiplicity rides along with its serialized NFAs.
+
 The two enhancements evaluated in Fig. 10b are switchable:
 
 * ``minimize_nfas``  -- minimize the per-pivot tries before serializing;
@@ -14,7 +20,6 @@ The two enhancements evaluated in Fig. 10b are switchable:
 
 from __future__ import annotations
 
-from collections import Counter
 from collections.abc import Iterable, Sequence
 
 from repro.core.nfa_mining import NfaLocalMiner
@@ -33,7 +38,13 @@ from repro.fst import (
 from repro.mapreduce import Cluster, ClusterConfig, MapReduceJob, resolve_cluster
 from repro.nfa import TrieBuilder, deserialize, serialize
 from repro.patex import PatEx
-from repro.sequences import SequenceDatabase, as_records
+from repro.sequences import (
+    SequenceDatabase,
+    as_mining_records,
+    fold_weighted_values,
+    record_parts,
+    weighted_value_parts,
+)
 
 
 class DCandJob(MapReduceJob):
@@ -60,9 +71,15 @@ class DCandJob(MapReduceJob):
         self.use_combiner = aggregate_nfas
 
     # ------------------------------------------------------------------- map
-    def map(self, record: Sequence[int]) -> Iterable[tuple[int, bytes]]:
-        """Build one NFA per pivot item of ``record`` and emit it serialized."""
-        sequence = tuple(record)
+    def map(self, record) -> Iterable[tuple[int, bytes | tuple[bytes, int]]]:
+        """Build one NFA per pivot item of ``record`` and emit it serialized.
+
+        Plain records ship their NFAs bare (weight 1);
+        :class:`~repro.sequences.store.WeightedSequence` records (corpus-level
+        dedup) ship ``(payload, weight)`` pairs, so one run enumeration serves
+        every duplicate of the sequence.
+        """
+        sequence, weight = record_parts(record)
         builders: dict[int, TrieBuilder] = {}
         for run in accepting_runs(self.kernel, sequence, max_runs=self.max_runs):
             output_sets = run_output_sets(
@@ -81,7 +98,8 @@ class DCandJob(MapReduceJob):
                 builder.add_run(restricted)
         for pivot, builder in builders.items():
             nfa = builder.minimized() if self.minimize_nfas else builder.trie()
-            yield pivot, serialize(nfa)
+            payload = serialize(nfa)
+            yield pivot, payload if weight == 1 else (payload, weight)
 
     @staticmethod
     def _restrict(
@@ -104,11 +122,15 @@ class DCandJob(MapReduceJob):
 
     # --------------------------------------------------------------- combine
     def combine(
-        self, key: int, values: list[bytes]
+        self, key: int, values: list
     ) -> Iterable[tuple[int, tuple[bytes, int]]]:
-        """Aggregate identical serialized NFAs into (NFA, weight) pairs."""
-        counts = Counter(values)
-        for payload, weight in counts.items():
+        """Aggregate identical serialized NFAs into (NFA, weight) pairs.
+
+        Values are bare payloads (weight 1) or ``(payload, weight)`` pairs
+        from deduplicated input; totals keep first-occurrence order, exactly
+        like the pre-dedup ``Counter`` fold.
+        """
+        for payload, weight in fold_weighted_values(values).items():
             yield key, (payload, weight)
 
     # ---------------------------------------------------------------- reduce
@@ -117,10 +139,7 @@ class DCandJob(MapReduceJob):
         nfas = []
         weights = []
         for value in values:
-            if isinstance(value, tuple):
-                payload, weight = value
-            else:
-                payload, weight = value, 1
+            payload, weight = weighted_value_parts(value)
             nfas.append(deserialize(payload))
             weights.append(weight)
         miner = NfaLocalMiner(self.sigma, pivot=key)
@@ -144,8 +163,10 @@ class DCandMiner:
         result = miner.mine(database)
 
     The execution substrate is configured either through the legacy keyword
-    arguments (``backend=``, ``codec=``, ``spill_budget_bytes=``, ``kernel=``)
-    or by passing one :class:`~repro.mapreduce.ClusterConfig` as ``cluster=``.
+    arguments (``backend=``, ``codec=``, ``spill_budget_bytes=``, ``kernel=``,
+    ``grid=``) or by passing one :class:`~repro.mapreduce.ClusterConfig` as
+    ``cluster=``.  ``dedup=False`` disables the corpus-level unique-sequence
+    pass (the debugging reference: results are byte-identical either way).
     """
 
     algorithm_name = "D-CAND"
@@ -163,6 +184,8 @@ class DCandMiner:
         codec: str = "compact",
         spill_budget_bytes: int | None = None,
         kernel: str | None = None,
+        grid: str | None = None,
+        dedup: bool = True,
         cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
@@ -171,6 +194,7 @@ class DCandMiner:
         self.minimize_nfas = minimize_nfas
         self.aggregate_nfas = aggregate_nfas
         self.max_runs = max_runs
+        self.dedup = dedup
         self.cluster = ClusterConfig.resolve(
             cluster,
             backend=backend,
@@ -178,6 +202,7 @@ class DCandMiner:
             codec=codec,
             spill_budget_bytes=spill_budget_bytes,
             kernel=kernel,
+            grid=grid,
         )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
@@ -191,6 +216,7 @@ class DCandMiner:
             aggregate_nfas=self.aggregate_nfas,
             max_runs=self.max_runs,
         )
-        result = resolve_cluster(self.cluster).run(job, as_records(database))
+        records = as_mining_records(database, dedup=self.dedup)
+        result = resolve_cluster(self.cluster).run(job, records)
         patterns = dict(result.outputs)
         return MiningResult(patterns, result.metrics, algorithm=self.algorithm_name)

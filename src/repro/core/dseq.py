@@ -11,15 +11,29 @@ The three enhancements evaluated in Fig. 10a are individually switchable:
 * ``use_rewriting``  -- trim leading/trailing irrelevant positions;
 * ``use_early_stopping`` -- drop sequences from projected databases once they
                         can no longer produce the pivot item.
+
+Two performance layers sit underneath (both with debugging references):
+
+* ``grid`` selects the position–state grid engine — ``"flat"`` (the columnar
+  :class:`~repro.core.grid_engine.FlatPivotGrid`, default) or ``"legacy"``
+  (the interpreted :class:`~repro.core.pivot_search.PositionStateGrid`); grids
+  are memoized per worker (:func:`~repro.core.grid_engine.cached_grid`), so a
+  sequence repeating across chunks, or a rewritten sequence landing in several
+  partitions, builds its grid once;
+* ``dedup`` mines the corpus's
+  :meth:`~repro.sequences.store.EncodedSequenceStore.unique_view`: one
+  weighted record per distinct input sequence, so map work drops
+  proportionally to duplication instead of only deduplicating post-shuffle in
+  the combiner.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from collections.abc import Iterable, Sequence
 
+from repro.core.grid_engine import GridMemoWarmup, cached_grid, normalize_grid
 from repro.core.local_mining import DesqDfsMiner
-from repro.core.pivot_search import PositionStateGrid, pivots_by_run_enumeration
+from repro.core.pivot_search import pivots_by_run_enumeration
 from repro.core.results import MiningResult
 from repro.core.rewriting import rewrite_for_pivot
 from repro.dictionary import Dictionary
@@ -27,7 +41,12 @@ from repro.errors import CandidateExplosionError
 from repro.fst import DEFAULT_MAX_RUNS, Fst, MiningKernel, ensure_kernel, make_kernel
 from repro.mapreduce import Cluster, ClusterConfig, MapReduceJob, resolve_cluster
 from repro.patex import PatEx
-from repro.sequences import SequenceDatabase, as_records
+from repro.sequences import (
+    SequenceDatabase,
+    as_mining_records,
+    fold_weighted_values,
+    record_parts,
+)
 
 
 class DSeqJob(MapReduceJob):
@@ -44,6 +63,7 @@ class DSeqJob(MapReduceJob):
         use_rewriting: bool = True,
         use_early_stopping: bool = True,
         max_runs: int = DEFAULT_MAX_RUNS,
+        grid: str | None = None,
     ) -> None:
         kernel = ensure_kernel(fst, dictionary)
         self.kernel = kernel
@@ -54,17 +74,34 @@ class DSeqJob(MapReduceJob):
         self.use_rewriting = use_rewriting
         self.use_early_stopping = use_early_stopping
         self.max_runs = max_runs
+        self.grid = normalize_grid(grid)
         self.max_frequent_fid = self.dictionary.largest_frequent_fid(sigma)
 
+    def worker_warmup(self):
+        """Ship the kernel and the per-worker grid-memo sizing to the pool."""
+        return GridMemoWarmup(self.kernel)
+
+    def _grid_for(self, sequence: tuple[int, ...]):
+        return cached_grid(
+            self.kernel,
+            sequence,
+            max_frequent_fid=self.max_frequent_fid,
+            grid=self.grid,
+        )
+
     # ------------------------------------------------------------------- map
-    def map(self, record: Sequence[int]) -> Iterable[tuple[int, tuple[int, ...]]]:
-        """Send (rewritten) ``record`` to the partitions of its pivot items."""
-        sequence = tuple(record)
-        grid: PositionStateGrid | None = None
+    def map(self, record) -> Iterable[tuple[int, tuple]]:
+        """Send (rewritten) ``record`` to the partitions of its pivot items.
+
+        Plain records are mined with weight 1;
+        :class:`~repro.sequences.store.WeightedSequence` records (the
+        corpus-level dedup) carry their multiplicity along with the rewritten
+        representation so the combiner and reducer count them correctly.
+        """
+        sequence, weight = record_parts(record)
+        grid = None
         if self.use_grid or self.use_rewriting:
-            grid = PositionStateGrid(
-                self.kernel, sequence, max_frequent_fid=self.max_frequent_fid
-            )
+            grid = self._grid_for(sequence)
         if self.use_grid:
             pivots = grid.pivot_items()
         else:
@@ -80,25 +117,30 @@ class DSeqJob(MapReduceJob):
                 # falls back to the grid for this sequence (the ablation in
                 # Fig. 10a measures the cost of reaching this point).
                 if grid is None:
-                    grid = PositionStateGrid(
-                        self.kernel, sequence, max_frequent_fid=self.max_frequent_fid
-                    )
+                    grid = self._grid_for(sequence)
                 pivots = grid.pivot_items()
         for pivot in pivots:
             if self.use_rewriting:
                 representation = rewrite_for_pivot(grid, pivot)
             else:
                 representation = sequence
-            yield pivot, representation
+            if weight == 1:
+                yield pivot, representation
+            else:
+                yield pivot, (representation, weight)
 
     # --------------------------------------------------------------- combine
     def combine(
-        self, key: int, values: list[tuple[int, ...]]
+        self, key: int, values: list
     ) -> Iterable[tuple[int, tuple[tuple[int, ...], int]]]:
-        """Aggregate identical (rewritten) sequences into weighted records."""
-        counts = Counter(values)
-        for sequence, weight in counts.items():
-            yield key, (sequence, weight)
+        """Aggregate identical (rewritten) sequences into weighted records.
+
+        Values are bare representations (weight 1) or ``(representation,
+        weight)`` pairs from deduplicated input; totals are emitted in
+        first-occurrence order, exactly like the pre-dedup ``Counter`` fold.
+        """
+        for representation, weight in fold_weighted_values(values).items():
+            yield key, (representation, weight)
 
     # ---------------------------------------------------------------- reduce
     def reduce(
@@ -113,6 +155,7 @@ class DSeqJob(MapReduceJob):
             self.sigma,
             pivot=key,
             use_early_stopping=self.use_early_stopping,
+            grid=self.grid,
         )
         patterns = miner.mine(sequences, weights)
         yield from patterns.items()
@@ -133,9 +176,11 @@ class DSeqMiner:
         result = miner.mine(database)
 
     The execution substrate is configured either through the legacy keyword
-    arguments (``backend=``, ``codec=``, ``spill_budget_bytes=``, ``kernel=``)
-    or by passing one :class:`~repro.mapreduce.ClusterConfig` as ``cluster=``
-    (which then fully specifies the run).
+    arguments (``backend=``, ``codec=``, ``spill_budget_bytes=``, ``kernel=``,
+    ``grid=``) or by passing one :class:`~repro.mapreduce.ClusterConfig` as
+    ``cluster=`` (which then fully specifies the run).  ``dedup=False``
+    disables the corpus-level unique-sequence pass (the debugging reference:
+    results are byte-identical either way).
     """
 
     algorithm_name = "D-SEQ"
@@ -154,6 +199,8 @@ class DSeqMiner:
         codec: str = "compact",
         spill_budget_bytes: int | None = None,
         kernel: str | None = None,
+        grid: str | None = None,
+        dedup: bool = True,
         cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
@@ -163,6 +210,7 @@ class DSeqMiner:
         self.use_rewriting = use_rewriting
         self.use_early_stopping = use_early_stopping
         self.max_runs = max_runs
+        self.dedup = dedup
         self.cluster = ClusterConfig.resolve(
             cluster,
             backend=backend,
@@ -170,6 +218,7 @@ class DSeqMiner:
             codec=codec,
             spill_budget_bytes=spill_budget_bytes,
             kernel=kernel,
+            grid=grid,
         )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
@@ -183,7 +232,9 @@ class DSeqMiner:
             use_rewriting=self.use_rewriting,
             use_early_stopping=self.use_early_stopping,
             max_runs=self.max_runs,
+            grid=self.cluster.grid_name,
         )
-        result = resolve_cluster(self.cluster).run(job, as_records(database))
+        records = as_mining_records(database, dedup=self.dedup)
+        result = resolve_cluster(self.cluster).run(job, records)
         patterns = dict(result.outputs)
         return MiningResult(patterns, result.metrics, algorithm=self.algorithm_name)

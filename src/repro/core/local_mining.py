@@ -23,7 +23,7 @@ from collections.abc import Sequence
 from repro.dictionary import Dictionary
 from repro.errors import MiningError
 from repro.fst import Fst, MiningKernel, ensure_kernel
-from repro.core.pivot_search import PositionStateGrid
+from repro.core.grid_engine import cached_grid, normalize_grid
 
 
 class _SequenceState:
@@ -38,16 +38,20 @@ class _SequenceState:
         kernel: MiningKernel,
         pivot: int | None,
         max_frequent_fid: int,
+        grid: str | None = None,
     ) -> None:
         self.sequence = sequence
         self.weight = weight
         self.alive = kernel.reachability_table(sequence)
         self.finishable = kernel.finishable_table(sequence)
         if pivot is not None:
-            grid = PositionStateGrid(
-                kernel, sequence, max_frequent_fid=max_frequent_fid
+            # The early-stopping oracle reads the position-state grid; going
+            # through the per-worker memo means a rewritten sequence that
+            # lands in several partitions builds its grid once per worker.
+            built = cached_grid(
+                kernel, sequence, max_frequent_fid=max_frequent_fid, grid=grid
             )
-            self.last_pivot_position = grid.last_pivot_producing_position(pivot)
+            self.last_pivot_position = built.last_pivot_producing_position(pivot)
         else:
             self.last_pivot_position = len(sequence)
 
@@ -70,6 +74,10 @@ class DesqDfsMiner:
         projected database once they can no longer contribute the pivot item.
     max_patterns:
         Safety cap on the number of emitted patterns.
+    grid:
+        The position–state grid engine serving the early-stopping oracle
+        (``"flat"``, the default, or ``"legacy"``; see
+        :mod:`repro.core.grid_engine`).
     """
 
     def __init__(
@@ -80,6 +88,7 @@ class DesqDfsMiner:
         pivot: int | None = None,
         use_early_stopping: bool = True,
         max_patterns: int = 10_000_000,
+        grid: str | None = None,
     ) -> None:
         if sigma < 1:
             raise MiningError(f"sigma must be >= 1, got {sigma}")
@@ -91,6 +100,7 @@ class DesqDfsMiner:
         self.pivot = pivot
         self.use_early_stopping = use_early_stopping
         self.max_patterns = max_patterns
+        self.grid = normalize_grid(grid)
         self.max_frequent_fid = self.dictionary.largest_frequent_fid(sigma)
 
     # --------------------------------------------------------------------- API
@@ -120,6 +130,7 @@ class DesqDfsMiner:
                 kernel,
                 self.pivot if self.use_early_stopping else None,
                 self.max_frequent_fid,
+                grid=self.grid,
             )
             if state.alive and state.alive[0][kernel.initial_state]:
                 states.append(state)

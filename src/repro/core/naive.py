@@ -28,7 +28,7 @@ from repro.fst import (
 )
 from repro.mapreduce import Cluster, ClusterConfig, MapReduceJob, resolve_cluster
 from repro.patex import PatEx
-from repro.sequences import SequenceDatabase, as_records
+from repro.sequences import SequenceDatabase, as_mining_records, record_parts
 
 
 class NaiveJob(MapReduceJob):
@@ -54,16 +54,20 @@ class NaiveJob(MapReduceJob):
         self.max_candidates_per_sequence = max_candidates_per_sequence
         self.max_runs = max_runs
 
-    def map(self, record: Sequence[int]) -> Iterable[tuple[tuple[int, ...], int]]:
+    def map(self, record) -> Iterable[tuple[tuple[int, ...], int]]:
+        # With corpus-level dedup, one candidate enumeration serves every
+        # duplicate of the sequence: the record's multiplicity becomes the
+        # emitted count (plain records carry an implicit weight of 1).
+        sequence, weight = record_parts(record)
         candidates = generate_candidates(
             self.kernel,
-            tuple(record),
+            sequence,
             sigma=self.sigma if self.prune_infrequent_items else None,
             max_runs=self.max_runs,
             max_candidates=self.max_candidates_per_sequence,
         )
         for candidate in candidates:
-            yield candidate, 1
+            yield candidate, weight
 
     def combine(
         self, key: tuple[int, ...], values: list[int]
@@ -99,6 +103,8 @@ class _SubsequenceBaselineMiner:
         codec: str = "compact",
         spill_budget_bytes: int | None = None,
         kernel: str | None = None,
+        grid: str | None = None,
+        dedup: bool = True,
         cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
@@ -106,6 +112,7 @@ class _SubsequenceBaselineMiner:
         self.dictionary = dictionary
         self.max_candidates_per_sequence = max_candidates_per_sequence
         self.max_runs = max_runs
+        self.dedup = dedup
         self.cluster = ClusterConfig.resolve(
             cluster,
             backend=backend,
@@ -113,6 +120,7 @@ class _SubsequenceBaselineMiner:
             codec=codec,
             spill_budget_bytes=spill_budget_bytes,
             kernel=kernel,
+            grid=grid,
         )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
@@ -126,7 +134,8 @@ class _SubsequenceBaselineMiner:
             max_candidates_per_sequence=self.max_candidates_per_sequence,
             max_runs=self.max_runs,
         )
-        result = resolve_cluster(self.cluster).run(job, as_records(database))
+        records = as_mining_records(database, dedup=self.dedup)
+        result = resolve_cluster(self.cluster).run(job, records)
         return MiningResult(dict(result.outputs), result.metrics, self.algorithm_name)
 
 

@@ -32,13 +32,15 @@ def pivot_merge(left: set[int], right: Iterable[int]) -> set[int]:
     candidate can pass through an output set that lost all its items to the
     frequency filter.
     """
-    right_set = set(right)
-    if not left or not right_set:
+    right_items = (
+        right if isinstance(right, (set, frozenset, tuple, list)) else tuple(right)
+    )
+    if not left or not right_items:
         return set()
     min_left = min(left)
-    min_right = min(right_set)
+    min_right = min(right_items)
     merged = {item for item in left if item >= min_right}
-    merged.update(item for item in right_set if item >= min_left)
+    merged.update(item for item in right_items if item >= min_left)
     return merged
 
 
@@ -47,12 +49,30 @@ def pivots_of_output_sets(output_sets: Iterable[Iterable[int]]) -> set[int]:
 
     Implements Theorem 1 by folding ⊕ over the output sets; ε is stripped from
     the final result.  Returns the empty set if any output set is empty.
+
+    The fold filters the accumulator *in place* instead of allocating a fresh
+    set per ⊕ step: the merge of two non-empty operands is never empty (it
+    always contains the larger of the two maxima), so the only early exit is
+    an empty output set.
     """
     accumulator: set[int] = {EPSILON_FID}
     for outputs in output_sets:
-        accumulator = pivot_merge(accumulator, outputs)
-        if not accumulator:
+        outputs = (
+            outputs
+            if isinstance(outputs, (set, frozenset, tuple, list))
+            else tuple(outputs)
+        )
+        if not outputs:
             return set()
+        min_left = min(accumulator)
+        min_right = min(outputs)
+        if min_left < min_right:
+            accumulator.difference_update(
+                [item for item in accumulator if item < min_right]
+            )
+        for item in outputs:
+            if item >= min_left:
+                accumulator.add(item)
     accumulator.discard(EPSILON_FID)
     return accumulator
 
@@ -184,6 +204,11 @@ class PositionStateGrid:
         """True iff the FST accepts the sequence at all."""
         return self._has_accepting_run
 
+    @property
+    def alive(self) -> list[list[bool]]:
+        """The kernel's reachability table (shared, read-only by convention)."""
+        return self._alive
+
     def edges_at(self, position: int) -> list[GridEdge]:
         """Live edges consuming the item at 1-based ``position``."""
         return self._edges[position]
@@ -261,15 +286,24 @@ def pivot_items(
     sigma: int | None = None,
     use_grid: bool = True,
     max_runs: int = 100_000,
+    grid: str | None = None,
 ) -> set[int]:
-    """Compute ``K(T)`` with either the grid or run enumeration."""
+    """Compute ``K(T)`` with either the grid or run enumeration.
+
+    ``grid`` selects the grid engine (``"flat"``, the default, or
+    ``"legacy"`` for this module's reference implementation); see
+    :mod:`repro.core.grid_engine`.
+    """
+    # Imported here: grid_engine builds on this module.
+    from repro.core.grid_engine import make_grid
+
     kernel = ensure_kernel(fst, dictionary)
     max_frequent_fid = (
         kernel.dictionary.largest_frequent_fid(sigma) if sigma is not None else None
     )
     if use_grid:
-        return PositionStateGrid(
-            kernel, sequence, max_frequent_fid=max_frequent_fid
+        return make_grid(
+            kernel, sequence, max_frequent_fid=max_frequent_fid, grid=grid
         ).pivot_items()
     try:
         return pivots_by_run_enumeration(
@@ -277,6 +311,6 @@ def pivot_items(
         )
     except CandidateExplosionError:
         # Fall back to the grid, which never enumerates runs explicitly.
-        return PositionStateGrid(
-            kernel, sequence, max_frequent_fid=max_frequent_fid
+        return make_grid(
+            kernel, sequence, max_frequent_fid=max_frequent_fid, grid=grid
         ).pivot_items()

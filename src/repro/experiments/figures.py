@@ -25,12 +25,14 @@ def _config(
     codec: str,
     spill_budget_bytes: int | None,
     kernel: str | None,
+    grid: str | None = None,
 ) -> ClusterConfig:
     """One ClusterConfig from a figure function's substrate arguments.
 
-    An explicit ``kernel`` wins over the config's kernel (resolve semantics),
-    so ``figure9c(cluster=cfg, kernel="interpreted")`` reliably compares
-    kernels.
+    Explicit ``kernel`` / ``grid`` arguments win over the config's (resolve
+    semantics), so ``figure9c(cluster=cfg, kernel="interpreted")`` and
+    ``figure9c(cluster=cfg, grid="legacy")`` reliably compare the fast and
+    the reference implementations.
     """
     return ClusterConfig.resolve(
         cluster,
@@ -38,6 +40,7 @@ def _config(
         codec=codec,
         spill_budget_bytes=spill_budget_bytes,
         kernel=kernel,
+        grid=grid,
     )
 
 
@@ -49,13 +52,14 @@ def figure9a(
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
     kernel: str | None = None,
+    grid: str | None = None,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
 ) -> list[dict]:
     """Fig. 9a: total time per algorithm for N1–N5 on the NYT-like dataset."""
     prepared = prepare_dataset("NYT", size)
-    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel, grid)
     rows = []
     for constraint in figure9a_constraints():
         for record in run_comparison(
@@ -74,13 +78,14 @@ def figure9b(
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
     kernel: str | None = None,
+    grid: str | None = None,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
 ) -> list[dict]:
     """Fig. 9b: total time per algorithm for A1–A4 on the AMZN-like dataset."""
     prepared = prepare_dataset("AMZN", size)
-    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel, grid)
     rows = []
     for constraint in figure9b_constraints():
         for record in run_comparison(
@@ -99,13 +104,14 @@ def figure9c(
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
     kernel: str | None = None,
+    grid: str | None = None,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
 ) -> list[dict]:
     """Fig. 9c: shuffle size per algorithm for A1 and A4 on the AMZN-like dataset."""
     prepared = prepare_dataset("AMZN", size)
-    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel, grid)
     rows = []
     for constraint in (
         make_constraint("A1", SCALED_SIGMA["A1"]),
@@ -123,6 +129,8 @@ def figure9c(
                     "algorithm": row["algorithm"],
                     "status": row["status"],
                     "total_s": row["total_s"],
+                    "map_s": row["map_s"],
+                    "reduce_s": row["reduce_s"],
                     "shuffle_bytes": row["shuffle_bytes"],
                     "wire_bytes": row["wire_bytes"],
                     "input_pickle_bytes": row["input_pickle_bytes"],
@@ -157,6 +165,7 @@ def figure10a(
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
     kernel: str | None = None,
+    grid: str | None = None,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
@@ -169,7 +178,7 @@ def figure10a(
             ("AMZN-F", make_constraint("T3", SCALED_SIGMA["T3"], 1, 6)),
             ("AMZN-F", make_constraint("T3", 10 * SCALED_SIGMA["T3"], 3, 5)),
         ]
-    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel, grid)
     if config.num_workers is None:
         config = config.merged(num_workers=num_workers)
     rows = []
@@ -190,7 +199,7 @@ def figure10a(
                     "variant": variant_name,
                     "total_s": round(result.metrics.total_seconds, 3),
                     "map_s": round(result.metrics.map_seconds, 3),
-                    "mine_s": round(result.metrics.reduce_seconds, 3),
+                    "reduce_s": round(result.metrics.reduce_seconds, 3),
                     "patterns": len(result),
                 }
             )
@@ -205,6 +214,7 @@ def figure10b(
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
     kernel: str | None = None,
+    grid: str | None = None,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
@@ -216,7 +226,7 @@ def figure10b(
             ("NYT", make_constraint("N4", SCALED_SIGMA["N4"])),
             ("AMZN-F", make_constraint("T3", SCALED_SIGMA["T3"], 1, 6)),
         ]
-    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel, grid)
     if config.num_workers is None:
         config = config.merged(num_workers=num_workers)
     rows = []
@@ -239,7 +249,7 @@ def figure10b(
                         "variant": variant_name,
                         "total_s": "oom",
                         "map_s": "oom",
-                        "mine_s": "oom",
+                        "reduce_s": "oom",
                         "shuffle_bytes": "oom",
                         "patterns": 0,
                     }
@@ -252,7 +262,7 @@ def figure10b(
                     "variant": variant_name,
                     "total_s": round(result.metrics.total_seconds, 3),
                     "map_s": round(result.metrics.map_seconds, 3),
-                    "mine_s": round(result.metrics.reduce_seconds, 3),
+                    "reduce_s": round(result.metrics.reduce_seconds, 3),
                     "shuffle_bytes": result.metrics.shuffle_bytes,
                     "patterns": len(result),
                 }
@@ -270,6 +280,7 @@ def figure11_scalability(
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
     kernel: str | None = None,
+    grid: str | None = None,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
@@ -281,7 +292,7 @@ def figure11_scalability(
     """
     prepared = prepare_dataset("AMZN-F", base_size)
     base_sigma = base_sigma or SCALED_SIGMA["T3"]
-    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel, grid)
     samples = {
         fraction: prepared.database.sample(fraction, seed=7) if fraction < 1.0 else prepared.database
         for fraction in fractions
@@ -351,6 +362,7 @@ def figure12_lash_setting(
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
     kernel: str | None = None,
+    grid: str | None = None,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
@@ -364,7 +376,7 @@ def figure12_lash_setting(
         ("CW", make_constraint("T2", SCALED_SIGMA["T2"], 0, 5)),
         ("CW", make_constraint("T2", 4 * SCALED_SIGMA["T2"], 0, 5)),
     ]
-    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel, grid)
     rows = []
     for dataset_name, constraint in entries:
         prepared = prepare_dataset(dataset_name, (sizes or {}).get(dataset_name))
@@ -389,13 +401,14 @@ def figure13_mllib_setting(
     codec: str = "compact",
     spill_budget_bytes: int | None = None,
     kernel: str | None = None,
+    grid: str | None = None,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
 ) -> list[dict]:
     """Fig. 13: MLlib (PrefixSpan) setting T1(σ, 5) with decreasing σ on AMZN."""
     prepared = prepare_dataset("AMZN", size)
-    config = _config(cluster, backend, codec, spill_budget_bytes, kernel)
+    config = _config(cluster, backend, codec, spill_budget_bytes, kernel, grid)
     rows = []
     for sigma in sigmas:
         constraint = make_constraint("T1", sigma, max_length)

@@ -105,6 +105,9 @@ class StageDriverCluster:
         miner handed a ready-made cluster instance inherits this setting
         (like ``codec``), so one :class:`~repro.mapreduce.factory.ClusterConfig`
         fully describes a run.
+    grid:
+        The pivot-grid engine choice (``"flat"`` / ``"legacy"``), carried for
+        the miners exactly like ``kernel``.
     """
 
     #: Human-readable backend identifier (also used by :func:`repr`).
@@ -122,6 +125,7 @@ class StageDriverCluster:
         spill_budget_bytes: int | None = None,
         spill_dir: str | None = None,
         kernel: str | None = None,
+        grid: str | None = None,
     ) -> None:
         if num_workers is None:
             num_workers = self.default_num_workers
@@ -147,6 +151,12 @@ class StageDriverCluster:
 
             kernel = normalize_kernel(kernel)
         self.kernel = kernel
+        if grid is not None:
+            # Same deferred fail-fast validation for the pivot-grid engine.
+            from repro.core.grid_engine import normalize_grid
+
+            grid = normalize_grid(grid)
+        self.grid = grid
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

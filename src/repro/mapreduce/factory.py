@@ -55,7 +55,8 @@ class ClusterConfig:
     :class:`~repro.mapreduce.base.Cluster` instance (which then wins over the
     worker/codec/spill fields, as before).  ``kernel`` selects the FST mining
     kernel (``"compiled"`` or ``"interpreted"``; None → the library default)
-    and is consumed by the miners rather than the cluster itself.
+    and ``grid`` the pivot-grid engine (``"flat"`` or ``"legacy"``); both are
+    consumed by the miners rather than the cluster itself.
     """
 
     backend: str | Cluster = "simulated"
@@ -66,6 +67,7 @@ class ClusterConfig:
     spill_budget_bytes: int | None = None
     spill_dir: str | None = None
     kernel: str | None = None
+    grid: str | None = None
 
     @classmethod
     def resolve(
@@ -77,20 +79,23 @@ class ClusterConfig:
         keyword arguments); a :class:`ClusterConfig` is used as-is (it
         specifies the run); a backend name or cluster instance becomes the
         ``backend`` of a config built from the remaining defaults.  One
-        exception to "the config wins": an explicit non-None ``kernel``
-        default overrides the config's kernel, so
-        ``miner(..., cluster=config, kernel="interpreted")`` reliably selects
-        the debugging kernel.
+        exception to "the config wins": explicit non-None ``kernel`` / ``grid``
+        defaults override the config's, so
+        ``miner(..., cluster=config, kernel="interpreted", grid="legacy")``
+        reliably selects the debugging implementations.
         """
         kernel = defaults.pop("kernel", None)
+        grid = defaults.pop("grid", None)
         if value is None:
-            config = cls(**defaults, kernel=kernel)
+            config = cls(**defaults, kernel=kernel, grid=grid)
         elif isinstance(value, ClusterConfig):
             config = value
         else:
-            config = cls(**{**defaults, "backend": value}, kernel=kernel)
+            config = cls(**{**defaults, "backend": value}, kernel=kernel, grid=grid)
         if kernel is not None and config.kernel != kernel:
             config = config.merged(kernel=kernel)
+        if grid is not None and config.grid != grid:
+            config = config.merged(grid=grid)
         return config
 
     def merged(self, **overrides) -> "ClusterConfig":
@@ -109,6 +114,18 @@ class ClusterConfig:
         attached = None if isinstance(backend, str) else getattr(backend, "kernel", None)
         return attached or DEFAULT_KERNEL
 
+    @property
+    def grid_name(self) -> str:
+        """The effective grid-engine name (falling back to the cluster's, then
+        the library default)."""
+        from repro.core.grid_engine import DEFAULT_GRID
+
+        if self.grid is not None:
+            return self.grid
+        backend = self.backend
+        attached = None if isinstance(backend, str) else getattr(backend, "grid", None)
+        return attached or DEFAULT_GRID
+
     def build(self) -> Cluster:
         """Build (or pass through) the execution backend for this config."""
         return resolve_cluster(self)
@@ -123,6 +140,7 @@ def make_cluster(
     spill_budget_bytes: int | None = None,
     spill_dir: str | None = None,
     kernel: str | None = None,
+    grid: str | None = None,
 ) -> Cluster:
     """Build an execution backend by name or from a :class:`ClusterConfig`.
 
@@ -138,8 +156,8 @@ def make_cluster(
     picks the shuffle wire format (:data:`~repro.mapreduce.wire.CODECS`) and
     ``spill_budget_bytes`` caps the encoded payload bytes a map task keeps in
     memory before spilling to ``spill_dir``.  ``kernel`` records the FST
-    mining-kernel choice on the cluster so miners handed a ready-made
-    instance inherit it.
+    mining-kernel choice — and ``grid`` the pivot-grid engine choice — on the
+    cluster so miners handed a ready-made instance inherit them.
     """
     if isinstance(backend, ClusterConfig):
         config = backend
@@ -157,6 +175,7 @@ def make_cluster(
             spill_budget_bytes=config.spill_budget_bytes,
             spill_dir=config.spill_dir,
             kernel=config.kernel,
+            grid=config.grid,
         )
     key = _ALIASES.get(str(backend).strip().lower())
     if key is None:
@@ -172,6 +191,7 @@ def make_cluster(
         spill_budget_bytes=spill_budget_bytes,
         spill_dir=spill_dir,
         kernel=kernel,
+        grid=grid,
     )
 
 
@@ -184,6 +204,7 @@ def resolve_cluster(
     spill_budget_bytes: int | None = None,
     spill_dir: str | None = None,
     kernel: str | None = None,
+    grid: str | None = None,
 ) -> Cluster:
     """Return ``backend`` itself if it already is a cluster, else build one.
 
@@ -210,4 +231,5 @@ def resolve_cluster(
         spill_budget_bytes=spill_budget_bytes,
         spill_dir=spill_dir,
         kernel=kernel,
+        grid=grid,
     )

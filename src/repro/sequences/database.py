@@ -154,3 +154,22 @@ def as_records(database) -> "Sequence[Sequence[int]]":
     if isinstance(database, (SequenceDatabase, EncodedSequenceStore)):
         return database
     return list(database)
+
+
+def as_mining_records(database, dedup: bool = True) -> "Sequence":
+    """The record sequence a miner hands to ``Cluster.run``.
+
+    With ``dedup`` (the default), the database is packed into an
+    :class:`~repro.sequences.store.EncodedSequenceStore` (reusing the
+    database's cached store when there is one) and collapsed to its
+    :meth:`~repro.sequences.store.EncodedSequenceStore.unique_view`: one
+    :class:`~repro.sequences.store.WeightedSequence` per distinct input
+    sequence.  Map-side work then drops proportionally to duplication,
+    instead of only deduplicating post-shuffle in the combiners.
+    """
+    records = as_records(database)
+    if not dedup:
+        return records
+    from repro.sequences.store import as_encoded_store
+
+    return as_encoded_store(records).unique_view()

@@ -14,10 +14,11 @@ to a few dozen bytes regardless of database size.
 Block layout (native byte order; an IPC format for one machine, not a
 persistence format — :mod:`repro.sequences.formats` covers durable files)::
 
-    magic    8 bytes   b"SEQSTOR1"
+    magic    8 bytes   b"SEQSTOR1" (plain) or b"SEQSTOR2" (weighted)
     count    u64       number of sequences
     size     u64       length of the varint data region in bytes
     offsets  (count + 1) * u64   byte offset of each sequence into the data
+    weights  count * u64         only in weighted (SEQSTOR2) blocks
     data     varint stream       items of all sequences, concatenated
 
 Sequence ``i`` occupies ``data[offsets[i]:offsets[i + 1]]``; its items are
@@ -25,6 +26,13 @@ unsigned LEB128 varints (:mod:`repro.varint`), so small fids cost one byte and
 fids beyond 2**63 still round-trip.  All reads — :meth:`EncodedSequenceStore.slice`,
 indexing, iteration — decode directly from a :class:`memoryview` of the block;
 nothing is copied until a sequence tuple is materialized.
+
+A *weighted* block additionally carries one u64 multiplicity per sequence and
+yields :class:`WeightedSequence` records instead of bare tuples.  It is what
+:meth:`EncodedSequenceStore.unique_view` produces: the corpus-level dedup pass
+of the miners, grouping identical encoded spans (hashing the already-encoded
+varint bytes, so the pass is nearly free) into one ``(sequence, weight)``
+record each, in first-occurrence order.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from collections.abc import Iterable, Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from typing import NamedTuple
 
 from repro.errors import ReproError
 from repro.varint import read_varint, write_varint
@@ -48,7 +57,54 @@ class SequenceStoreError(ReproError):
     """Raised for malformed store blocks or unusable store handles."""
 
 
+class WeightedSequence(NamedTuple):
+    """One deduplicated input record: the sequence and its multiplicity."""
+
+    sequence: tuple[int, ...]
+    weight: int
+
+
+def record_parts(record) -> tuple[tuple[int, ...], int]:
+    """Normalize a map-input record to ``(sequence, weight)``.
+
+    Plain records (what every backend shipped before corpus-level dedup) carry
+    an implicit weight of 1; :class:`WeightedSequence` records carry their
+    multiplicity from :meth:`EncodedSequenceStore.unique_view`.
+    """
+    if isinstance(record, WeightedSequence):
+        return record.sequence, record.weight
+    return tuple(record), 1
+
+
+def weighted_value_parts(value) -> tuple:
+    """Normalize a map-*output* value to ``(payload, weight)``.
+
+    Jobs fed deduplicated input emit ``(payload, weight)`` pairs for records
+    with multiplicity > 1 and bare payloads otherwise.  Bare payloads are
+    fid tuples or byte strings, so a 2-tuple whose head is *not* an int is
+    unambiguously a weighted pair (a bare 2-item representation is a tuple
+    of two ints).
+    """
+    if isinstance(value, tuple) and len(value) == 2 and not isinstance(value[0], int):
+        return value[0], value[1]
+    return value, 1
+
+
+def fold_weighted_values(values: Iterable) -> dict:
+    """Total the weights of identical payloads, in first-occurrence order.
+
+    The combiner fold shared by the weighted miners: exactly the pre-dedup
+    ``Counter`` aggregation, but aware of ``(payload, weight)`` pairs.
+    """
+    totals: dict = {}
+    for value in values:
+        payload, weight = weighted_value_parts(value)
+        totals[payload] = totals.get(payload, 0) + weight
+    return totals
+
+
 _MAGIC = b"SEQSTOR1"
+_MAGIC_WEIGHTED = b"SEQSTOR2"
 _HEADER = struct.Struct("=8sQQ")  # magic, sequence count, data-region size
 
 
@@ -66,6 +122,17 @@ def _decode_sequence(data: memoryview, start: int, stop: int) -> tuple[int, ...]
     return tuple(items)
 
 
+def _pack_block(
+    magic: bytes, offsets: Sequence[int], weights: Sequence[int] | None, data
+) -> bytes:
+    """Assemble one store block from its regions (see the module docstring)."""
+    count = len(offsets) - 1
+    weights_bytes = b"" if weights is None else array("Q", weights).tobytes()
+    header = bytearray(_HEADER.size)
+    _HEADER.pack_into(header, 0, magic, count, len(data))
+    return bytes(header) + array("Q", offsets).tobytes() + weights_bytes + bytes(data)
+
+
 class EncodedSequenceStore(Sequence):
     """Immutable columnar sequence database over one flat byte block.
 
@@ -80,19 +147,23 @@ class EncodedSequenceStore(Sequence):
         if len(view) < _HEADER.size:
             raise SequenceStoreError(f"store block too small ({len(view)} bytes)")
         magic, count, data_size = _HEADER.unpack_from(view, 0)
-        if magic != _MAGIC:
+        if magic not in (_MAGIC, _MAGIC_WEIGHTED):
             raise SequenceStoreError(f"bad store magic {bytes(magic)!r}")
+        weighted = magic == _MAGIC_WEIGHTED
         offsets_end = _HEADER.size + 8 * (count + 1)
-        if len(view) < offsets_end + data_size:
+        weights_end = offsets_end + (8 * count if weighted else 0)
+        if len(view) < weights_end + data_size:
             raise SequenceStoreError(
-                f"truncated store block: header promises {offsets_end + data_size} "
+                f"truncated store block: header promises {weights_end + data_size} "
                 f"bytes, got {len(view)}"
             )
         self._block = view
         self._offsets = view[_HEADER.size : offsets_end].cast("Q")
-        self._data = view[offsets_end : offsets_end + data_size]
+        self._weights = view[offsets_end:weights_end].cast("Q") if weighted else None
+        self._data = view[weights_end : weights_end + data_size]
         self._count = count
         self._owner = owner
+        self._unique: "EncodedSequenceStore | None" = None
 
     # ----------------------------------------------------------- construction
     @classmethod
@@ -117,13 +188,39 @@ class EncodedSequenceStore(Sequence):
                 write_varint(data, value, error=SequenceStoreError)
             offsets.append(len(data))
             count += 1
-        block = bytearray(_HEADER.size + 8 * (count + 1) + len(data))
-        _HEADER.pack_into(block, 0, _MAGIC, count, len(data))
-        block[_HEADER.size : _HEADER.size + 8 * (count + 1)] = array("Q", offsets).tobytes()
-        block[_HEADER.size + 8 * (count + 1) :] = data
-        return cls(bytes(block))
+        return cls(_pack_block(_MAGIC, offsets, None, data))
+
+    @classmethod
+    def from_weighted_sequences(
+        cls, records: Iterable[tuple[Sequence[int], int]]
+    ) -> "EncodedSequenceStore":
+        """Pack ``(sequence, weight)`` pairs into a new weighted store block."""
+        data = bytearray()
+        offsets = [0]
+        weights = []
+        for sequence, weight in records:
+            weight = operator.index(weight)
+            if weight < 0:
+                raise SequenceStoreError(f"record weight must be >= 0, got {weight}")
+            for item in sequence:
+                try:
+                    value = operator.index(item)
+                except TypeError as error:
+                    raise SequenceStoreError(
+                        f"store records must be sequences of non-negative integers "
+                        f"(fids); got item {item!r} in record {len(weights)}"
+                    ) from error
+                write_varint(data, value, error=SequenceStoreError)
+            offsets.append(len(data))
+            weights.append(weight)
+        return cls(_pack_block(_MAGIC_WEIGHTED, offsets, weights, data))
 
     # ----------------------------------------------------------------- access
+    @property
+    def weighted(self) -> bool:
+        """True when records carry multiplicities (:class:`WeightedSequence`)."""
+        return self._weights is not None
+
     def __len__(self) -> int:
         return self._count
 
@@ -137,16 +234,67 @@ class EncodedSequenceStore(Sequence):
             index += self._count
         if not 0 <= index < self._count:
             raise IndexError(index)
-        return _decode_sequence(self._data, self._offsets[index], self._offsets[index + 1])
+        sequence = _decode_sequence(
+            self._data, self._offsets[index], self._offsets[index + 1]
+        )
+        if self._weights is None:
+            return sequence
+        return WeightedSequence(sequence, self._weights[index])
 
     def __iter__(self) -> Iterator[tuple[int, ...]]:
         return self.iter_range(0, self._count)
 
     def iter_range(self, start: int, stop: int) -> Iterator[tuple[int, ...]]:
-        """Decode sequences ``start:stop`` straight from the block."""
-        data, offsets = self._data, self._offsets
-        for index in range(start, stop):
-            yield _decode_sequence(data, offsets[index], offsets[index + 1])
+        """Decode records ``start:stop`` straight from the block."""
+        data, offsets, weights = self._data, self._offsets, self._weights
+        if weights is None:
+            for index in range(start, stop):
+                yield _decode_sequence(data, offsets[index], offsets[index + 1])
+        else:
+            for index in range(start, stop):
+                yield WeightedSequence(
+                    _decode_sequence(data, offsets[index], offsets[index + 1]),
+                    weights[index],
+                )
+
+    def unique_view(self) -> "EncodedSequenceStore":
+        """A weighted store grouping identical records: the corpus-level dedup.
+
+        Identical encoded spans are grouped by hashing the already-encoded
+        varint bytes — no decode, no re-encode — into one
+        :class:`WeightedSequence` record per distinct sequence, in
+        first-occurrence order (which keeps map-task composition, and thus
+        every shuffle metric, deterministic across backends).  Weighted input
+        stores fold their existing multiplicities.  The view is built once and
+        cached on the store instance.
+        """
+        if self._unique is not None:
+            return self._unique
+        data, offsets, weights = self._data, self._offsets, self._weights
+        index_of: dict[bytes, int] = {}
+        spans: list[bytes] = []
+        totals: list[int] = []
+        for index in range(self._count):
+            span = bytes(data[offsets[index] : offsets[index + 1]])
+            weight = 1 if weights is None else weights[index]
+            position = index_of.get(span)
+            if position is None:
+                index_of[span] = len(spans)
+                spans.append(span)
+                totals.append(weight)
+            else:
+                totals[position] += weight
+        unique_data = bytearray().join(spans)
+        unique_offsets = [0]
+        cursor = 0
+        for span in spans:
+            cursor += len(span)
+            unique_offsets.append(cursor)
+        view = type(self)(
+            _pack_block(_MAGIC_WEIGHTED, unique_offsets, totals, unique_data)
+        )
+        self._unique = view
+        return view
 
     def slice(self, start: int, stop: int) -> "StoreSlice":
         """A zero-copy view of sequences ``start:stop``."""
@@ -258,6 +406,8 @@ class EncodedSequenceStore(Sequence):
     def close(self) -> None:
         """Release the block's buffers (and the mapping, for attached stores)."""
         self._offsets.release()
+        if self._weights is not None:
+            self._weights.release()
         self._data.release()
         self._block.release()
         owner, self._owner = self._owner, None

@@ -21,14 +21,16 @@ from repro.fst import (
 )
 from repro.mapreduce.metrics import JobMetrics
 from repro.patex import PatEx
-from repro.sequences import SequenceDatabase
+from repro.sequences import SequenceDatabase, as_mining_records, record_parts
 
 
 class SequentialDesqCount:
     """Generate-and-count mining with flexible constraints (sequential).
 
     ``kernel`` picks the FST mining kernel (``"compiled"`` by default,
-    ``"interpreted"`` for debugging).
+    ``"interpreted"`` for debugging).  ``dedup`` (default True) generates
+    candidates once per *distinct* input sequence and counts them with the
+    sequence's multiplicity — results are byte-identical either way.
     """
 
     algorithm_name = "DESQ-COUNT"
@@ -41,6 +43,7 @@ class SequentialDesqCount:
         max_candidates_per_sequence: int = DEFAULT_MAX_CANDIDATES,
         max_runs: int = DEFAULT_MAX_RUNS,
         kernel: str | None = None,
+        dedup: bool = True,
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
         self.sigma = sigma
@@ -48,6 +51,7 @@ class SequentialDesqCount:
         self.max_candidates_per_sequence = max_candidates_per_sequence
         self.max_runs = max_runs
         self.kernel = kernel
+        self.dedup = dedup
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent patterns by candidate counting.
@@ -60,15 +64,20 @@ class SequentialDesqCount:
         started = time.perf_counter()
         counts: Counter[tuple[int, ...]] = Counter()
         total = 0
-        for sequence in database:
+        for record in as_mining_records(database, dedup=self.dedup):
+            sequence, weight = record_parts(record)
             candidates = generate_candidates(
                 kernel,
-                tuple(sequence),
+                sequence,
                 sigma=self.sigma,
                 max_runs=self.max_runs,
                 max_candidates=self.max_candidates_per_sequence,
             )
-            counts.update(candidates)
+            if weight == 1:
+                counts.update(candidates)
+            else:
+                for candidate in candidates:
+                    counts[candidate] += weight
             total += 1
         patterns = {
             pattern: frequency

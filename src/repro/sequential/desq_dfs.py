@@ -16,7 +16,7 @@ from repro.dictionary import Dictionary
 from repro.fst import make_kernel
 from repro.mapreduce.metrics import JobMetrics
 from repro.patex import PatEx
-from repro.sequences import SequenceDatabase
+from repro.sequences import SequenceDatabase, as_mining_records, record_parts
 
 
 class SequentialDesqDfs:
@@ -28,7 +28,9 @@ class SequentialDesqDfs:
         result = miner.mine(database)
 
     ``kernel`` picks the FST mining kernel (``"compiled"`` by default,
-    ``"interpreted"`` for debugging).
+    ``"interpreted"`` for debugging).  ``dedup`` (default True) mines one
+    weighted record per *distinct* input sequence — the projected databases
+    shrink proportionally to duplication and supports are byte-identical.
     """
 
     algorithm_name = "DESQ-DFS"
@@ -40,12 +42,14 @@ class SequentialDesqDfs:
         dictionary: Dictionary,
         max_patterns: int = 10_000_000,
         kernel: str | None = None,
+        dedup: bool = True,
     ) -> None:
         self.patex = PatEx(patex) if isinstance(patex, str) else patex
         self.sigma = sigma
         self.dictionary = dictionary
         self.max_patterns = max_patterns
         self.kernel = kernel
+        self.dedup = dedup
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
         """Mine all frequent patterns sequentially."""
@@ -59,8 +63,13 @@ class SequentialDesqDfs:
             max_patterns=self.max_patterns,
         )
         started = time.perf_counter()
-        sequences = [tuple(sequence) for sequence in database]
-        patterns = miner.mine(sequences)
+        sequences = []
+        weights = []
+        for record in as_mining_records(database, dedup=self.dedup):
+            sequence, weight = record_parts(record)
+            sequences.append(sequence)
+            weights.append(weight)
+        patterns = miner.mine(sequences, weights)
         elapsed = time.perf_counter() - started
         metrics = JobMetrics(
             num_workers=1,

@@ -15,14 +15,18 @@ and D-CAND.
 
 from __future__ import annotations
 
-from collections import Counter
 from collections.abc import Iterable, Sequence
 
 from repro.core.results import MiningResult
 from repro.dictionary import Dictionary
 from repro.errors import MiningError
 from repro.mapreduce import Cluster, ClusterConfig, MapReduceJob, resolve_cluster
-from repro.sequences import SequenceDatabase, as_records
+from repro.sequences import (
+    SequenceDatabase,
+    as_mining_records,
+    fold_weighted_values,
+    record_parts,
+)
 
 
 class GapConstrainedJob(MapReduceJob):
@@ -57,8 +61,10 @@ class GapConstrainedJob(MapReduceJob):
         return tuple(sorted(a for a in ancestors if a <= self.max_frequent_fid))
 
     # ------------------------------------------------------------------- map
-    def map(self, record: Sequence[int]) -> Iterable[tuple[int, tuple[int, ...]]]:
-        sequence = tuple(record)
+    def map(self, record) -> Iterable[tuple[int, tuple]]:
+        # Weighted records (corpus-level dedup) carry their multiplicity
+        # along with the windowed representation; plain records ship bare.
+        sequence, weight = record_parts(record)
         if len(sequence) < self.min_length:
             return
         producible: list[tuple[int, ...]] = [self._outputs_for(item) for item in sequence]
@@ -75,15 +81,21 @@ class GapConstrainedJob(MapReduceJob):
             ]
             first = max(0, positions[0] - window)
             last = min(len(sequence), positions[-1] + window + 1)
-            yield pivot, sequence[first:last]
+            representation = sequence[first:last]
+            yield pivot, representation if weight == 1 else (representation, weight)
 
     # --------------------------------------------------------------- combine
     def combine(
-        self, key: int, values: list[tuple[int, ...]]
+        self, key: int, values: list
     ) -> Iterable[tuple[int, tuple[tuple[int, ...], int]]]:
-        counts = Counter(values)
-        for sequence, weight in counts.items():
-            yield key, (sequence, weight)
+        """Aggregate identical windowed representations into weighted records.
+
+        Values are bare representations (weight 1) or ``(representation,
+        weight)`` pairs from deduplicated input; totals keep first-occurrence
+        order, exactly like the pre-dedup ``Counter`` fold.
+        """
+        for representation, weight in fold_weighted_values(values).items():
+            yield key, (representation, weight)
 
     # ---------------------------------------------------------------- reduce
     def reduce(
@@ -208,6 +220,8 @@ class GapConstrainedMiner:
         codec: str = "compact",
         spill_budget_bytes: int | None = None,
         kernel: str | None = None,
+        grid: str | None = None,
+        dedup: bool = True,
         cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
         if sigma < 1:
@@ -220,9 +234,12 @@ class GapConstrainedMiner:
         self.max_length = max_length
         self.min_length = min_length
         self.use_hierarchy = use_hierarchy
-        # The specialist avoids FST machinery entirely, so the ``kernel``
-        # knob is accepted (one ClusterConfig drives all five cluster miners)
-        # but has no effect on its mining semantics or timings.
+        self.dedup = dedup
+        # The specialist avoids FST machinery entirely, so the ``kernel`` and
+        # ``grid`` knobs are accepted (one ClusterConfig drives all five
+        # cluster miners) but have no effect on its mining semantics or
+        # timings.  ``dedup`` applies: the windowing runs once per distinct
+        # input sequence.
         self.cluster = ClusterConfig.resolve(
             cluster,
             backend=backend,
@@ -230,6 +247,7 @@ class GapConstrainedMiner:
             codec=codec,
             spill_budget_bytes=spill_budget_bytes,
             kernel=kernel,
+            grid=grid,
         )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
@@ -242,7 +260,8 @@ class GapConstrainedMiner:
             min_length=self.min_length,
             use_hierarchy=self.use_hierarchy,
         )
-        result = resolve_cluster(self.cluster).run(job, as_records(database))
+        records = as_mining_records(database, dedup=self.dedup)
+        result = resolve_cluster(self.cluster).run(job, records)
         name = self.algorithm_name if self.use_hierarchy else "MG-FSM"
         return MiningResult(dict(result.outputs), result.metrics, algorithm=name)
 

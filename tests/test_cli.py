@@ -255,6 +255,38 @@ class TestMine:
                 outputs[(kernel, algorithm)] = sorted(output.read_text().splitlines())
         assert len(set(map(tuple, outputs.values()))) == 1
 
+    def test_grid_flag_selects_the_grid_engine(self, tmp_path):
+        """Both grid engines mine the same patterns (the CLI-level differential)."""
+        sequences = tmp_path / "grid.txt"
+        sequences.write_text("a c b\na b\nc b\na c c b\n")
+        outputs = {}
+        for grid in ("flat", "legacy"):
+            output = tmp_path / f"{grid}.tsv"
+            code, _ = run_cli(
+                "mine",
+                "--sequences", str(sequences),
+                "--pattern", ".*(a)[.*(b)]?.*",
+                "--sigma", "2",
+                "--grid", grid,
+                "--output", str(output),
+            )
+            assert code == 0
+            outputs[grid] = sorted(output.read_text().splitlines())
+        assert outputs["flat"] == outputs["legacy"]
+
+    def test_grid_flag_rejected_for_sequential_miners(self, tmp_path):
+        sequences = tmp_path / "grid.txt"
+        sequences.write_text("a b\n")
+        code, _ = run_cli(
+            "mine",
+            "--sequences", str(sequences),
+            "--pattern", ".*(a).*",
+            "--sigma", "1",
+            "--algorithm", "desq-dfs",
+            "--grid", "legacy",
+        )
+        assert code == 2
+
     def test_max_runs_and_max_candidates_flags(self, tmp_path):
         sequences = tmp_path / "dex.txt"
         sequences.write_text("a c b\na b\nc b\n")
@@ -410,6 +442,8 @@ class TestExperiment:
         base = ["experiment", "--name", "table2", "--sizes", "NYT=60,AMZN=60,AMZN-F=60,CW=60"]
         code, _ = run_cli(*base, "--kernel", "interpreted")
         assert code == 2
+        code, _ = run_cli(*base, "--grid", "legacy")
+        assert code == 2
         code, _ = run_cli(*base, "--max-runs", "10")
         assert code == 2
         code, _ = run_cli(
@@ -424,6 +458,15 @@ class TestExperiment:
             "experiment", "--name", "fig9c",
             "--sizes", "AMZN=80",
             "--kernel", "interpreted",
+        )
+        assert code == 0
+        assert "shuffle size" in output
+
+    def test_grid_flag_reaches_the_experiment_runs(self):
+        code, output = run_cli(
+            "experiment", "--name", "fig9c",
+            "--sizes", "AMZN=80",
+            "--grid", "legacy",
         )
         assert code == 0
         assert "shuffle size" in output

@@ -423,3 +423,159 @@ class TestSemanticsOracle:
         }
         mined = mine(database, ex_dictionary, expression, sigma=sigma, algorithm="dseq")
         assert mined.patterns() == expected
+
+
+def make_duplicated_database(copies: int = 4, count: int = 12, seed: int = 23):
+    """A database where every distinct sequence appears ``copies`` times.
+
+    Heavy duplication is the regime the corpus-level dedup pass targets; the
+    copies are interleaved so that duplicates cross map-chunk boundaries.
+    """
+    rng = random.Random(seed)
+    base = [
+        [rng.choice(VOCABULARY) for _ in range(rng.randint(1, 6))]
+        for _ in range(count)
+    ]
+    sequences = [list(sequence) for sequence in base for _ in range(copies)]
+    rng.shuffle(sequences)
+    return build_consistent(sequences)
+
+
+class TestGridAndDedupMatrix:
+    """miners × backends × kernels × grid engines × dedup on/off.
+
+    Acceptance criteria of the flat pivot grid and the corpus-level dedup
+    pass: patterns and supports are byte-identical across *every* cell of the
+    matrix, and the shuffle/wire metrics are byte-identical across kernels,
+    grid engines, and backends (dedup legitimately changes the shuffle — that
+    is the point — so metrics are compared within each dedup setting).
+    """
+
+    #: Backends compared against the simulated baseline sweep.
+    BACKENDS = ("threads", "processes", "persistent-processes")
+
+    #: Every (kernel, grid, dedup) combination.
+    CONFIGS = tuple(
+        (kernel, grid, dedup)
+        for kernel in ("compiled", "interpreted")
+        for grid in ("flat", "legacy")
+        for dedup in (True, False)
+    )
+
+    #: Metrics that must match across kernels, grids, and backends.
+    METRICS = (
+        "shuffle_bytes",
+        "shuffle_records",
+        "wire_bytes",
+        "spilled_buckets",
+        "spilled_bytes",
+        "map_output_records",
+        "combined_records",
+        "input_records",
+        "output_records",
+    )
+
+    @pytest.fixture(scope="class")
+    def matrix_data(self):
+        return make_duplicated_database()
+
+    def _sweep(self, miner_name, backend, matrix_data):
+        dictionary, database = matrix_data
+        factory = MATRIX_MINERS[miner_name]
+        return {
+            config: factory(
+                dictionary, backend, "compact",
+                kernel=config[0], grid=config[1], dedup=config[2],
+            ).mine(database)
+            for config in self.CONFIGS
+        }
+
+    @pytest.fixture(scope="class")
+    def simulated_sweeps(self, matrix_data):
+        cache: dict[str, dict] = {}
+
+        def get(miner_name: str) -> dict:
+            if miner_name not in cache:
+                cache[miner_name] = self._sweep(miner_name, "simulated", matrix_data)
+            return cache[miner_name]
+
+        return get
+
+    @pytest.mark.parametrize("miner_name", sorted(MATRIX_MINERS))
+    def test_full_matrix_on_simulated(self, miner_name, simulated_sweeps):
+        results = simulated_sweeps(miner_name)
+        reference = results[("compiled", "flat", True)]
+        for config, result in results.items():
+            assert result.patterns() == reference.patterns(), config
+        # Kernels and grid engines never change what travels; dedup does
+        # (fewer map records, pre-aggregated weights), so metric equality is
+        # asserted within each dedup setting.
+        for dedup in (True, False):
+            base = results[("compiled", "flat", dedup)]
+            for kernel in ("compiled", "interpreted"):
+                for grid in ("flat", "legacy"):
+                    result = results[(kernel, grid, dedup)]
+                    for metric in self.METRICS:
+                        assert getattr(result.metrics, metric) == (
+                            getattr(base.metrics, metric)
+                        ), (kernel, grid, dedup, metric)
+        # The dedup pass must actually shrink the map input on this
+        # duplication-heavy database (4 copies of every sequence).
+        deduped = results[("compiled", "flat", True)].metrics
+        raw = results[("compiled", "flat", False)].metrics
+        assert deduped.input_records < raw.input_records
+        assert deduped.input_records <= raw.input_records // 3
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("miner_name", sorted(MATRIX_MINERS))
+    def test_matrix_identical_across_backends(
+        self, miner_name, backend, matrix_data, simulated_sweeps
+    ):
+        baseline = simulated_sweeps(miner_name)
+        results = self._sweep(miner_name, backend, matrix_data)
+        for config, result in results.items():
+            reference = baseline[config]
+            assert result.patterns() == reference.patterns(), config
+            for metric in self.METRICS:
+                assert getattr(result.metrics, metric) == (
+                    getattr(reference.metrics, metric)
+                ), (config, metric)
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    @settings(max_examples=10, deadline=None)
+    @given(sequences=sequences_strategy(), sigma=st.integers(min_value=1, max_value=3))
+    def test_dedup_preserves_weights_on_random_databases(
+        self, expression, sequences, sigma
+    ):
+        """Unique-view mining ≡ raw mining, supports included, everywhere."""
+        # Duplicate every sequence a few times so the unique view collapses
+        # records and the weights genuinely carry the counts.
+        duplicated = [list(sequence) for sequence in sequences for _ in range(3)]
+        dictionary, database = build_consistent(duplicated)
+        for algorithm in ("dseq", "dcand", "naive", "semi-naive"):
+            deduped = mine(
+                database, dictionary, expression, sigma=sigma, algorithm=algorithm,
+                num_workers=2, dedup=True,
+            )
+            raw = mine(
+                database, dictionary, expression, sigma=sigma, algorithm=algorithm,
+                num_workers=2, dedup=False,
+            )
+            assert deduped.patterns() == raw.patterns(), algorithm
+            assert deduped.metrics.input_records < raw.metrics.input_records
+        dfs = {
+            dedup: SequentialDesqDfs(expression, sigma, dictionary, dedup=dedup)
+            .mine(database).patterns()
+            for dedup in (True, False)
+        }
+        count = {
+            dedup: SequentialDesqCount(expression, sigma, dictionary, dedup=dedup)
+            .mine(database).patterns()
+            for dedup in (True, False)
+        }
+        reference = mine(
+            database, dictionary, expression, sigma=sigma, algorithm="dseq",
+            num_workers=2,
+        ).patterns()
+        assert dfs[True] == dfs[False] == reference
+        assert count[True] == count[False] == reference

@@ -1,0 +1,351 @@
+"""Equivalence and unit tests for the flat pivot-grid engine.
+
+The columnar :class:`~repro.core.grid_engine.FlatPivotGrid` must be
+observationally identical to the reference
+:class:`~repro.core.pivot_search.PositionStateGrid` — same pivot sets, same
+rewrite bounds, same early-stopping oracle — on arbitrary pattern expressions,
+hierarchies, and input sequences.  These tests prove that with hypothesis,
+check the sorted-run ⊕ algebra against the set-based reference, and pin the
+behaviour of the per-worker grid memo.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid_engine import (
+    DEFAULT_GRID,
+    DEFAULT_GRID_MEMO_LIMIT,
+    GRIDS,
+    FlatPivotGrid,
+    GridMemoWarmup,
+    cached_grid,
+    clear_grid_memo,
+    grid_memo_info,
+    make_grid,
+    merge_sorted_runs,
+    normalize_grid,
+    set_grid_memo_limit,
+    union_sorted_runs,
+)
+from repro.core.pivot_search import (
+    PositionStateGrid,
+    pivot_items,
+    pivot_merge,
+    pivots_of_output_sets,
+)
+from repro.core.rewriting import rewrite_for_pivot
+from repro.dictionary import EPSILON_FID, Dictionary, Hierarchy
+from repro.errors import MiningError
+from repro.fst import make_kernel
+from repro.patex import PatEx
+from repro.sequences import preprocess
+
+#: Constraint shapes shared with the differential suite: captures, optional
+#: groups, generalization, repetition, alternation, and bounded gaps.
+EXPRESSIONS = [
+    ".*(A)[(.^)|.]*(b).*",        # the running example π_ex
+    ".*(a1)(b).*",                # plain bigram capture
+    ".*(A^)[.{0,2}(A^)]{1,2}.*",  # hierarchy with bounded gaps (A1/T3 shape)
+    ".*(.)[.*(.)]?.*",            # 1- or 2-item patterns with arbitrary gaps
+    ".*(e)?(d)(c|b).*",           # optional capture and alternation
+    "[.*(A^=)]+.*",               # forced generalization, repeated group
+]
+
+VOCABULARY = ["a1", "a2", "b", "c", "d", "e"]
+ANCHOR_SEQUENCE = tuple(VOCABULARY)
+
+
+def sequences_strategy():
+    return st.lists(
+        st.lists(st.sampled_from(VOCABULARY), min_size=0, max_size=7),
+        min_size=1,
+        max_size=6,
+    )
+
+
+def build_consistent(sequences):
+    hierarchy = Hierarchy()
+    hierarchy.add_edge("a1", "A")
+    hierarchy.add_edge("a2", "A")
+    raw = [tuple(sequence) for sequence in sequences] + [ANCHOR_SEQUENCE]
+    return preprocess(raw, hierarchy)
+
+
+def assert_grids_equivalent(flat, legacy) -> None:
+    """Every observable of the two grid engines must match."""
+    assert flat.has_accepting_run == legacy.has_accepting_run
+    assert flat.alive == legacy.alive
+    pivots = flat.pivot_items()
+    assert pivots == legacy.pivot_items()
+    n = len(legacy.sequence)
+    num_states = len(legacy.alive[0]) if legacy.alive else 0
+    for position in range(n + 1):
+        for state in range(num_states):
+            assert flat.pivot_set(position, state) == (
+                legacy.pivot_set(position, state)
+            ), (position, state)
+    # Edge arenas: same live edges per position (order may legitimately
+    # differ — the legacy grid iterates a source *set*).
+    for position in range(1, n + 1):
+        flat_edges = {
+            (edge.source, edge.target, edge.outputs)
+            for edge in flat.edges_at(position)
+        }
+        legacy_edges = {
+            (edge.source, edge.target, edge.outputs)
+            for edge in legacy.edges_at(position)
+        }
+        assert flat_edges == legacy_edges, position
+    # Per-pivot queries: rewrite bounds and the early-stopping oracle, probed
+    # for every actual pivot plus items that are not pivots at all.
+    probes = sorted(pivots) + [1, 7, 10**9]
+    for pivot in probes:
+        assert flat.relevant_range(pivot) == legacy.relevant_range(pivot), pivot
+        assert flat.last_pivot_producing_position(pivot) == (
+            legacy.last_pivot_producing_position(pivot)
+        ), pivot
+        assert rewrite_for_pivot(flat, pivot) == rewrite_for_pivot(legacy, pivot)
+
+
+class TestFlatLegacyEquivalence:
+    """``FlatPivotGrid ≡ PositionStateGrid`` over random inputs."""
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    @settings(max_examples=20, deadline=None)
+    @given(sequences=sequences_strategy(), sigma=st.integers(min_value=1, max_value=4))
+    def test_grids_agree_on_random_databases(self, expression, sequences, sigma):
+        dictionary, database = build_consistent(sequences)
+        kernel = make_kernel(
+            PatEx(expression).compile(dictionary), dictionary, "compiled"
+        )
+        max_frequent_fid = dictionary.largest_frequent_fid(sigma)
+        for sequence in database:
+            flat = FlatPivotGrid(kernel, sequence, max_frequent_fid=max_frequent_fid)
+            legacy = PositionStateGrid(
+                kernel, sequence, max_frequent_fid=max_frequent_fid
+            )
+            assert_grids_equivalent(flat, legacy)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_grids_agree_on_random_hierarchies(self, data):
+        """Random DAG hierarchies: generalization sees multi-parent items."""
+        names = [f"i{index}" for index in range(data.draw(st.integers(2, 6)))]
+        hierarchy = Hierarchy()
+        for index, name in enumerate(names):
+            hierarchy.add_item(name)
+            parents = data.draw(
+                st.lists(st.sampled_from(names[:index]), unique=True, max_size=2)
+                if index
+                else st.just([])
+            )
+            for parent in parents:
+                hierarchy.add_edge(name, parent)
+        sequences = data.draw(
+            st.lists(
+                st.lists(st.sampled_from(names), min_size=0, max_size=6),
+                min_size=1,
+                max_size=5,
+            )
+        )
+        dictionary, database = preprocess(
+            [tuple(sequence) for sequence in sequences] + [tuple(names)], hierarchy
+        )
+        anchor = data.draw(st.sampled_from(names))
+        expression = f".*({anchor}^)[(.^)|.]*(.).*"
+        kernel = make_kernel(
+            PatEx(expression).compile(dictionary), dictionary, "compiled"
+        )
+        sigma = data.draw(st.integers(min_value=1, max_value=3))
+        max_frequent_fid = dictionary.largest_frequent_fid(sigma)
+        for sequence in database:
+            flat = FlatPivotGrid(kernel, sequence, max_frequent_fid=max_frequent_fid)
+            legacy = PositionStateGrid(
+                kernel, sequence, max_frequent_fid=max_frequent_fid
+            )
+            assert_grids_equivalent(flat, legacy)
+
+    def test_interpreted_kernel_also_served(self, ex_dictionary):
+        """Both grid engines accept either mining kernel."""
+        fst = PatEx(".*(A)[(.^)|.]*(b).*").compile(ex_dictionary)
+        sequence = ex_dictionary.encode(("c", "a1", "b", "e"))
+        results = {
+            (grid, kernel_name): make_grid(
+                make_kernel(fst, ex_dictionary, kernel_name), sequence, grid=grid
+            ).pivot_items()
+            for grid in GRIDS
+            for kernel_name in ("compiled", "interpreted")
+        }
+        assert len(set(map(frozenset, results.values()))) == 1
+
+    def test_pivot_items_entry_point_honours_the_knob(self, ex_dictionary):
+        fst = PatEx(".*(A)[(.^)|.]*(b).*").compile(ex_dictionary)
+        sequence = ex_dictionary.encode(("c", "a1", "b", "e"))
+        flat = pivot_items(fst, sequence, ex_dictionary, grid="flat")
+        legacy = pivot_items(fst, sequence, ex_dictionary, grid="legacy")
+        assert flat == legacy and flat
+
+
+# ------------------------------------------------------------ sorted-run ⊕
+def sorted_run():
+    return st.frozensets(st.integers(min_value=0, max_value=12), max_size=8).map(
+        lambda items: tuple(sorted(items))
+    )
+
+
+class TestSortedRunAlgebra:
+    """The sorted-run ⊕ agrees with the set-based Theorem-1 reference."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(left=sorted_run(), right=sorted_run())
+    def test_merge_matches_pivot_merge(self, left, right):
+        merged = merge_sorted_runs(left, right)
+        assert list(merged) == sorted(set(merged)), "result must be a sorted run"
+        assert set(merged) == pivot_merge(set(left), set(right))
+
+    @settings(max_examples=200, deadline=None)
+    @given(left=sorted_run(), right=sorted_run())
+    def test_union_is_set_union(self, left, right):
+        assert union_sorted_runs(left, right) == tuple(sorted(set(left) | set(right)))
+
+    @settings(max_examples=150, deadline=None)
+    @given(output_sets=st.lists(sorted_run(), max_size=6))
+    def test_in_place_fold_matches_reference_fold(self, output_sets):
+        """Guards the allocation micro-fix in ``pivots_of_output_sets``."""
+        accumulator = {EPSILON_FID}
+        for outputs in output_sets:
+            accumulator = pivot_merge(accumulator, set(outputs))
+            if not accumulator:
+                break
+        accumulator.discard(EPSILON_FID)
+        assert pivots_of_output_sets(output_sets) == accumulator
+
+    def test_merge_annihilates_on_empty_operands(self):
+        assert merge_sorted_runs((), (1, 2)) == ()
+        assert merge_sorted_runs((1, 2), ()) == ()
+
+    def test_fold_short_circuits_on_empty_output_set(self):
+        assert pivots_of_output_sets([(1, 2), (), (3,)]) == set()
+
+
+# ------------------------------------------------------------ per-worker memo
+@pytest.fixture()
+def fresh_memo():
+    clear_grid_memo()
+    try:
+        yield
+    finally:
+        set_grid_memo_limit(DEFAULT_GRID_MEMO_LIMIT)
+        clear_grid_memo()
+
+
+class TestGridMemo:
+    def _kernel(self, ex_dictionary):
+        fst = PatEx(".*(A)[(.^)|.]*(b).*").compile(ex_dictionary)
+        return make_kernel(fst, ex_dictionary, "compiled")
+
+    def test_repeated_sequences_hit_the_memo(self, ex_dictionary, fresh_memo):
+        kernel = self._kernel(ex_dictionary)
+        sequence = ex_dictionary.encode(("c", "a1", "b", "e"))
+        first = cached_grid(kernel, sequence)
+        second = cached_grid(kernel, sequence)
+        assert first is second
+        info = grid_memo_info()
+        assert info["hits"] == 1 and info["misses"] == 1 and info["size"] == 1
+
+    def test_engines_and_filters_are_cached_separately(self, ex_dictionary, fresh_memo):
+        kernel = self._kernel(ex_dictionary)
+        sequence = ex_dictionary.encode(("a1", "b"))
+        flat = cached_grid(kernel, sequence, grid="flat")
+        legacy = cached_grid(kernel, sequence, grid="legacy")
+        filtered = cached_grid(kernel, sequence, max_frequent_fid=3)
+        assert isinstance(flat, FlatPivotGrid)
+        assert isinstance(legacy, PositionStateGrid)
+        assert filtered is not flat
+        assert grid_memo_info()["size"] == 3
+
+    def test_bounded_eviction(self, ex_dictionary, fresh_memo):
+        kernel = self._kernel(ex_dictionary)
+        set_grid_memo_limit(2)
+        for items in (("b",), ("c",), ("d",)):
+            cached_grid(kernel, ex_dictionary.encode(items))
+        assert grid_memo_info()["size"] == 2
+        set_grid_memo_limit(1)
+        assert grid_memo_info()["size"] == 1
+
+    def test_zero_limit_disables_caching(self, ex_dictionary, fresh_memo):
+        kernel = self._kernel(ex_dictionary)
+        set_grid_memo_limit(0)
+        sequence = ex_dictionary.encode(("a1", "b"))
+        first = cached_grid(kernel, sequence)
+        second = cached_grid(kernel, sequence)
+        assert first is not second
+        assert grid_memo_info()["size"] == 0
+
+    def test_negative_limit_is_rejected(self):
+        with pytest.raises(MiningError):
+            set_grid_memo_limit(-1)
+
+    def test_warmup_pickle_sizes_the_receiving_process(self, ex_dictionary, fresh_memo):
+        kernel = self._kernel(ex_dictionary)
+        set_grid_memo_limit(7)
+        warmup = GridMemoWarmup(kernel, limit=123)
+        restored = pickle.loads(pickle.dumps(warmup))
+        assert restored.limit == 123
+        assert grid_memo_info()["limit"] == 123
+        assert restored.kernel.fingerprint == kernel.fingerprint
+
+
+class TestKnob:
+    def test_normalize_grid(self):
+        assert normalize_grid(None) == DEFAULT_GRID
+        assert normalize_grid(" Flat ") == "flat"
+        assert normalize_grid("LEGACY") == "legacy"
+        with pytest.raises(MiningError, match="unknown grid engine"):
+            normalize_grid("nope")
+
+    def test_make_grid_dispatch(self, ex_dictionary):
+        fst = PatEx(".*(b).*").compile(ex_dictionary)
+        sequence = ex_dictionary.encode(("b",))
+        assert isinstance(
+            make_grid(fst, sequence, ex_dictionary), FlatPivotGrid
+        )
+        assert isinstance(
+            make_grid(fst, sequence, ex_dictionary, grid="legacy"), PositionStateGrid
+        )
+
+    def test_empty_sequence_grids(self, ex_dictionary):
+        """Degenerate input: both engines agree on the empty sequence."""
+        fst = PatEx(".*(b).*").compile(ex_dictionary)
+        kernel = make_kernel(fst, ex_dictionary, "compiled")
+        flat = FlatPivotGrid(kernel, ())
+        legacy = PositionStateGrid(kernel, ())
+        assert flat.has_accepting_run == legacy.has_accepting_run
+        assert flat.pivot_items() == legacy.pivot_items() == set()
+        assert flat.relevant_range(3) == legacy.relevant_range(3)
+        assert flat.last_pivot_producing_position(3) == (
+            legacy.last_pivot_producing_position(3)
+        ) == 0
+
+
+class TestDictionaryGuard:
+    def test_huge_fids_fall_back_to_tuple_keys(self, fresh_memo):
+        """Sequences with fids ≥ 2^63 must still be memoizable."""
+        hierarchy = Hierarchy()
+        hierarchy.add_item("x")
+        dictionary = Dictionary.from_hierarchy(hierarchy, {"x": 1})
+        # _memo_key encodes via array('q'); huge synthetic fids overflow it
+        # and fall back to the tuple itself — probe through the public API.
+        from repro.core.grid_engine import _memo_key
+
+        fst = PatEx(".*(x).*").compile(dictionary)
+        kernel = make_kernel(fst, dictionary, "compiled")
+        small = _memo_key(kernel, (1, 2), None, "flat")
+        huge = _memo_key(kernel, (1, 2**63 + 5), None, "flat")
+        assert isinstance(small[2], bytes)
+        assert huge[2] == (1, 2**63 + 5)

@@ -24,11 +24,16 @@ from repro.sequences import (
     SequenceStoreError,
     StoreChunk,
     StoreSlice,
+    WeightedSequence,
     as_encoded_store,
+    as_mining_records,
     as_records,
     attach_store,
     detach_store,
+    fold_weighted_values,
+    record_parts,
     resolve_chunk,
+    weighted_value_parts,
 )
 
 #: Databases exercising the format's edge cases.
@@ -290,3 +295,108 @@ class TestDatabaseIntegration:
         store = database.encoded_store()
         assert as_records(store) is store
         assert as_records(iter([(1, 2)])) == [(1, 2)]
+
+
+class TestUniqueView:
+    """The corpus-level dedup pass: ``unique_view`` and weighted blocks."""
+
+    def test_groups_identical_sequences_in_first_occurrence_order(self):
+        store = EncodedSequenceStore.from_sequences(
+            [[3, 1], [2], [3, 1], [], [2], [3, 1]]
+        )
+        unique = store.unique_view()
+        assert unique.weighted
+        assert list(unique) == [
+            WeightedSequence((3, 1), 3),
+            WeightedSequence((2,), 2),
+            WeightedSequence((), 1),
+        ]
+        # Total weight is preserved: the view is a lossless regrouping.
+        assert sum(weight for _sequence, weight in unique) == len(store)
+
+    def test_view_is_cached_on_the_store(self):
+        store = EncodedSequenceStore.from_sequences([[1], [1]])
+        assert store.unique_view() is store.unique_view()
+
+    def test_weighted_input_folds_existing_multiplicities(self):
+        weighted = EncodedSequenceStore.from_weighted_sequences(
+            [((1, 2), 3), ((4,), 1), ((1, 2), 2)]
+        )
+        unique = weighted.unique_view()
+        assert list(unique) == [
+            WeightedSequence((1, 2), 5),
+            WeightedSequence((4,), 1),
+        ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(sequences=sequences_strategy())
+    def test_weights_account_for_every_record(self, sequences):
+        store = EncodedSequenceStore.from_sequences(sequences)
+        unique = store.unique_view()
+        counts: dict[tuple, int] = {}
+        for sequence in map(tuple, sequences):
+            counts[sequence] = counts.get(sequence, 0) + 1
+        assert {record.sequence: record.weight for record in unique} == counts
+        assert len(unique) == len(counts)
+
+    def test_empty_store_unique_view(self):
+        unique = EncodedSequenceStore.from_sequences([]).unique_view()
+        assert len(unique) == 0 and unique.weighted
+
+    def test_weighted_blocks_round_trip_through_pickle_and_publish(self):
+        unique = EncodedSequenceStore.from_sequences(
+            [[1, 2], [1, 2], [9]]
+        ).unique_view()
+        clone = pickle.loads(pickle.dumps(unique))
+        assert list(clone) == list(unique)
+        with unique.published() as handle:
+            attached = EncodedSequenceStore.attach(handle)
+            try:
+                assert list(attached) == list(unique)
+                assert attached.weighted
+            finally:
+                attached.close()
+
+    def test_weighted_slices_and_chunks_decode_weighted_records(self):
+        unique = EncodedSequenceStore.from_sequences(
+            [[1], [1], [2], [3], [3], [3]]
+        ).unique_view()
+        view = unique.slice(1, 3)
+        assert list(view) == [WeightedSequence((2,), 1), WeightedSequence((3,), 3)]
+        assert view[1] == WeightedSequence((3,), 3)
+
+    def test_record_parts_normalizes_both_shapes(self):
+        assert record_parts((1, 2, 3)) == ((1, 2, 3), 1)
+        assert record_parts([4, 5]) == ((4, 5), 1)
+        assert record_parts(WeightedSequence((1, 2), 7)) == ((1, 2), 7)
+
+    def test_weighted_value_parts_disambiguates_map_outputs(self):
+        # A bare 2-item representation (two ints) is NOT a weighted pair.
+        assert weighted_value_parts((3, 5)) == ((3, 5), 1)
+        assert weighted_value_parts(()) == ((), 1)
+        assert weighted_value_parts(((3, 5), 2)) == ((3, 5), 2)
+        assert weighted_value_parts(((), 4)) == ((), 4)
+        assert weighted_value_parts(b"nfa") == (b"nfa", 1)
+        assert weighted_value_parts((b"nfa", 6)) == (b"nfa", 6)
+
+    def test_fold_weighted_values_keeps_first_occurrence_order(self):
+        values = [(1, 2), ((3,), 4), (1, 2), (3,), ((1, 2), 5)]
+        assert fold_weighted_values(values) == {(1, 2): 7, (3,): 5}
+        assert list(fold_weighted_values(values)) == [(1, 2), (3,)]
+
+    def test_negative_weights_are_rejected(self):
+        with pytest.raises(SequenceStoreError, match="weight"):
+            EncodedSequenceStore.from_weighted_sequences([((1,), -2)])
+
+    def test_as_mining_records_modes(self):
+        database = SequenceDatabase([[1, 2], [1, 2], [5]])
+        raw = as_mining_records(database, dedup=False)
+        assert raw is as_records(database)
+        deduped = as_mining_records(database)
+        assert isinstance(deduped, EncodedSequenceStore)
+        assert list(deduped) == [
+            WeightedSequence((1, 2), 2),
+            WeightedSequence((5,), 1),
+        ]
+        # The database's cached store backs the view: no re-encoding.
+        assert as_mining_records(database) is deduped
