@@ -1,0 +1,87 @@
+"""Mining-as-a-service smoke: daemon round trips, hot vs cold queries.
+
+Starts a real ``MiningServer``, attaches the AMZN-like corpus over the wire,
+and runs the same query cold (first time, actually mined) and hot (repeated,
+served from the LRU result cache).  Reports queries/sec for both paths plus
+the daemon's cache hit rate, and merges a ``"service"`` section into
+``BENCH_fig9c.json`` so the service numbers ride the same regression
+artifact as the shuffle-size rows.
+
+The warm path must be at least 10x faster than the cold path — that is the
+whole point of keeping a daemon around — and this bench enforces it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro
+from repro.experiments import SCALED_SIGMA, prepare_dataset
+from repro.service import MiningServer
+
+from benchmarks.conftest import BENCH_SIZES, BENCH_WORKERS, run_once
+
+#: How often the hot query is repeated (single cold mine vs many cache hits).
+HOT_REPEATS = 20
+
+#: Speed-up the warm path must deliver over the cold path.
+MIN_WARM_SPEEDUP = 10.0
+
+
+def _service_round_trips() -> dict:
+    from repro.datasets import constraint as make_constraint
+    from repro.mapreduce import ClusterConfig
+
+    prepared = prepare_dataset("AMZN", BENCH_SIZES["AMZN"])
+    corpus = repro.Corpus(prepared.database, prepared.dictionary)
+    spec = make_constraint("A1", SCALED_SIGMA["A1"])
+    config = ClusterConfig(num_workers=BENCH_WORKERS)
+    with MiningServer() as server:
+        host, port = server.serve_background()
+        with repro.connect(host, port) as session:
+            session.attach_corpus("amzn", corpus)
+
+            started = time.perf_counter()
+            cold_result = session.mine("amzn", spec, algorithm="dseq", config=config)
+            cold_seconds = time.perf_counter() - started
+            assert session.last_query_cached is False
+
+            started = time.perf_counter()
+            for _ in range(HOT_REPEATS):
+                hot_result = session.mine("amzn", spec, algorithm="dseq", config=config)
+                assert session.last_query_cached is True
+            hot_seconds = (time.perf_counter() - started) / HOT_REPEATS
+
+            assert hot_result.same_patterns_as(cold_result)
+            info = session.cache_info()
+    return {
+        "patterns": len(cold_result),
+        "cold_seconds": cold_seconds,
+        "hot_seconds": hot_seconds,
+        "cold_queries_per_second": 1.0 / cold_seconds if cold_seconds else 0.0,
+        "hot_queries_per_second": 1.0 / hot_seconds if hot_seconds else 0.0,
+        "warm_speedup": cold_seconds / hot_seconds if hot_seconds else 0.0,
+        "hot_repeats": HOT_REPEATS,
+        "cache": info.as_dict(),
+    }
+
+
+def test_service_hot_vs_cold(benchmark, bench_json_section):
+    measured = run_once(benchmark, _service_round_trips)
+    artifact = bench_json_section("fig9c", "service", measured)
+    print()
+    if artifact is not None:
+        print(f"merged service section into {artifact}")
+    print(
+        f"service: cold {measured['cold_queries_per_second']:.1f} q/s, "
+        f"hot {measured['hot_queries_per_second']:.1f} q/s "
+        f"({measured['warm_speedup']:.0f}x warm speed-up, "
+        f"hit rate {measured['cache']['hit_rate']:.2f})"
+    )
+    # one cold miss + HOT_REPEATS hits on the daemon's shared cache
+    assert measured["cache"]["hits"] == HOT_REPEATS
+    assert measured["cache"]["misses"] == 1
+    assert measured["warm_speedup"] >= MIN_WARM_SPEEDUP, (
+        f"warm query only {measured['warm_speedup']:.1f}x faster than cold; "
+        f"the service cache must deliver at least {MIN_WARM_SPEEDUP:.0f}x"
+    )

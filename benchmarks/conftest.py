@@ -115,3 +115,34 @@ def bench_json(request):
         return path
 
     return emit
+
+
+@pytest.fixture(scope="session")
+def bench_json_section(request):
+    """Merge one section into an existing ``BENCH_<name>.json`` artifact.
+
+    Returns ``merge(name, section, payload)``: a no-op returning None unless
+    ``--json`` was passed, in which case ``payload`` is stored under the
+    ``section`` key of ``DIR/BENCH_<name>.json`` — load-modify-write, so a
+    benchmark that runs after the artifact's emitter (e.g. the service bench
+    after fig9c) extends the document instead of clobbering it.  When the
+    artifact does not exist yet, a fresh document is started.
+    """
+    directory = request.config.getoption("--json")
+
+    def merge(name: str, section: str, payload: dict):
+        if directory is None:
+            return None
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        path = target / f"BENCH_{name}.json"
+        document = (
+            json.loads(path.read_text(encoding="utf-8"))
+            if path.exists()
+            else {"scale": BENCH_SCALE}
+        )
+        document[section] = payload
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        return path
+
+    return merge

@@ -13,13 +13,22 @@ baselines, sequential and specialised reference miners, synthetic dataset
 generators, and an experiment harness that regenerates every table and figure
 of the paper's evaluation.
 
-Quickstart::
+Quickstart (the blessed surface lives in :mod:`repro.api`)::
 
-    from repro import PatEx, mine, preprocess
+    import repro
 
-    dictionary, database = preprocess(raw_sequences, hierarchy)
-    result = mine(database, dictionary, "(A)[(.^)|.]*(b)", sigma=2, algorithm="dseq")
-    print(result.decoded(dictionary))
+    corpus = repro.Corpus.from_gid_sequences(raw_sequences)
+    result = repro.api.mine(corpus, "(A)[(.^)|.]*(b)", sigma=2, algorithm="dseq")
+    print(result.decoded(corpus.dictionary))
+
+For mining as a service — attach once, query many times, results cached —
+use a session (:class:`repro.api.LocalSession` in-process, or
+:func:`repro.connect` against a ``repro serve`` daemon)::
+
+    with repro.LocalSession() as session:
+        session.attach_corpus("demo", corpus)
+        session.mine("demo", "(A)[(.^)|.]*(b)", sigma=2)
+        session.top_k("demo", "(A)[(.^)|.]*(b)", k=5)
 """
 
 from repro.core import (
@@ -50,6 +59,11 @@ from repro.mapreduce import (
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase, preprocess
 
+# The blessed public facade (imported last: repro.api composes the above).
+from repro import api  # noqa: E402
+from repro.api import Corpus, LocalSession, ServiceSession, Session, connect
+from repro.errors import CorpusNotAttachedError, QueryTimeoutError, ServiceError
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -57,6 +71,8 @@ __all__ = [
     "CandidateExplosionError",
     "CompiledFst",
     "ClusterConfig",
+    "Corpus",
+    "CorpusNotAttachedError",
     "DCandMiner",
     "DSeqMiner",
     "DesqDfsMiner",
@@ -64,19 +80,26 @@ __all__ = [
     "DictionaryBuilder",
     "Hierarchy",
     "KERNELS",
+    "LocalSession",
     "MiningError",
     "MiningResult",
     "NaiveMiner",
     "PatEx",
     "PatExSyntaxError",
     "ProcessPoolCluster",
+    "QueryTimeoutError",
     "ReproError",
     "SemiNaiveMiner",
     "SequenceDatabase",
+    "ServiceError",
+    "ServiceSession",
+    "Session",
     "SimulatedCluster",
     "ThreadPoolCluster",
     "__version__",
+    "api",
     "build_dictionary",
+    "connect",
     "make_cluster",
     "make_kernel",
     "mine",

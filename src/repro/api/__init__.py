@@ -1,0 +1,47 @@
+"""The blessed public API of the reproduction.
+
+One entry point for all seven miners, and one session facade for
+mining-as-a-service::
+
+    import repro.api
+
+    corpus = repro.api.Corpus.from_gid_sequences([["a", "b"], ["a", "c", "b"]])
+
+    # Sessionless: one unified signature for every algorithm.
+    result = repro.api.mine(corpus, "(a).*(b)", sigma=2, algorithm="dseq")
+
+    # Warm session: attach once, query many times, results cached.
+    with repro.api.LocalSession() as session:
+        session.attach_corpus("demo", corpus)
+        session.mine("demo", "(a).*(b)", sigma=2)          # cold
+        session.mine("demo", "(a).*(b)", sigma=2)          # served from cache
+        session.top_k("demo", "(a).*(b)", k=3)             # early-terminating
+
+    # Same facade against a ``repro serve`` daemon, byte-identical results.
+    with repro.api.connect(port=9043) as session:
+        ...
+"""
+
+from repro.api.client import ServiceSession, connect
+from repro.api.corpus import Corpus, as_corpus
+from repro.api.session import (
+    ALGORITHMS,
+    CorpusInfo,
+    LocalSession,
+    Session,
+    canonical_algorithm,
+    mine,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "Corpus",
+    "CorpusInfo",
+    "LocalSession",
+    "ServiceSession",
+    "Session",
+    "as_corpus",
+    "canonical_algorithm",
+    "connect",
+    "mine",
+]

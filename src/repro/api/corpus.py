@@ -1,0 +1,87 @@
+"""The corpus value object of the public API: data plus vocabulary, hashed.
+
+Every query in :mod:`repro.api` runs against a :class:`Corpus` — one
+:class:`~repro.sequences.database.SequenceDatabase` paired with the
+:class:`~repro.dictionary.dictionary.Dictionary` that encodes it.  The pair
+is what the paper's preprocessing step produces, what every miner consumes,
+and what the service layer attaches once and mines many times; its
+:meth:`Corpus.content_hash` (store block digest + dictionary fingerprint) is
+the corpus component of the query-cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.dictionary import Dictionary, Hierarchy
+from repro.errors import MiningError
+from repro.sequences import SequenceDatabase
+
+
+@dataclass(frozen=True)
+class Corpus:
+    """An immutable (database, dictionary) pair — the unit queries run on.
+
+    Example::
+
+        corpus = Corpus.from_gid_sequences([["a", "b"], ["a", "c", "b"]])
+        result = repro.api.mine(corpus, "(a).*(b)", sigma=2)
+    """
+
+    database: SequenceDatabase
+    dictionary: Dictionary
+
+    @classmethod
+    def from_gid_sequences(
+        cls,
+        raw_sequences: Iterable[Sequence[str]],
+        hierarchy: Hierarchy | None = None,
+    ) -> "Corpus":
+        """Run the paper's preprocessing step: build the f-list and encode."""
+        from repro.sequences import preprocess
+
+        dictionary, database = preprocess(raw_sequences, hierarchy)
+        return cls(database, dictionary)
+
+    def content_hash(self) -> str:
+        """SHA-1 digest of the corpus content: sequences *and* vocabulary.
+
+        Combines the encoded store's block digest with the dictionary's
+        content fingerprint, so appending sequences — or re-encoding through
+        a different dictionary — changes the hash (and thereby cold-starts
+        cached queries keyed on it).
+        """
+        digest = hashlib.sha1(self.database.content_hash().encode("ascii"))
+        digest.update(self.dictionary.content_fingerprint())
+        return digest.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.database)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Corpus(sequences={len(self.database)}, items={len(self.dictionary)})"
+
+
+def as_corpus(value) -> Corpus:
+    """Coerce the public API's ``corpus`` argument to a :class:`Corpus`.
+
+    Accepts a :class:`Corpus`, or a 2-tuple holding one
+    :class:`~repro.sequences.database.SequenceDatabase` and one
+    :class:`~repro.dictionary.dictionary.Dictionary` in either order (so both
+    ``(database, dictionary)`` and :func:`~repro.sequences.preprocess`'s
+    ``(dictionary, database)`` work verbatim).
+    """
+    if isinstance(value, Corpus):
+        return value
+    if isinstance(value, tuple) and len(value) == 2:
+        first, second = value
+        if isinstance(first, SequenceDatabase) and isinstance(second, Dictionary):
+            return Corpus(first, second)
+        if isinstance(first, Dictionary) and isinstance(second, SequenceDatabase):
+            return Corpus(second, first)
+    raise MiningError(
+        "expected a Corpus or a (database, dictionary) pair, "
+        f"got {type(value).__name__}"
+    )

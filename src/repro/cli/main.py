@@ -7,12 +7,23 @@ import sys
 from collections.abc import Sequence
 
 from repro import __version__
-from repro.cli import constraints_cmd, convert, experiment, generate, inspect_cmd, mine_cmd, stats
+from repro.cli import (
+    constraints_cmd,
+    convert,
+    experiment,
+    generate,
+    inspect_cmd,
+    mine_cmd,
+    serve_cmd,
+    stats,
+)
 from repro.cli.common import CliError
 from repro.errors import ReproError
 
 #: Modules providing one subcommand each (ordered as shown in --help).
-_SUBCOMMANDS = (generate, stats, mine_cmd, inspect_cmd, constraints_cmd, convert, experiment)
+_SUBCOMMANDS = (
+    generate, stats, mine_cmd, inspect_cmd, constraints_cmd, convert, experiment, serve_cmd,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -1,0 +1,105 @@
+"""``repro serve``: run the warm mining daemon."""
+
+from __future__ import annotations
+
+from argparse import Namespace
+from pathlib import Path
+
+
+def add_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the mining daemon (warm corpora + query cache over a socket)",
+        description=(
+            "Start a long-lived mining service.  Corpora stay attached, "
+            "compiled kernels stay interned, and finished queries are served "
+            "from a bounded LRU cache.  Clients connect with "
+            "repro.api.connect(host, port) and use the same Session facade "
+            "as the in-process library path; results are byte-identical."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: loopback)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=9043,
+        help="port to bind; 0 picks an ephemeral port (default: 9043)",
+    )
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on cached query results (default: 256; 0 disables caching)",
+    )
+    parser.add_argument(
+        "--attach",
+        action="append",
+        default=[],
+        metavar="NAME=FILE",
+        help=(
+            "pre-attach a corpus from a sequence file (text/.jsonl, "
+            "optionally .gz); repeatable"
+        ),
+    )
+    parser.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after serving N connections (used by tests and smoke runs)",
+    )
+    parser.set_defaults(run=run)
+
+
+def _attach_startup_corpora(server, specs, stream) -> None:
+    from repro.api.corpus import Corpus
+    from repro.cli.common import CliError
+    from repro.sequences import load_sequences, preprocess
+
+    for spec in specs:
+        name, separator, file_name = spec.partition("=")
+        if not separator or not name or not file_name:
+            raise CliError(f"--attach expects NAME=FILE, got {spec!r}")
+        path = Path(file_name)
+        if not path.exists():
+            raise CliError(f"sequence file not found: {path}")
+        raw = load_sequences(path, None)
+        if not raw:
+            raise CliError(f"no sequences found in {path}")
+        dictionary, database = preprocess(raw)
+        info = server.session.attach_corpus(name, Corpus(database, dictionary))
+        print(
+            f"attached corpus {info.name!r}: {info.sequences} sequences, "
+            f"{info.items} items ({info.content_hash[:12]})",
+            file=stream,
+            flush=True,
+        )
+
+
+def run(args: Namespace, stream) -> int:
+    from repro.service import MiningServer
+
+    with MiningServer(
+        host=args.host, port=args.port, max_cache_entries=args.cache_entries
+    ) as server:
+        _attach_startup_corpora(server, args.attach, stream)
+        host, port = server.address
+        # flush: the address line is how scripts (and tests) learn the port
+        print(f"mining service listening on {host}:{port}", file=stream, flush=True)
+        print(
+            f"connect with repro.api.connect(host={host!r}, port={port})",
+            file=stream,
+            flush=True,
+        )
+        try:
+            if args.max_requests is not None:
+                for _ in range(args.max_requests):
+                    server.handle_request()
+            else:
+                server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            print("shutting down", file=stream)
+    return 0

@@ -35,7 +35,14 @@ from repro.fst import (
     make_kernel,
     run_output_sets,
 )
-from repro.mapreduce import Cluster, ClusterConfig, MapReduceJob, resolve_cluster
+from repro.mapreduce import (
+    UNSET,
+    Cluster,
+    ClusterConfig,
+    MapReduceJob,
+    resolve_cluster,
+    resolve_legacy_substrate,
+)
 from repro.nfa import TrieBuilder, deserialize, serialize
 from repro.patex import PatEx
 from repro.sequences import (
@@ -162,10 +169,10 @@ class DCandMiner:
         miner = DCandMiner(patex, sigma=2, dictionary=dictionary)
         result = miner.mine(database)
 
-    The execution substrate is configured either through the legacy keyword
-    arguments (``backend=``, ``codec=``, ``spill_budget_bytes=``, ``kernel=``,
-    ``grid=``) or by passing one :class:`~repro.mapreduce.ClusterConfig` as
-    ``cluster=``.  ``dedup=False`` disables the corpus-level unique-sequence
+    The execution substrate is one :class:`~repro.mapreduce.ClusterConfig`
+    passed as ``cluster=``; the legacy ``backend=``/``codec=``/
+    ``spill_budget_bytes=`` keywords still work but are deprecated (they
+    warn; see the README's migration table).  ``dedup=False`` disables the corpus-level unique-sequence
     pass (the debugging reference: results are byte-identical either way).
     """
 
@@ -180,9 +187,9 @@ class DCandMiner:
         aggregate_nfas: bool = True,
         num_workers: int = 4,
         max_runs: int = DEFAULT_MAX_RUNS,
-        backend: str | Cluster = "simulated",
-        codec: str = "compact",
-        spill_budget_bytes: int | None = None,
+        backend: str | Cluster = UNSET,
+        codec: str = UNSET,
+        spill_budget_bytes: int | None = UNSET,
         kernel: str | None = None,
         grid: str | None = None,
         dedup: bool = True,
@@ -197,10 +204,13 @@ class DCandMiner:
         self.dedup = dedup
         self.cluster = ClusterConfig.resolve(
             cluster,
-            backend=backend,
+            **resolve_legacy_substrate(
+                type(self).__name__,
+                backend=backend,
+                codec=codec,
+                spill_budget_bytes=spill_budget_bytes,
+            ),
             num_workers=num_workers,
-            codec=codec,
-            spill_budget_bytes=spill_budget_bytes,
             kernel=kernel,
             grid=grid,
         )

@@ -39,7 +39,14 @@ from repro.core.rewriting import rewrite_for_pivot
 from repro.dictionary import Dictionary
 from repro.errors import CandidateExplosionError
 from repro.fst import DEFAULT_MAX_RUNS, Fst, MiningKernel, ensure_kernel, make_kernel
-from repro.mapreduce import Cluster, ClusterConfig, MapReduceJob, resolve_cluster
+from repro.mapreduce import (
+    UNSET,
+    Cluster,
+    ClusterConfig,
+    MapReduceJob,
+    resolve_cluster,
+    resolve_legacy_substrate,
+)
 from repro.patex import PatEx
 from repro.sequences import (
     SequenceDatabase,
@@ -175,12 +182,12 @@ class DSeqMiner:
         miner = DSeqMiner(patex, sigma=2, dictionary=dictionary)
         result = miner.mine(database)
 
-    The execution substrate is configured either through the legacy keyword
-    arguments (``backend=``, ``codec=``, ``spill_budget_bytes=``, ``kernel=``,
-    ``grid=``) or by passing one :class:`~repro.mapreduce.ClusterConfig` as
-    ``cluster=`` (which then fully specifies the run).  ``dedup=False``
-    disables the corpus-level unique-sequence pass (the debugging reference:
-    results are byte-identical either way).
+    The execution substrate is one :class:`~repro.mapreduce.ClusterConfig`
+    passed as ``cluster=`` (which then fully specifies the run).  The legacy
+    ``backend=``/``codec=``/``spill_budget_bytes=`` keywords still work but
+    are deprecated (they warn; see the README's migration table).
+    ``dedup=False`` disables the corpus-level unique-sequence pass (the
+    debugging reference: results are byte-identical either way).
     """
 
     algorithm_name = "D-SEQ"
@@ -195,9 +202,9 @@ class DSeqMiner:
         use_early_stopping: bool = True,
         num_workers: int = 4,
         max_runs: int = DEFAULT_MAX_RUNS,
-        backend: str | Cluster = "simulated",
-        codec: str = "compact",
-        spill_budget_bytes: int | None = None,
+        backend: str | Cluster = UNSET,
+        codec: str = UNSET,
+        spill_budget_bytes: int | None = UNSET,
         kernel: str | None = None,
         grid: str | None = None,
         dedup: bool = True,
@@ -213,10 +220,13 @@ class DSeqMiner:
         self.dedup = dedup
         self.cluster = ClusterConfig.resolve(
             cluster,
-            backend=backend,
+            **resolve_legacy_substrate(
+                "DSeqMiner",
+                backend=backend,
+                codec=codec,
+                spill_budget_bytes=spill_budget_bytes,
+            ),
             num_workers=num_workers,
-            codec=codec,
-            spill_budget_bytes=spill_budget_bytes,
             kernel=kernel,
             grid=grid,
         )

@@ -26,7 +26,14 @@ from repro.fst import (
     generate_candidates,
     make_kernel,
 )
-from repro.mapreduce import Cluster, ClusterConfig, MapReduceJob, resolve_cluster
+from repro.mapreduce import (
+    UNSET,
+    Cluster,
+    ClusterConfig,
+    MapReduceJob,
+    resolve_cluster,
+    resolve_legacy_substrate,
+)
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase, as_mining_records, record_parts
 
@@ -99,9 +106,9 @@ class _SubsequenceBaselineMiner:
         num_workers: int = 4,
         max_candidates_per_sequence: int = DEFAULT_MAX_CANDIDATES,
         max_runs: int = DEFAULT_MAX_RUNS,
-        backend: str | Cluster = "simulated",
-        codec: str = "compact",
-        spill_budget_bytes: int | None = None,
+        backend: str | Cluster = UNSET,
+        codec: str = UNSET,
+        spill_budget_bytes: int | None = UNSET,
         kernel: str | None = None,
         grid: str | None = None,
         dedup: bool = True,
@@ -115,10 +122,13 @@ class _SubsequenceBaselineMiner:
         self.dedup = dedup
         self.cluster = ClusterConfig.resolve(
             cluster,
-            backend=backend,
+            **resolve_legacy_substrate(
+                type(self).__name__,
+                backend=backend,
+                codec=codec,
+                spill_budget_bytes=spill_budget_bytes,
+            ),
             num_workers=num_workers,
-            codec=codec,
-            spill_budget_bytes=spill_budget_bytes,
             kernel=kernel,
             grid=grid,
         )

@@ -59,3 +59,33 @@ class CandidateExplosionError(MiningError):
 
 class MapReduceError(ReproError):
     """Raised when a simulated MapReduce job fails."""
+
+
+class ServiceError(ReproError):
+    """Raised for mining-service failures (daemon, protocol, or client side).
+
+    Daemon-side failures travel over the wire as structured
+    ``{"type", "message"}`` payloads and are re-raised by the client as the
+    same exception type (see :mod:`repro.service.protocol`); unknown types
+    degrade to this base class.
+    """
+
+
+class CorpusNotAttachedError(ServiceError):
+    """Raised when a query names a corpus the session has not attached."""
+
+    def __init__(self, name: str, attached: "list[str] | None" = None) -> None:
+        known = "" if not attached else f"; attached corpora: {', '.join(sorted(attached))}"
+        super().__init__(f"no corpus named {name!r} is attached{known}")
+        self.name = name
+
+
+class QueryTimeoutError(ServiceError):
+    """Raised when a service query does not answer within the client timeout."""
+
+    def __init__(self, operation: str, timeout: float) -> None:
+        super().__init__(
+            f"service operation {operation!r} timed out after {timeout:g}s"
+        )
+        self.operation = operation
+        self.timeout = timeout

@@ -9,7 +9,7 @@ from repro.core import DCandMiner, DSeqMiner, NaiveMiner, SemiNaiveMiner
 from repro.datasets import Constraint
 from repro.dictionary import Dictionary
 from repro.errors import CandidateExplosionError, MiningError
-from repro.mapreduce import ClusterConfig
+from repro.mapreduce import UNSET, ClusterConfig, resolve_legacy_substrate
 from repro.sequences import SequenceDatabase
 from repro.sequential import (
     GapConstrainedMiner,
@@ -71,9 +71,9 @@ def build_miner(
     constraint: Constraint,
     dictionary: Dictionary,
     num_workers: int,
-    backend: str = "simulated",
-    codec: str = "compact",
-    spill_budget_bytes: int | None = None,
+    backend: str = UNSET,
+    codec: str = UNSET,
+    spill_budget_bytes: int | None = UNSET,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
@@ -81,25 +81,28 @@ def build_miner(
 ):
     """Instantiate a miner by algorithm name for the given constraint.
 
-    The execution substrate is one :class:`~repro.mapreduce.ClusterConfig` —
-    pass it as ``cluster`` (it then wins over the legacy ``backend`` /
-    ``codec`` / ``spill_budget_bytes`` keywords, which remain for
-    compatibility).  The sequential reference miners ignore the cluster
-    settings but honour the kernel choice.  ``max_runs`` / ``max_candidates``
-    override the per-sequence safety caps; by default the harness applies the
-    tighter :data:`OOM_MAX_RUNS` / :data:`OOM_MAX_CANDIDATES` to the
-    candidate-enumerating algorithms to emulate the paper's out-of-memory
-    failures.
+    The execution substrate is one :class:`~repro.mapreduce.ClusterConfig`
+    passed as ``cluster``.  The legacy ``backend`` / ``codec`` /
+    ``spill_budget_bytes`` keywords still work but are deprecated (they warn;
+    see the README's migration table).  The sequential reference miners
+    ignore the cluster settings but honour the kernel choice.  ``max_runs``
+    / ``max_candidates`` override the per-sequence safety caps; by default
+    the harness applies the tighter :data:`OOM_MAX_RUNS` /
+    :data:`OOM_MAX_CANDIDATES` to the candidate-enumerating algorithms to
+    emulate the paper's out-of-memory failures.
     """
     name = algorithm.lower()
     patex = constraint.expression
     sigma = constraint.sigma
     config = ClusterConfig.resolve(
         cluster,
-        backend=backend,
+        **resolve_legacy_substrate(
+            "build_miner",
+            backend=backend,
+            codec=codec,
+            spill_budget_bytes=spill_budget_bytes,
+        ),
         num_workers=num_workers,
-        codec=codec,
-        spill_budget_bytes=spill_budget_bytes,
     )
     if config.num_workers is None:
         config = config.merged(num_workers=num_workers)
@@ -157,9 +160,9 @@ def run_algorithm(
     database: SequenceDatabase,
     num_workers: int = 8,
     dataset_name: str | None = None,
-    backend: str = "simulated",
-    codec: str = "compact",
-    spill_budget_bytes: int | None = None,
+    backend: str = UNSET,
+    codec: str = UNSET,
+    spill_budget_bytes: int | None = UNSET,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
@@ -169,15 +172,24 @@ def run_algorithm(
 
     Candidate or run explosions (the reproduction's analogue of the paper's
     out-of-memory failures) are caught and reported as ``status="oom"``.
+    The legacy ``backend`` / ``codec`` / ``spill_budget_bytes`` keywords are
+    deprecated; pass ``cluster=ClusterConfig(...)``.
     """
-    if cluster is not None:
-        backend_label = (
-            cluster.backend
-            if isinstance(cluster.backend, str)
-            else getattr(cluster.backend, "backend_name", "cluster")
-        )
-    else:
-        backend_label = backend
+    config = ClusterConfig.resolve(
+        cluster,
+        **resolve_legacy_substrate(
+            "run_algorithm",
+            backend=backend,
+            codec=codec,
+            spill_budget_bytes=spill_budget_bytes,
+        ),
+        num_workers=num_workers,
+    )
+    backend_label = (
+        config.backend
+        if isinstance(config.backend, str)
+        else getattr(config.backend, "backend_name", "cluster")
+    )
     record = RunRecord(
         algorithm=algorithm,
         constraint=constraint.name,
@@ -186,8 +198,7 @@ def run_algorithm(
         backend=backend_label,
     )
     miner = build_miner(
-        algorithm, constraint, dictionary, num_workers, backend=backend,
-        codec=codec, spill_budget_bytes=spill_budget_bytes, cluster=cluster,
+        algorithm, constraint, dictionary, num_workers, cluster=config,
         max_runs=max_runs, max_candidates=max_candidates, **options,
     )
     started = time.perf_counter()
@@ -219,14 +230,28 @@ def run_comparison(
     database: SequenceDatabase,
     num_workers: int = 8,
     dataset_name: str | None = None,
-    backend: str = "simulated",
-    codec: str = "compact",
-    spill_budget_bytes: int | None = None,
+    backend: str = UNSET,
+    codec: str = UNSET,
+    spill_budget_bytes: int | None = UNSET,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
 ) -> list[RunRecord]:
-    """Run several algorithms on the same constraint and dataset."""
+    """Run several algorithms on the same constraint and dataset.
+
+    The legacy ``backend`` / ``codec`` / ``spill_budget_bytes`` keywords are
+    deprecated; pass ``cluster=ClusterConfig(...)``.
+    """
+    config = ClusterConfig.resolve(
+        cluster,
+        **resolve_legacy_substrate(
+            "run_comparison",
+            backend=backend,
+            codec=codec,
+            spill_budget_bytes=spill_budget_bytes,
+        ),
+        num_workers=num_workers,
+    )
     return [
         run_algorithm(
             algorithm,
@@ -235,10 +260,7 @@ def run_comparison(
             database,
             num_workers=num_workers,
             dataset_name=dataset_name,
-            backend=backend,
-            codec=codec,
-            spill_budget_bytes=spill_budget_bytes,
-            cluster=cluster,
+            cluster=config,
             max_runs=max_runs,
             max_candidates=max_candidates,
         )

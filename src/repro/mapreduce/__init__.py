@@ -19,9 +19,11 @@ from repro.mapreduce.base import Cluster, JobResult, StageDriverCluster
 from repro.mapreduce.engine import SimulatedCluster, run_job
 from repro.mapreduce.factory import (
     BACKENDS,
+    UNSET,
     ClusterConfig,
     make_cluster,
     resolve_cluster,
+    resolve_legacy_substrate,
 )
 from repro.mapreduce.job import MapReduceJob, iter_map_output, stable_hash
 from repro.mapreduce.metrics import JobMetrics
@@ -58,12 +60,14 @@ __all__ = [
     "SimulatedCluster",
     "StageDriverCluster",
     "ThreadPoolCluster",
+    "UNSET",
     "WireFragment",
     "iter_map_output",
     "make_cluster",
     "make_codec",
     "merge_fragments",
     "resolve_cluster",
+    "resolve_legacy_substrate",
     "run_job",
     "run_map_task",
     "run_reduce_task",

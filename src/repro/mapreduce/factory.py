@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
 from repro.errors import MapReduceError
@@ -42,6 +43,49 @@ _CLUSTER_CLASSES = {
     "processes": ProcessPoolCluster,
     "persistent-processes": PersistentProcessPoolCluster,
 }
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from an explicit None/default."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+#: Sentinel default for the deprecated ``backend=``/``codec=``/
+#: ``spill_budget_bytes=`` keywords, so passing them explicitly (even with the
+#: old default value) is detectable and can warn.
+UNSET = _Unset()
+
+#: The historic defaults of the legacy substrate keywords.
+_LEGACY_DEFAULTS = {"backend": "simulated", "codec": "compact", "spill_budget_bytes": None}
+
+
+def resolve_legacy_substrate(owner: str, *, stacklevel: int = 3, **passed) -> dict:
+    """Resolve the deprecated ``backend``/``codec``/``spill_budget_bytes`` keywords.
+
+    ``passed`` holds the raw keyword values (:data:`UNSET` when the caller did
+    not pass them).  Every explicitly-passed keyword emits a
+    :class:`DeprecationWarning` naming ``owner`` and the
+    :class:`ClusterConfig` replacement; the returned dict always contains all
+    three keys with either the passed value or the historic default, ready to
+    feed :meth:`ClusterConfig.resolve`.
+    """
+    resolved = {}
+    for keyword, default in _LEGACY_DEFAULTS.items():
+        value = passed.get(keyword, UNSET)
+        if value is UNSET:
+            resolved[keyword] = default
+            continue
+        warnings.warn(
+            f"the {keyword}= keyword of {owner} is deprecated; pass "
+            f"cluster=ClusterConfig({keyword}=...) instead (see the README's "
+            "legacy-kwarg migration table)",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        resolved[keyword] = value
+    return resolved
 
 
 @dataclass(frozen=True)
@@ -129,6 +173,33 @@ class ClusterConfig:
     def build(self) -> Cluster:
         """Build (or pass through) the execution backend for this config."""
         return resolve_cluster(self)
+
+    def fingerprint(self) -> str:
+        """A stable string identifying this execution substrate.
+
+        Used (with the corpus content hash, constraint, σ, and algorithm) as
+        part of the service-layer query-cache key: two configs with the same
+        fingerprint run queries on an equivalent substrate.  Patterns are
+        backend-independent (the differential matrix proves it), but the
+        cached :class:`~repro.mapreduce.metrics.JobMetrics` are not — so each
+        distinct substrate caches its own entry.  Ready-made cluster
+        instances fingerprint by class name and their declared knobs.
+        """
+        backend = self.backend
+        if not isinstance(backend, str):
+            backend = type(backend).__name__
+        codec = self.codec if isinstance(self.codec, str) else type(self.codec).__name__
+        parts = (
+            backend,
+            self.num_workers,
+            self.num_reduce_tasks,
+            self.measure_shuffle,
+            codec,
+            self.spill_budget_bytes,
+            self.kernel_name,
+            self.grid_name,
+        )
+        return "|".join(str(part) for part in parts)
 
 
 def make_cluster(

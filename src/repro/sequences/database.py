@@ -107,6 +107,14 @@ class SequenceDatabase:
         self._store = (len(self._sequences), store)
         return store
 
+    def content_hash(self) -> str:
+        """Content digest of the current sequences (via the encoded store).
+
+        Appending changes the digest on the next call, which is what lets the
+        service layer detect that a re-attached corpus has new data.
+        """
+        return self.encoded_store().content_hash()
+
     # ------------------------------------------------------------------ tools
     def sample(self, fraction: float, seed: int = 0) -> "SequenceDatabase":
         """Return a random sample containing ``fraction`` of the sequences.

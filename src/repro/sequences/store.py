@@ -164,6 +164,7 @@ class EncodedSequenceStore(Sequence):
         self._count = count
         self._owner = owner
         self._unique: "EncodedSequenceStore | None" = None
+        self._content_hash: str | None = None
 
     # ----------------------------------------------------------- construction
     @classmethod
@@ -308,6 +309,21 @@ class EncodedSequenceStore(Sequence):
     def nbytes(self) -> int:
         """Size of the packed block in bytes."""
         return len(self._block)
+
+    def content_hash(self) -> str:
+        """SHA-1 hex digest of the packed block.
+
+        Two stores hash equal exactly when they hold the same records (same
+        sequences, same order, same weights): the block layout is canonical.
+        The service layer keys its query cache on this digest, so appending
+        to a corpus and re-attaching it changes the key and cold-starts the
+        affected queries.  Computed once and cached.
+        """
+        if self._content_hash is None:
+            import hashlib
+
+            self._content_hash = hashlib.sha1(self._block).hexdigest()
+        return self._content_hash
 
     def __reduce__(self):
         # Pickling ships the flat block (what a generic backend would pay to

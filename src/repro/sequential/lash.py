@@ -20,7 +20,14 @@ from collections.abc import Iterable, Sequence
 from repro.core.results import MiningResult
 from repro.dictionary import Dictionary
 from repro.errors import MiningError
-from repro.mapreduce import Cluster, ClusterConfig, MapReduceJob, resolve_cluster
+from repro.mapreduce import (
+    UNSET,
+    Cluster,
+    ClusterConfig,
+    MapReduceJob,
+    resolve_cluster,
+    resolve_legacy_substrate,
+)
 from repro.sequences import (
     SequenceDatabase,
     as_mining_records,
@@ -216,9 +223,9 @@ class GapConstrainedMiner:
         min_length: int = 2,
         use_hierarchy: bool = True,
         num_workers: int = 4,
-        backend: str | Cluster = "simulated",
-        codec: str = "compact",
-        spill_budget_bytes: int | None = None,
+        backend: str | Cluster = UNSET,
+        codec: str = UNSET,
+        spill_budget_bytes: int | None = UNSET,
         kernel: str | None = None,
         grid: str | None = None,
         dedup: bool = True,
@@ -242,10 +249,13 @@ class GapConstrainedMiner:
         # input sequence.
         self.cluster = ClusterConfig.resolve(
             cluster,
-            backend=backend,
+            **resolve_legacy_substrate(
+                type(self).__name__,
+                backend=backend,
+                codec=codec,
+                spill_budget_bytes=spill_budget_bytes,
+            ),
             num_workers=num_workers,
-            codec=codec,
-            spill_budget_bytes=spill_budget_bytes,
             kernel=kernel,
             grid=grid,
         )

@@ -1,0 +1,119 @@
+"""Bounded LRU cache of finished mining results.
+
+The cache is the service layer's second amortization tier: the first tier
+(attached stores, interned compiled kernels, warm grid memos) makes *cold*
+queries cheap to start, this one makes *repeated* queries free.  Keys are
+opaque hashable tuples built by the session layer — content-addressed, so a
+corpus re-attached with new data simply stops matching its old entries (no
+explicit invalidation protocol is needed; the bounded LRU ages them out).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A snapshot of one :class:`QueryCache`'s counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    max_entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "max_entries": self.max_entries,
+            "hit_rate": self.hit_rate,
+        }
+
+
+#: Default bound on cached results per session/daemon.
+DEFAULT_MAX_ENTRIES = 256
+
+
+class QueryCache:
+    """A thread-safe bounded LRU mapping query keys to finished results.
+
+    ``max_entries=0`` disables caching (every lookup is a miss); the counters
+    still track traffic so hit-rate reporting stays meaningful.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable):
+        """The cached value for ``key`` (refreshing its recency), else None."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return None
+
+    def put(self, key: Hashable, value) -> None:
+        """Store ``value``, evicting least-recently-used entries past the bound."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry (counters keep accumulating); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def info(self) -> CacheInfo:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                max_entries=self.max_entries,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        info = self.info()
+        return (
+            f"QueryCache(entries={info.entries}/{info.max_entries}, "
+            f"hits={info.hits}, misses={info.misses})"
+        )

@@ -1,0 +1,334 @@
+"""The redesigned public API: unified mine(), sessions, cache, deprecations."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api
+from repro.api.session import canonical_algorithm, constraint_token, resolve_constraint
+from repro.core import DCandMiner, DSeqMiner, NaiveMiner, SemiNaiveMiner
+from repro.datasets import constraint as make_constraint
+from repro.errors import CorpusNotAttachedError, MiningError
+from repro.experiments.harness import build_miner, run_algorithm
+from repro.mapreduce import ClusterConfig
+from repro.sequential import GapConstrainedMiner
+
+from tests.conftest import RUNNING_EXAMPLE_PATEX
+
+SIGMA = 2
+
+#: The five cluster miners of the unified entry point (lash covers mg-fsm).
+CLUSTER_ALGORITHMS = ("dseq", "dcand", "naive", "semi-naive", "lash")
+
+
+@pytest.fixture()
+def ex_corpus(ex_database, ex_dictionary):
+    return repro.Corpus(ex_database, ex_dictionary)
+
+
+# ------------------------------------------------------------------ Corpus
+class TestCorpus:
+    def test_from_gid_sequences_runs_preprocessing(self):
+        corpus = repro.Corpus.from_gid_sequences([["a", "b"], ["a", "c", "b"]])
+        assert len(corpus) == 2
+        assert len(corpus.dictionary) == 3
+
+    def test_content_hash_changes_with_data(self, ex_dictionary):
+        first = repro.Corpus.from_gid_sequences([["a", "b"]])
+        second = repro.Corpus.from_gid_sequences([["a", "b"], ["b", "a"]])
+        assert first.content_hash() != second.content_hash()
+
+    def test_content_hash_covers_the_dictionary(self, ex_database, ex_dictionary):
+        other = repro.Corpus.from_gid_sequences([["x", "y"]])
+        ours = repro.Corpus(ex_database, ex_dictionary)
+        assert ours.content_hash() != other.content_hash()
+
+    def test_as_corpus_accepts_pairs_in_either_order(self, ex_database, ex_dictionary):
+        from repro.api import as_corpus
+
+        a = as_corpus((ex_database, ex_dictionary))
+        b = as_corpus((ex_dictionary, ex_database))
+        assert a.database is b.database is ex_database
+        assert a.dictionary is b.dictionary is ex_dictionary
+
+    def test_as_corpus_rejects_junk(self):
+        from repro.api import as_corpus
+
+        with pytest.raises(MiningError):
+            as_corpus("not a corpus")
+
+
+# -------------------------------------------------------------- unified mine
+class TestUnifiedMine:
+    def test_matches_direct_miner_for_every_fst_algorithm(self, ex_corpus):
+        classes = {
+            "dseq": DSeqMiner,
+            "dcand": DCandMiner,
+            "naive": NaiveMiner,
+            "semi-naive": SemiNaiveMiner,
+        }
+        for name, miner_class in classes.items():
+            unified = repro.api.mine(
+                ex_corpus, RUNNING_EXAMPLE_PATEX, sigma=SIGMA, algorithm=name
+            )
+            direct = miner_class(
+                RUNNING_EXAMPLE_PATEX, SIGMA, ex_corpus.dictionary
+            ).mine(ex_corpus.database)
+            assert unified.same_patterns_as(direct), name
+
+    def test_matches_direct_gap_miner(self, ex_corpus):
+        unified = repro.api.mine(
+            ex_corpus,
+            {"max_gap": 1, "max_length": 3},
+            sigma=SIGMA,
+            algorithm="lash",
+        )
+        direct = GapConstrainedMiner(
+            SIGMA, ex_corpus.dictionary, max_gap=1, max_length=3
+        ).mine(ex_corpus.database)
+        assert unified.same_patterns_as(direct)
+
+    def test_sequential_algorithms(self, ex_corpus):
+        dfs = repro.api.mine(
+            ex_corpus, RUNNING_EXAMPLE_PATEX, sigma=SIGMA, algorithm="desq-dfs"
+        )
+        count = repro.api.mine(
+            ex_corpus, RUNNING_EXAMPLE_PATEX, sigma=SIGMA, algorithm="desq-count"
+        )
+        assert dfs.same_patterns_as(count)
+        assert len(dfs) > 0
+
+    def test_accepts_catalogue_constraints_with_their_sigma(self, ex_corpus):
+        spec = make_constraint("T1", sigma=SIGMA, max_length=3)
+        result = repro.api.mine(ex_corpus, spec, algorithm="lash")
+        assert len(result) > 0
+
+    def test_accepts_database_dictionary_pair(self, ex_database, ex_dictionary):
+        result = repro.api.mine(
+            (ex_dictionary, ex_database), RUNNING_EXAMPLE_PATEX, sigma=SIGMA
+        )
+        assert len(result) > 0
+
+    def test_config_selects_the_substrate(self, ex_corpus):
+        result = repro.api.mine(
+            ex_corpus,
+            RUNNING_EXAMPLE_PATEX,
+            sigma=SIGMA,
+            config=ClusterConfig(num_workers=2),
+        )
+        assert result.metrics.num_workers == 2
+
+    def test_rejects_unknown_algorithm(self, ex_corpus):
+        with pytest.raises(MiningError, match="unknown algorithm"):
+            repro.api.mine(ex_corpus, "(b)", sigma=1, algorithm="quantum")
+
+    def test_requires_sigma(self, ex_corpus):
+        with pytest.raises(MiningError, match="sigma is required"):
+            repro.api.mine(ex_corpus, "(b)")
+
+    def test_fst_algorithms_reject_gap_constraints(self, ex_corpus):
+        with pytest.raises(MiningError, match="pattern-expression"):
+            repro.api.mine(ex_corpus, {"max_gap": 1}, sigma=1, algorithm="dseq")
+
+    def test_canonical_algorithm_spellings(self):
+        assert canonical_algorithm("D-SEQ") == "dseq"
+        assert canonical_algorithm("SemiNaive") == "semi-naive"
+        assert canonical_algorithm("mgfsm") == "mg-fsm"
+
+    def test_constraint_resolution_prefers_explicit_sigma(self):
+        spec = make_constraint("N1", sigma=100)
+        _, _, sigma = resolve_constraint(spec, 7)
+        assert sigma == 7
+        _, _, sigma = resolve_constraint(spec, None)
+        assert sigma == 100
+
+    def test_constraint_token_is_order_insensitive_for_gap_dicts(self):
+        a = constraint_token(None, {"max_gap": 2, "max_length": 4})
+        b = constraint_token(None, {"max_length": 4, "max_gap": 2})
+        assert a == b
+
+
+# ---------------------------------------------------------------- sessions
+class TestLocalSession:
+    def test_mine_requires_an_attached_corpus(self, ex_corpus):
+        with repro.LocalSession() as session:
+            session.attach_corpus("ex", ex_corpus)
+            with pytest.raises(CorpusNotAttachedError) as excinfo:
+                session.mine("other", "(b)", sigma=1)
+            assert "ex" in str(excinfo.value)
+
+    def test_cold_then_hot(self, ex_corpus):
+        with repro.LocalSession() as session:
+            session.attach_corpus("ex", ex_corpus)
+            cold = session.mine("ex", RUNNING_EXAMPLE_PATEX, sigma=SIGMA)
+            assert session.last_query_cached is False
+            hot = session.mine("ex", RUNNING_EXAMPLE_PATEX, sigma=SIGMA)
+            assert session.last_query_cached is True
+            assert hot is cold  # the very same object, not a recomputation
+            info = session.cache_info()
+            assert (info.hits, info.misses, info.entries) == (1, 1, 1)
+
+    def test_cache_distinguishes_every_key_component(self, ex_corpus):
+        with repro.LocalSession() as session:
+            session.attach_corpus("ex", ex_corpus)
+            session.mine("ex", RUNNING_EXAMPLE_PATEX, sigma=SIGMA)
+            # different σ, algorithm, and config all miss
+            session.mine("ex", RUNNING_EXAMPLE_PATEX, sigma=SIGMA + 1)
+            session.mine("ex", RUNNING_EXAMPLE_PATEX, sigma=SIGMA, algorithm="dcand")
+            session.mine(
+                "ex",
+                RUNNING_EXAMPLE_PATEX,
+                sigma=SIGMA,
+                config=ClusterConfig(num_workers=2),
+            )
+            info = session.cache_info()
+            assert info.misses == 4
+            assert info.hits == 0
+
+    def test_reattach_after_append_cold_starts(self, ex_corpus, ex_dictionary):
+        from repro.sequences import SequenceDatabase
+
+        with repro.LocalSession() as session:
+            session.attach_corpus("ex", ex_corpus)
+            before = session.mine("ex", RUNNING_EXAMPLE_PATEX, sigma=SIGMA)
+            grown = SequenceDatabase(list(ex_corpus.database))
+            grown.append(ex_dictionary.encode(["a1", "b"]))
+            session.attach_corpus("ex", repro.Corpus(grown, ex_dictionary))
+            after = session.mine("ex", RUNNING_EXAMPLE_PATEX, sigma=SIGMA)
+            assert session.last_query_cached is False  # content hash changed
+            assert not after.same_patterns_as(before)
+
+    def test_sweep_shares_compiled_patexes(self, ex_corpus):
+        with repro.LocalSession() as session:
+            session.attach_corpus("ex", ex_corpus)
+            expressions = [RUNNING_EXAMPLE_PATEX, ".*(b).*", RUNNING_EXAMPLE_PATEX]
+            results = session.sweep("ex", expressions, sigma=SIGMA)
+            assert len(results) == 3
+            assert results[0].same_patterns_as(results[2])
+            assert len(session._patexes) == 2  # one PatEx per distinct expression
+            assert session.cache_info().hits == 1  # the repeated expression
+
+    def test_detach_and_corpora_listing(self, ex_corpus):
+        with repro.LocalSession() as session:
+            info = session.attach_corpus("ex", ex_corpus)
+            assert info.sequences == len(ex_corpus.database)
+            assert info.content_hash == ex_corpus.content_hash()
+            assert set(session.corpora()) == {"ex"}
+            session.detach_corpus("ex")
+            assert session.corpora() == {}
+            with pytest.raises(CorpusNotAttachedError):
+                session.detach_corpus("ex")
+
+    def test_clear_cache(self, ex_corpus):
+        with repro.LocalSession() as session:
+            session.attach_corpus("ex", ex_corpus)
+            session.mine("ex", RUNNING_EXAMPLE_PATEX, sigma=SIGMA)
+            assert session.clear_cache() == 1
+            session.mine("ex", RUNNING_EXAMPLE_PATEX, sigma=SIGMA)
+            assert session.last_query_cached is False
+
+
+class TestTopK:
+    def test_matches_full_mine(self, ex_corpus):
+        with repro.LocalSession() as session:
+            session.attach_corpus("ex", ex_corpus)
+            full = session.mine("ex", RUNNING_EXAMPLE_PATEX, sigma=1)
+            for k in (1, 2, len(full), len(full) + 10):
+                ranked = session.top_k("ex", RUNNING_EXAMPLE_PATEX, k=k)
+                assert ranked == full.sorted_patterns()[:k], k
+
+    def test_early_termination_skips_low_sigma_mines(self, ex_corpus):
+        with repro.LocalSession() as session:
+            session.attach_corpus("ex", ex_corpus)
+            session.top_k("ex", ".*(b).*", k=1)
+            # (b) has support 5 = |database|, so the very first probe (σ=5)
+            # already yields one pattern: exactly one query ran.
+            info = session.cache_info()
+            assert info.misses == 1
+
+    def test_respects_the_sigma_floor(self, ex_corpus):
+        with repro.LocalSession() as session:
+            session.attach_corpus("ex", ex_corpus)
+            ranked = session.top_k("ex", RUNNING_EXAMPLE_PATEX, k=100, sigma=3)
+            assert ranked  # something frequent exists
+            assert all(frequency >= 3 for _, frequency in ranked)
+
+    def test_rejects_bad_arguments(self, ex_corpus):
+        with repro.LocalSession() as session:
+            session.attach_corpus("ex", ex_corpus)
+            with pytest.raises(MiningError):
+                session.top_k("ex", "(b)", k=0)
+            with pytest.raises(MiningError):
+                session.top_k("ex", "(b)", k=1, sigma=0)
+
+
+# ------------------------------------------------------------- deprecations
+class TestLegacyKwargDeprecation:
+    def test_miners_warn_on_backend_kwarg(self, ex_dictionary):
+        for miner_class in (DSeqMiner, DCandMiner, NaiveMiner, SemiNaiveMiner):
+            with pytest.warns(DeprecationWarning, match="backend= keyword"):
+                miner_class(
+                    RUNNING_EXAMPLE_PATEX, SIGMA, ex_dictionary, backend="simulated"
+                )
+
+    def test_gap_miner_warns_on_backend_kwarg(self, ex_dictionary):
+        with pytest.warns(DeprecationWarning, match="backend= keyword"):
+            GapConstrainedMiner(
+                SIGMA, ex_dictionary, max_gap=1, max_length=3, backend="simulated"
+            )
+
+    def test_miners_warn_on_codec_and_spill_kwargs(self, ex_dictionary):
+        with pytest.warns(DeprecationWarning, match="codec= keyword"):
+            DSeqMiner(RUNNING_EXAMPLE_PATEX, SIGMA, ex_dictionary, codec="pickle")
+        with pytest.warns(DeprecationWarning, match="spill_budget_bytes= keyword"):
+            DSeqMiner(
+                RUNNING_EXAMPLE_PATEX, SIGMA, ex_dictionary, spill_budget_bytes=1 << 20
+            )
+
+    def test_harness_warns_once_per_call(self, ex_database, ex_dictionary):
+        spec = make_constraint("N5", sigma=SIGMA)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_algorithm(
+                "dseq", spec, ex_dictionary, ex_database,
+                num_workers=2, backend="simulated",
+            )
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1  # run_algorithm warns; build_miner must not
+
+    def test_cluster_config_path_is_warning_free(self, ex_database, ex_dictionary):
+        spec = make_constraint("N5", sigma=SIGMA)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            DSeqMiner(
+                RUNNING_EXAMPLE_PATEX, SIGMA, ex_dictionary,
+                cluster=ClusterConfig(backend="simulated"),
+            )
+            build_miner("dseq", spec, ex_dictionary, 2, cluster=ClusterConfig())
+            run_algorithm(
+                "dseq", spec, ex_dictionary, ex_database,
+                num_workers=2, cluster=ClusterConfig(),
+            )
+
+    def test_legacy_kwargs_still_work(self, ex_database, ex_dictionary):
+        with pytest.warns(DeprecationWarning):
+            legacy = DSeqMiner(
+                RUNNING_EXAMPLE_PATEX, SIGMA, ex_dictionary, codec="pickle"
+            )
+        assert legacy.cluster.codec == "pickle"
+
+
+class TestConfigFingerprint:
+    def test_equal_configs_share_a_fingerprint(self):
+        assert ClusterConfig().fingerprint() == ClusterConfig().fingerprint()
+
+    def test_each_field_changes_the_fingerprint(self):
+        base = ClusterConfig().fingerprint()
+        assert ClusterConfig(backend="threads").fingerprint() != base
+        assert ClusterConfig(num_workers=3).fingerprint() != base
+        assert ClusterConfig(codec="zlib").fingerprint() != base
+        assert ClusterConfig(kernel="interpreted").fingerprint() != base
+        assert ClusterConfig(grid="legacy").fingerprint() != base
