@@ -119,6 +119,25 @@ def add_grid_argument(parser: ArgumentParser) -> None:
     )
 
 
+def add_partitioner_argument(parser: ArgumentParser) -> None:
+    """``--partitioner``: hash vs skew-aware planned reduce partitioning."""
+    from repro.mapreduce import DEFAULT_PARTITIONER, PARTITIONERS
+
+    parser.add_argument(
+        "--partitioner",
+        choices=PARTITIONERS,
+        default=DEFAULT_PARTITIONER,
+        help=(
+            "reduce-bucket assignment: 'hash' routes each pivot by a stable "
+            "hash (the reference), 'planned' estimates per-pivot shuffle "
+            "loads from a map pass and bin-packs pivots onto buckets "
+            "largest-first so no hash collision stacks heavy pivots into one "
+            "straggler bucket; patterns are byte-identical either way "
+            f"(default: {DEFAULT_PARTITIONER})"
+        ),
+    )
+
+
 def add_cap_arguments(parser: ArgumentParser) -> None:
     """``--max-runs`` / ``--max-candidates``: per-sequence safety caps."""
     parser.add_argument(
@@ -156,6 +175,7 @@ def cluster_config_from_args(args: Namespace, num_workers: int | None = None):
         spill_budget_bytes=parse_byte_size(args.spill_budget),
         kernel=getattr(args, "kernel", None),
         grid=getattr(args, "grid", None),
+        partitioner=getattr(args, "partitioner", None),
     )
 
 
@@ -302,5 +322,16 @@ def print_metrics(metrics, stream=None) -> None:
         stream.write(
             "map input shipping {:,} pickled bytes\n".format(
                 int(summary["map_input_pickle_bytes"])
+            )
+        )
+    if summary.get("partition_max_bytes"):
+        stream.write(
+            "partition balance ({} partitioner): max {:,} / mean {:,.0f} bytes, "
+            "imbalance {:.2f}, modeled straggler {:.4f}s\n".format(
+                summary.get("partitioner", "hash"),
+                int(summary["partition_max_bytes"]),
+                summary["partition_mean_bytes"],
+                summary["partition_imbalance"],
+                summary["modeled_straggler_seconds"],
             )
         )

@@ -10,6 +10,7 @@ from repro.cli.common import (
     add_cap_arguments,
     add_grid_argument,
     add_kernel_argument,
+    add_partitioner_argument,
     add_shuffle_arguments,
     cluster_config_from_args,
 )
@@ -88,6 +89,7 @@ def add_parser(subparsers) -> None:
     add_shuffle_arguments(parser)
     add_kernel_argument(parser)
     add_grid_argument(parser)
+    add_partitioner_argument(parser)
     add_cap_arguments(parser)
     parser.add_argument("--chart", action="store_true", help="also print an ASCII chart")
     parser.set_defaults(run=run)
@@ -148,6 +150,12 @@ def run(args: Namespace, stream=None) -> int:
             raise CliError(f"--kernel does not apply to {name} (it runs no mining jobs)")
         if args.grid != DEFAULT_GRID:
             raise CliError(f"--grid does not apply to {name} (it runs no mining jobs)")
+        from repro.mapreduce import DEFAULT_PARTITIONER
+
+        if args.partitioner != DEFAULT_PARTITIONER:
+            raise CliError(
+                f"--partitioner does not apply to {name} (it runs no mining jobs)"
+            )
         if args.max_runs is not None or args.max_candidates is not None:
             raise CliError(
                 f"--max-runs/--max-candidates do not apply to {name} "

@@ -11,6 +11,7 @@ from repro.cli.common import (
     add_grid_argument,
     add_input_arguments,
     add_kernel_argument,
+    add_partitioner_argument,
     add_shuffle_arguments,
     cluster_config_from_args,
     load_input,
@@ -84,6 +85,7 @@ def add_parser(subparsers) -> None:
     add_shuffle_arguments(parser)
     add_kernel_argument(parser)
     add_grid_argument(parser)
+    add_partitioner_argument(parser)
     add_cap_arguments(parser)
     parser.add_argument(
         "--output",
@@ -140,6 +142,13 @@ def run(args: Namespace, stream=None) -> int:
         if args.spill_budget is not None:
             raise CliError(
                 f"--spill-budget does not apply to the sequential {args.algorithm} miner"
+            )
+        from repro.mapreduce import DEFAULT_PARTITIONER
+
+        if args.partitioner != DEFAULT_PARTITIONER:
+            raise CliError(
+                f"--partitioner does not apply to the sequential {args.algorithm} "
+                "miner (it never shuffles)"
             )
     if args.max_runs is not None and args.algorithm not in _MAX_RUNS_ALGORITHMS:
         raise CliError(f"--max-runs does not apply to {args.algorithm}")

@@ -2,9 +2,13 @@
 
 from repro.core.balance import (
     PartitionBalance,
+    PartitionPlan,
     dcand_partition_balance,
     dseq_partition_balance,
+    estimate_partition_loads,
     measure_partition_balance,
+    plan_job_partitions,
+    plan_partitions,
 )
 from repro.core.dcand import DCandJob, DCandMiner
 from repro.core.dseq import DSeqJob, DSeqMiner
@@ -51,16 +55,20 @@ __all__ = [
     "NaiveMiner",
     "NfaLocalMiner",
     "PartitionBalance",
+    "PartitionPlan",
     "PositionStateGrid",
     "SemiNaiveMiner",
     "cached_grid",
     "dcand_partition_balance",
     "dseq_partition_balance",
+    "estimate_partition_loads",
     "make_grid",
     "measure_partition_balance",
     "group_candidates_by_pivot",
     "is_pivot_sequence",
     "mine",
+    "plan_job_partitions",
+    "plan_partitions",
     "normalize_grid",
     "pivot_item",
     "pivot_items",

@@ -192,6 +192,7 @@ class DCandMiner:
         spill_budget_bytes: int | None = UNSET,
         kernel: str | None = None,
         grid: str | None = None,
+        partitioner: str | None = None,
         dedup: bool = True,
         cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
@@ -213,6 +214,7 @@ class DCandMiner:
             num_workers=num_workers,
             kernel=kernel,
             grid=grid,
+            partitioner=partitioner,
         )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
@@ -227,6 +229,15 @@ class DCandMiner:
             max_runs=self.max_runs,
         )
         records = as_mining_records(database, dedup=self.dedup)
-        result = resolve_cluster(self.cluster).run(job, records)
+        cluster = resolve_cluster(self.cluster)
+        if self.cluster.partitioner_name == "planned":
+            # Deferred import: repro.core.balance imports this module's job.
+            from repro.core.balance import plan_job_partitions
+
+            job.partition_plan = plan_job_partitions(
+                job, records, cluster.num_reduce_tasks,
+                num_workers=cluster.num_workers,
+            )
+        result = cluster.run(job, records)
         patterns = dict(result.outputs)
         return MiningResult(patterns, result.metrics, algorithm=self.algorithm_name)

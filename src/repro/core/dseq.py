@@ -207,6 +207,7 @@ class DSeqMiner:
         spill_budget_bytes: int | None = UNSET,
         kernel: str | None = None,
         grid: str | None = None,
+        partitioner: str | None = None,
         dedup: bool = True,
         cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
@@ -229,6 +230,7 @@ class DSeqMiner:
             num_workers=num_workers,
             kernel=kernel,
             grid=grid,
+            partitioner=partitioner,
         )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
@@ -245,6 +247,15 @@ class DSeqMiner:
             grid=self.cluster.grid_name,
         )
         records = as_mining_records(database, dedup=self.dedup)
-        result = resolve_cluster(self.cluster).run(job, records)
+        cluster = resolve_cluster(self.cluster)
+        if self.cluster.partitioner_name == "planned":
+            # Deferred import: repro.core.balance imports this module's job.
+            from repro.core.balance import plan_job_partitions
+
+            job.partition_plan = plan_job_partitions(
+                job, records, cluster.num_reduce_tasks,
+                num_workers=cluster.num_workers,
+            )
+        result = cluster.run(job, records)
         patterns = dict(result.outputs)
         return MiningResult(patterns, result.metrics, algorithm=self.algorithm_name)

@@ -111,6 +111,7 @@ class _SubsequenceBaselineMiner:
         spill_budget_bytes: int | None = UNSET,
         kernel: str | None = None,
         grid: str | None = None,
+        partitioner: str | None = None,
         dedup: bool = True,
         cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
@@ -131,6 +132,7 @@ class _SubsequenceBaselineMiner:
             num_workers=num_workers,
             kernel=kernel,
             grid=grid,
+            partitioner=partitioner,
         )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
@@ -145,7 +147,16 @@ class _SubsequenceBaselineMiner:
             max_runs=self.max_runs,
         )
         records = as_mining_records(database, dedup=self.dedup)
-        result = resolve_cluster(self.cluster).run(job, records)
+        cluster = resolve_cluster(self.cluster)
+        if self.cluster.partitioner_name == "planned":
+            # Deferred import: repro.core.balance sits atop the core jobs.
+            from repro.core.balance import plan_job_partitions
+
+            job.partition_plan = plan_job_partitions(
+                job, records, cluster.num_reduce_tasks,
+                num_workers=cluster.num_workers,
+            )
+        result = cluster.run(job, records)
         return MiningResult(dict(result.outputs), result.metrics, self.algorithm_name)
 
 

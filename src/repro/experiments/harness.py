@@ -39,6 +39,11 @@ class RunRecord:
     input_pickle_bytes: int = 0
     num_patterns: int = 0
     num_workers: int = 1
+    partitioner: str = "hash"
+    partition_max_bytes: int = 0
+    partition_mean_bytes: float = 0.0
+    partition_imbalance: float = 1.0
+    modeled_straggler_seconds: float = 0.0
     extra: dict = field(default_factory=dict)
 
     def as_row(self) -> dict:
@@ -58,6 +63,22 @@ class RunRecord:
             "wire_bytes": self.wire_bytes,
             "input_pickle_bytes": self.input_pickle_bytes,
             "patterns": self.num_patterns,
+        }
+
+    def balance_row(self) -> dict:
+        # Reduce-partition balance of the run, for the BENCH "balance"
+        # sections; ``as_row`` stays untouched so the committed goldens and
+        # the CI byte-count baselines keep their exact historical shape.
+        return {
+            "algorithm": self.algorithm,
+            "constraint": self.constraint,
+            "dataset": self.dataset,
+            "partitioner": self.partitioner,
+            "shuffle_bytes": self.shuffle_bytes,
+            "partition_max_bytes": self.partition_max_bytes,
+            "partition_mean_bytes": round(self.partition_mean_bytes, 1),
+            "partition_imbalance": round(self.partition_imbalance, 3),
+            "modeled_straggler_s": round(self.modeled_straggler_seconds, 6),
         }
 
 
@@ -219,6 +240,11 @@ def run_algorithm(
     record.wire_bytes = metrics.wire_bytes
     record.spilled_buckets = metrics.spilled_buckets
     record.input_pickle_bytes = metrics.map_input_pickle_bytes
+    record.partitioner = metrics.partitioner
+    record.partition_max_bytes = metrics.partition_max_bytes
+    record.partition_mean_bytes = metrics.partition_mean_bytes
+    record.partition_imbalance = metrics.partition_imbalance
+    record.modeled_straggler_seconds = metrics.modeled_straggler_seconds
     record.num_patterns = len(result)
     return record
 

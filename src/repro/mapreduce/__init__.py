@@ -25,8 +25,15 @@ from repro.mapreduce.factory import (
     resolve_cluster,
     resolve_legacy_substrate,
 )
-from repro.mapreduce.job import MapReduceJob, iter_map_output, stable_hash
-from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.job import (
+    DEFAULT_PARTITIONER,
+    PARTITIONERS,
+    MapReduceJob,
+    iter_map_output,
+    normalize_partitioner,
+    stable_hash,
+)
+from repro.mapreduce.metrics import JobMetrics, lpt_worker_loads
 from repro.mapreduce.parallel import (
     PersistentProcessPoolCluster,
     ProcessPoolCluster,
@@ -49,6 +56,8 @@ __all__ = [
     "ClusterConfig",
     "Codec",
     "CompactCodec",
+    "DEFAULT_PARTITIONER",
+    "PARTITIONERS",
     "JobMetrics",
     "JobResult",
     "MapReduceJob",
@@ -63,9 +72,11 @@ __all__ = [
     "UNSET",
     "WireFragment",
     "iter_map_output",
+    "lpt_worker_loads",
     "make_cluster",
     "make_codec",
     "merge_fragments",
+    "normalize_partitioner",
     "resolve_cluster",
     "resolve_legacy_substrate",
     "run_job",

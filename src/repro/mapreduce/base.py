@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
 
 from repro.errors import MapReduceError
-from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.job import MapReduceJob, normalize_partitioner
 from repro.mapreduce.metrics import JobMetrics
 from repro.mapreduce.spill import WireFragment
 from repro.mapreduce.tasks import (
@@ -108,6 +108,13 @@ class StageDriverCluster:
     grid:
         The pivot-grid engine choice (``"flat"`` / ``"legacy"``), carried for
         the miners exactly like ``kernel``.
+    partitioner:
+        The reduce-partitioner choice (``"hash"`` / ``"planned"``), carried
+        for the miners exactly like ``kernel``: the cluster partitions with
+        whatever :meth:`~repro.mapreduce.job.MapReduceJob.partition` decides,
+        but a miner handed a ready-made cluster instance inherits this
+        setting and attaches a :class:`~repro.core.balance.PartitionPlan` to
+        its job when ``"planned"`` is selected.
     """
 
     #: Human-readable backend identifier (also used by :func:`repr`).
@@ -126,6 +133,7 @@ class StageDriverCluster:
         spill_dir: str | None = None,
         kernel: str | None = None,
         grid: str | None = None,
+        partitioner: str | None = None,
     ) -> None:
         if num_workers is None:
             num_workers = self.default_num_workers
@@ -157,6 +165,10 @@ class StageDriverCluster:
 
             grid = normalize_grid(grid)
         self.grid = grid
+        if partitioner is not None:
+            # Fail fast on typos, like kernel and grid above.
+            partitioner = normalize_partitioner(partitioner)
+        self.partitioner = partitioner
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -169,6 +181,11 @@ class StageDriverCluster:
         """Execute ``job`` over ``records`` and return outputs plus metrics."""
         metrics = JobMetrics(num_workers=self.num_workers)
         metrics.input_records = len(records)
+        # Report what the job actually does, not what the knob says: a plan
+        # attached by the miner is authoritative for every backend.
+        metrics.partitioner = (
+            "planned" if getattr(job, "partition_plan", None) is not None else "hash"
+        )
 
         # All spill files of one run live in a per-job directory, removed
         # wholesale below — so a failing map or reduce task (e.g. a candidate
@@ -210,6 +227,10 @@ class StageDriverCluster:
                         metrics.wire_bytes += result.wire_bytes
                         metrics.spilled_buckets += result.spilled_buckets
                         metrics.spilled_bytes += result.spilled_bytes
+                        for bucket_index, size in result.bucket_shuffle_bytes.items():
+                            metrics.reduce_bucket_bytes[bucket_index] = (
+                                metrics.reduce_bucket_bytes.get(bucket_index, 0) + size
+                            )
                         metrics.map_task_seconds.append(result.seconds)
                         for bucket_index, fragment in result.buckets:
                             fragments[bucket_index].append(fragment)

@@ -98,9 +98,10 @@ class ClusterConfig:
     ``backend`` may be a backend name or a ready-made
     :class:`~repro.mapreduce.base.Cluster` instance (which then wins over the
     worker/codec/spill fields, as before).  ``kernel`` selects the FST mining
-    kernel (``"compiled"`` or ``"interpreted"``; None → the library default)
-    and ``grid`` the pivot-grid engine (``"flat"`` or ``"legacy"``); both are
-    consumed by the miners rather than the cluster itself.
+    kernel (``"compiled"`` or ``"interpreted"``; None → the library default),
+    ``grid`` the pivot-grid engine (``"flat"`` or ``"legacy"``), and
+    ``partitioner`` the reduce-bucket assignment (``"hash"`` or ``"planned"``);
+    all three are consumed by the miners rather than the cluster itself.
     """
 
     backend: str | Cluster = "simulated"
@@ -112,6 +113,7 @@ class ClusterConfig:
     spill_dir: str | None = None
     kernel: str | None = None
     grid: str | None = None
+    partitioner: str | None = None
 
     @classmethod
     def resolve(
@@ -124,22 +126,23 @@ class ClusterConfig:
         specifies the run); a backend name or cluster instance becomes the
         ``backend`` of a config built from the remaining defaults.  One
         exception to "the config wins": explicit non-None ``kernel`` / ``grid``
-        defaults override the config's, so
+        / ``partitioner`` defaults override the config's, so
         ``miner(..., cluster=config, kernel="interpreted", grid="legacy")``
         reliably selects the debugging implementations.
         """
         kernel = defaults.pop("kernel", None)
         grid = defaults.pop("grid", None)
+        partitioner = defaults.pop("partitioner", None)
+        overrides = {"kernel": kernel, "grid": grid, "partitioner": partitioner}
         if value is None:
-            config = cls(**defaults, kernel=kernel, grid=grid)
+            config = cls(**defaults, **overrides)
         elif isinstance(value, ClusterConfig):
             config = value
         else:
-            config = cls(**{**defaults, "backend": value}, kernel=kernel, grid=grid)
-        if kernel is not None and config.kernel != kernel:
-            config = config.merged(kernel=kernel)
-        if grid is not None and config.grid != grid:
-            config = config.merged(grid=grid)
+            config = cls(**{**defaults, "backend": value}, **overrides)
+        for field_name, override in overrides.items():
+            if override is not None and getattr(config, field_name) != override:
+                config = config.merged(**{field_name: override})
         return config
 
     def merged(self, **overrides) -> "ClusterConfig":
@@ -170,6 +173,20 @@ class ClusterConfig:
         attached = None if isinstance(backend, str) else getattr(backend, "grid", None)
         return attached or DEFAULT_GRID
 
+    @property
+    def partitioner_name(self) -> str:
+        """The effective reduce-partitioner name (falling back to the
+        cluster's, then the ``"hash"`` reference)."""
+        from repro.mapreduce.job import DEFAULT_PARTITIONER, normalize_partitioner
+
+        if self.partitioner is not None:
+            return normalize_partitioner(self.partitioner)
+        backend = self.backend
+        attached = (
+            None if isinstance(backend, str) else getattr(backend, "partitioner", None)
+        )
+        return attached or DEFAULT_PARTITIONER
+
     def build(self) -> Cluster:
         """Build (or pass through) the execution backend for this config."""
         return resolve_cluster(self)
@@ -198,6 +215,7 @@ class ClusterConfig:
             self.spill_budget_bytes,
             self.kernel_name,
             self.grid_name,
+            self.partitioner_name,
         )
         return "|".join(str(part) for part in parts)
 
@@ -212,6 +230,7 @@ def make_cluster(
     spill_dir: str | None = None,
     kernel: str | None = None,
     grid: str | None = None,
+    partitioner: str | None = None,
 ) -> Cluster:
     """Build an execution backend by name or from a :class:`ClusterConfig`.
 
@@ -227,8 +246,9 @@ def make_cluster(
     picks the shuffle wire format (:data:`~repro.mapreduce.wire.CODECS`) and
     ``spill_budget_bytes`` caps the encoded payload bytes a map task keeps in
     memory before spilling to ``spill_dir``.  ``kernel`` records the FST
-    mining-kernel choice — and ``grid`` the pivot-grid engine choice — on the
-    cluster so miners handed a ready-made instance inherit them.
+    mining-kernel choice — ``grid`` the pivot-grid engine choice, and
+    ``partitioner`` the reduce-partitioner choice — on the cluster so miners
+    handed a ready-made instance inherit them.
     """
     if isinstance(backend, ClusterConfig):
         config = backend
@@ -247,6 +267,7 @@ def make_cluster(
             spill_dir=config.spill_dir,
             kernel=config.kernel,
             grid=config.grid,
+            partitioner=config.partitioner,
         )
     key = _ALIASES.get(str(backend).strip().lower())
     if key is None:
@@ -263,6 +284,7 @@ def make_cluster(
         spill_dir=spill_dir,
         kernel=kernel,
         grid=grid,
+        partitioner=partitioner,
     )
 
 
@@ -276,6 +298,7 @@ def resolve_cluster(
     spill_dir: str | None = None,
     kernel: str | None = None,
     grid: str | None = None,
+    partitioner: str | None = None,
 ) -> Cluster:
     """Return ``backend`` itself if it already is a cluster, else build one.
 
@@ -303,4 +326,5 @@ def resolve_cluster(
         spill_dir=spill_dir,
         kernel=kernel,
         grid=grid,
+        partitioner=partitioner,
     )

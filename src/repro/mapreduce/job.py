@@ -14,6 +14,29 @@ import zlib
 from collections.abc import Iterable, Iterator
 from typing import Any
 
+from repro.errors import MapReduceError
+
+#: Reduce-partitioner choices: ``"hash"`` assigns keys by
+#: :func:`stable_hash` (the reference), ``"planned"`` consults a
+#: skew-aware :class:`~repro.core.balance.PartitionPlan` shipped with the
+#: job (falling back to the hash for unplanned keys).
+PARTITIONERS = ("hash", "planned")
+
+#: The partitioner used when none is configured.
+DEFAULT_PARTITIONER = "hash"
+
+
+def normalize_partitioner(name: str | None) -> str:
+    """Normalize a partitioner name, failing fast on typos."""
+    if name is None:
+        return DEFAULT_PARTITIONER
+    key = str(name).strip().lower()
+    if key not in PARTITIONERS:
+        raise MapReduceError(
+            f"unknown partitioner {name!r}; choose one of {', '.join(PARTITIONERS)}"
+        )
+    return key
+
 
 def stable_hash(key: Any) -> int:
     """A hash that is identical across worker processes.
@@ -58,6 +81,13 @@ class MapReduceJob:
     #: Enable the per-map-task combiner.
     use_combiner: bool = False
 
+    #: Optional skew-aware reduce-bucket assignment consulted by
+    #: :meth:`partition` (any object with a ``lookup(key) -> int | None``
+    #: method, e.g. :class:`~repro.core.balance.PartitionPlan`).  Set by the
+    #: miners when the ``"planned"`` partitioner is selected; pickles with
+    #: the job, so worker-side shuffle writes see the same table.
+    partition_plan: Any = None
+
     # ------------------------------------------------------------------ hooks
     def map(self, record: Any) -> Iterable[tuple[Any, Any]]:
         """Process one input record into ``(partition key, value)`` pairs."""
@@ -101,8 +131,16 @@ class MapReduceJob:
         """Assign a key to a reduce task (hash partitioning by default).
 
         Runs inside map tasks (worker-side shuffle), so the hash must be
-        process-independent; see :func:`stable_hash`.
+        process-independent; see :func:`stable_hash`.  When a
+        :attr:`partition_plan` is attached, its table wins for planned keys;
+        keys the planner never saw (or a plan built for a different bucket
+        count) fall back to the stable hash.
         """
+        plan = self.partition_plan
+        if plan is not None:
+            bucket = plan.lookup(key)
+            if bucket is not None and 0 <= bucket < num_reduce_tasks:
+                return bucket
         return stable_hash(key) % num_reduce_tasks
 
 

@@ -8,7 +8,34 @@ simulated cluster.
 
 from __future__ import annotations
 
+import heapq
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+
+#: Nominal reduce-side throughput used to express modeled partition loads as
+#: time.  The modeled straggler must be a pure function of the shuffled bytes
+#: (measured task timings vary per run, which would break the committed BENCH
+#: baselines), so a fixed rate — 64 MiB/s, the ballpark of the paper's 1 GbE
+#: shuffle plus local mining — converts the heaviest worker's bytes into a
+#: deterministic "straggler seconds" figure.
+MODELED_REDUCE_BYTES_PER_SECOND = 64 * 1024 * 1024
+
+
+def lpt_worker_loads(sizes: Iterable[int], num_workers: int) -> list[int]:
+    """Greedy longest-processing-time assignment of ``sizes`` onto workers.
+
+    Returns the per-worker load totals.  Sizes are placed largest-first onto
+    the least-loaded worker (ties broken by lowest worker index, matching the
+    historical ``loads.index(min(loads))`` scan) via a heap, so planner-time
+    calls stay ``O(n log w)`` at realistic pivot counts.
+    """
+    loads = [0] * num_workers
+    heap = [(0, index) for index in range(num_workers)]
+    for size in sorted(sizes, reverse=True):
+        load, index = heapq.heappop(heap)
+        loads[index] = load + size
+        heapq.heappush(heap, (loads[index], index))
+    return loads
 
 
 @dataclass
@@ -37,6 +64,12 @@ class JobMetrics:
     combined_records: int = 0
     input_records: int = 0
     output_records: int = 0
+    #: Which reduce partitioner the job used (``"hash"`` or ``"planned"``).
+    partitioner: str = "hash"
+    #: Modeled shuffle bytes per reduce bucket (``job.record_size`` summed per
+    #: destination), collected when ``measure_shuffle`` is on.  The basis of
+    #: the balance statistics below.
+    reduce_bucket_bytes: dict[int, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ times
     @property
@@ -58,6 +91,45 @@ class JobMetrics:
     def sequential_seconds(self) -> float:
         """Total compute time summed over all tasks (1-worker equivalent)."""
         return sum(self.map_task_seconds) + sum(self.reduce_task_seconds)
+
+    # ---------------------------------------------------------------- balance
+    @property
+    def partition_max_bytes(self) -> int:
+        """Modeled bytes shuffled to the heaviest reduce bucket."""
+        return max(self.reduce_bucket_bytes.values(), default=0)
+
+    @property
+    def partition_mean_bytes(self) -> float:
+        """Mean modeled bytes over the non-empty reduce buckets."""
+        if not self.reduce_bucket_bytes:
+            return 0.0
+        return sum(self.reduce_bucket_bytes.values()) / len(self.reduce_bucket_bytes)
+
+    @property
+    def partition_imbalance(self) -> float:
+        """Heaviest bucket over the mean bucket (>= 1; 1.0 when balanced)."""
+        mean = self.partition_mean_bytes
+        if mean == 0:
+            return 1.0
+        return self.partition_max_bytes / mean
+
+    @property
+    def modeled_straggler_seconds(self) -> float:
+        """Deterministic reduce-stage straggler time modeled from the shuffle.
+
+        Buckets are attributed to workers by the static round-robin
+        assignment ``bucket % num_workers`` — the layout the skew-aware
+        planner packs against — and the heaviest worker's bytes are divided
+        by :data:`MODELED_REDUCE_BYTES_PER_SECOND`.  A pure function of the
+        shuffled bytes, so it is comparable across runs and committed BENCH
+        baselines, unlike the measured task timings.
+        """
+        if not self.reduce_bucket_bytes:
+            return 0.0
+        loads = [0] * self.num_workers
+        for bucket, size in self.reduce_bucket_bytes.items():
+            loads[bucket % self.num_workers] += size
+        return max(loads) / MODELED_REDUCE_BYTES_PER_SECOND
 
     @property
     def combine_ratio(self) -> float:
@@ -82,10 +154,18 @@ class JobMetrics:
             "map_input_pickle_bytes": self.map_input_pickle_bytes,
             "input_records": self.input_records,
             "output_records": self.output_records,
+            "partitioner": self.partitioner,
+            "partition_max_bytes": self.partition_max_bytes,
+            "partition_mean_bytes": round(self.partition_mean_bytes, 1),
+            "partition_imbalance": round(self.partition_imbalance, 3),
+            "modeled_straggler_seconds": self.modeled_straggler_seconds,
         }
 
     def merge(self, other: "JobMetrics") -> "JobMetrics":
         """Combine metrics of two jobs executed back to back (rarely needed)."""
+        bucket_bytes = dict(self.reduce_bucket_bytes)
+        for bucket, size in other.reduce_bucket_bytes.items():
+            bucket_bytes[bucket] = bucket_bytes.get(bucket, 0) + size
         return JobMetrics(
             num_workers=max(self.num_workers, other.num_workers),
             map_task_seconds=self.map_task_seconds + other.map_task_seconds,
@@ -100,4 +180,8 @@ class JobMetrics:
             combined_records=self.combined_records + other.combined_records,
             input_records=self.input_records + other.input_records,
             output_records=self.output_records + other.output_records,
+            partitioner=(
+                self.partitioner if self.partitioner == other.partitioner else "mixed"
+            ),
+            reduce_bucket_bytes=bucket_bytes,
         )

@@ -53,6 +53,9 @@ class MapTaskResult:
     combined_records: int = 0
     shuffle_bytes: int = 0
     shuffle_records: int = 0
+    #: Modeled shuffle bytes per destination reduce bucket (the partition
+    #: write split; empty when ``measure_shuffle`` is off).
+    bucket_shuffle_bytes: dict[int, int] = field(default_factory=dict)
     wire_bytes: int = 0
     spilled_buckets: int = 0
     spilled_bytes: int = 0
@@ -99,11 +102,17 @@ def run_map_task(
     buckets: dict[int, BucketPayload] = {}
     shuffle_bytes = 0
     shuffle_records = 0
+    bucket_shuffle_bytes: dict[int, int] = {}
     for key, value in emitted:
         shuffle_records += 1
+        bucket_index = job.partition(key, num_reduce_tasks)
         if measure_shuffle:
-            shuffle_bytes += job.record_size(key, value)
-        payload = buckets.setdefault(job.partition(key, num_reduce_tasks), {})
+            size = job.record_size(key, value)
+            shuffle_bytes += size
+            bucket_shuffle_bytes[bucket_index] = (
+                bucket_shuffle_bytes.get(bucket_index, 0) + size
+            )
+        payload = buckets.setdefault(bucket_index, {})
         payload.setdefault(key, []).append(value)
 
     # Shuffle write: serialize each bucket, spilling once over the budget.
@@ -123,6 +132,7 @@ def run_map_task(
         combined_records=shuffle_records,
         shuffle_bytes=shuffle_bytes,
         shuffle_records=shuffle_records,
+        bucket_shuffle_bytes=bucket_shuffle_bytes,
         seconds=time.perf_counter() - started,
         worker=worker_token(),
         spill_path=spill_path,

@@ -228,6 +228,7 @@ class GapConstrainedMiner:
         spill_budget_bytes: int | None = UNSET,
         kernel: str | None = None,
         grid: str | None = None,
+        partitioner: str | None = None,
         dedup: bool = True,
         cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
@@ -246,7 +247,9 @@ class GapConstrainedMiner:
         # ``grid`` knobs are accepted (one ClusterConfig drives all five
         # cluster miners) but have no effect on its mining semantics or
         # timings.  ``dedup`` applies: the windowing runs once per distinct
-        # input sequence.
+        # input sequence.  ``partitioner`` applies too: its shuffle is
+        # item-partitioned like D-SEQ's, so the skew-aware plan helps here
+        # as well.
         self.cluster = ClusterConfig.resolve(
             cluster,
             **resolve_legacy_substrate(
@@ -258,6 +261,7 @@ class GapConstrainedMiner:
             num_workers=num_workers,
             kernel=kernel,
             grid=grid,
+            partitioner=partitioner,
         )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
@@ -271,7 +275,17 @@ class GapConstrainedMiner:
             use_hierarchy=self.use_hierarchy,
         )
         records = as_mining_records(database, dedup=self.dedup)
-        result = resolve_cluster(self.cluster).run(job, records)
+        cluster = resolve_cluster(self.cluster)
+        if self.cluster.partitioner_name == "planned":
+            # Deferred import: the planner lives in repro.core, which this
+            # sequential-package module must not import at module level.
+            from repro.core.balance import plan_job_partitions
+
+            job.partition_plan = plan_job_partitions(
+                job, records, cluster.num_reduce_tasks,
+                num_workers=cluster.num_workers,
+            )
+        result = cluster.run(job, records)
         name = self.algorithm_name if self.use_hierarchy else "MG-FSM"
         return MiningResult(dict(result.outputs), result.metrics, algorithm=name)
 
