@@ -17,6 +17,7 @@ from repro.errors import QueryTimeoutError, ServiceError
 from repro.mapreduce import ClusterConfig
 from repro.service import protocol
 from repro.service.cache import CacheInfo
+from repro.service.protocol import DEFAULT_SERVICE_PORT
 
 from repro.api.corpus import as_corpus
 from repro.api.session import CorpusInfo, Session
@@ -154,9 +155,7 @@ class ServiceSession(Session):
 
     # ----------------------------------------------------------------- cache
     def cache_info(self) -> CacheInfo:
-        payload = self._call("cache_info")
-        payload.pop("hit_rate", None)  # derived property, not a field
-        return CacheInfo(**payload)
+        return protocol.decode_cache_info(self._call("cache_info"))
 
     def clear_cache(self) -> int:
         return self._call("clear_cache")["dropped"]
@@ -188,19 +187,32 @@ class ServiceSession(Session):
 
 def connect(
     host: str = "127.0.0.1",
-    port: int = 0,
+    port: int = DEFAULT_SERVICE_PORT,
     timeout: float | None = None,
     connect_timeout: float = 5.0,
 ) -> ServiceSession:
     """Open a :class:`ServiceSession` to a running ``repro serve`` daemon.
 
-    ``timeout`` (seconds) bounds each query round trip; ``None`` waits
-    indefinitely.  The returned session is a context manager::
+    ``port`` defaults to :data:`~repro.service.protocol.DEFAULT_SERVICE_PORT`
+    — the port ``repro serve`` binds by default — so a plain ``connect()``
+    reaches a plainly started daemon.  ``timeout`` (seconds) bounds each
+    query round trip; ``None`` waits indefinitely.  The returned session is
+    a context manager::
 
-        with repro.api.connect(port=9043) as session:
+        with repro.api.connect() as session:
             session.attach_corpus("demo", corpus)
             result = session.mine("demo", "(a).*(b)", sigma=2)
     """
+    if port == 0:
+        # Port 0 is a *bind* convention (pick an ephemeral port); no daemon
+        # can ever be listening on it, so dialing it is always a mistake —
+        # usually a server's requested port leaking into the client call.
+        raise ServiceError(
+            "cannot connect to port 0: it asks the OS for an ephemeral port "
+            "and is only meaningful when *binding* a server; pass the port "
+            "the daemon printed at startup (repro serve defaults to "
+            f"{DEFAULT_SERVICE_PORT})"
+        )
     try:
         sock = socket.create_connection((host, port), timeout=connect_timeout)
     except OSError as error:

@@ -136,6 +136,18 @@ def add_partitioner_argument(parser: ArgumentParser) -> None:
             f"(default: {DEFAULT_PARTITIONER})"
         ),
     )
+    parser.add_argument(
+        "--plan-sample",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "with --partitioner planned: estimate per-pivot loads from this "
+            "fraction of the input sequences (0 < FRACTION <= 1) instead of "
+            "a full planning pass; the plan may differ but mined patterns "
+            "stay byte-identical (default: plan from every sequence)"
+        ),
+    )
 
 
 def add_cap_arguments(parser: ArgumentParser) -> None:
@@ -173,9 +185,11 @@ def cluster_config_from_args(args: Namespace, num_workers: int | None = None):
         num_workers=num_workers,
         codec=args.codec,
         spill_budget_bytes=parse_byte_size(args.spill_budget),
+        blob_dir=getattr(args, "blob_dir", None),
         kernel=getattr(args, "kernel", None),
         grid=getattr(args, "grid", None),
         partitioner=getattr(args, "partitioner", None),
+        plan_sample=getattr(args, "plan_sample", None),
     )
 
 
@@ -201,6 +215,17 @@ def add_shuffle_arguments(parser: ArgumentParser) -> None:
             "per-map-task in-memory budget for encoded shuffle payloads; "
             "payloads past the budget spill to temp files.  Accepts k/M/G "
             "suffixes, e.g. 64k or 16M (default: no spilling)"
+        ),
+    )
+    parser.add_argument(
+        "--blob-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "with --backend multihost: directory backing the shared blob "
+            "store the hosts shuffle through (created if missing; job blobs "
+            "are deleted when the job finishes).  Default: a temporary "
+            "directory owned by the job"
         ),
     )
 
@@ -316,6 +341,15 @@ def print_metrics(metrics, stream=None) -> None:
         stream.write(
             "spilled {:,} bucket payloads / {:,} bytes to disk\n".format(
                 int(summary["spilled_buckets"]), int(summary["spilled_bytes"])
+            )
+        )
+    if summary.get("blob_put_count") or summary.get("blob_get_count"):
+        stream.write(
+            "blob shuffle: {:,} puts / {:,} bytes up, {:,} gets / {:,} bytes down\n".format(
+                int(summary["blob_put_count"]),
+                int(summary["blob_put_bytes"]),
+                int(summary["blob_get_count"]),
+                int(summary["blob_get_bytes"]),
             )
         )
     if summary.get("map_input_pickle_bytes"):

@@ -83,7 +83,8 @@ def add_parser(subparsers) -> None:
             "execution backend: 'simulated' models the cluster makespan, "
             "'threads'/'processes' execute on real local workers, "
             "'persistent-processes' shares the encoded database with the "
-            "workers via shared memory (default: simulated)"
+            "workers via shared memory, 'multihost' additionally stages "
+            "shuffle payloads through a shared blob store (default: simulated)"
         ),
     )
     add_shuffle_arguments(parser)
@@ -143,6 +144,8 @@ def run(args: Namespace, stream=None) -> int:
             raise CliError(
                 f"--codec/--spill-budget do not apply to {name} (it runs no mining jobs)"
             )
+        if args.blob_dir is not None:
+            raise CliError(f"--blob-dir does not apply to {name} (it runs no mining jobs)")
         from repro.core.grid_engine import DEFAULT_GRID
         from repro.fst import DEFAULT_KERNEL
 
@@ -155,6 +158,10 @@ def run(args: Namespace, stream=None) -> int:
         if args.partitioner != DEFAULT_PARTITIONER:
             raise CliError(
                 f"--partitioner does not apply to {name} (it runs no mining jobs)"
+            )
+        if args.plan_sample is not None:
+            raise CliError(
+                f"--plan-sample does not apply to {name} (it runs no mining jobs)"
             )
         if args.max_runs is not None or args.max_candidates is not None:
             raise CliError(

@@ -78,7 +78,9 @@ def add_parser(subparsers) -> None:
             "local thread pool, 'processes' runs on a local process pool for "
             "real wall-clock speed-ups, 'persistent-processes' additionally "
             "shares the encoded database with the workers via shared memory "
-            "so tasks ship chunk descriptors instead of pickled sequences "
+            "so tasks ship chunk descriptors instead of pickled sequences, "
+            "'multihost' runs the same persistent hosts but stages every "
+            "shuffle payload through a shared blob store (see --blob-dir) "
             "(default: simulated)"
         ),
     )
@@ -143,12 +145,22 @@ def run(args: Namespace, stream=None) -> int:
             raise CliError(
                 f"--spill-budget does not apply to the sequential {args.algorithm} miner"
             )
+        if args.blob_dir is not None:
+            raise CliError(
+                f"--blob-dir does not apply to the sequential {args.algorithm} "
+                "miner (it never shuffles through a blob store)"
+            )
         from repro.mapreduce import DEFAULT_PARTITIONER
 
         if args.partitioner != DEFAULT_PARTITIONER:
             raise CliError(
                 f"--partitioner does not apply to the sequential {args.algorithm} "
                 "miner (it never shuffles)"
+            )
+        if args.plan_sample is not None:
+            raise CliError(
+                f"--plan-sample does not apply to the sequential {args.algorithm} "
+                "miner (it never plans a shuffle)"
             )
     if args.max_runs is not None and args.algorithm not in _MAX_RUNS_ALGORITHMS:
         raise CliError(f"--max-runs does not apply to {args.algorithm}")

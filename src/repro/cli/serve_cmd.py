@@ -18,14 +18,20 @@ def add_parser(subparsers) -> None:
             "as the in-process library path; results are byte-identical."
         ),
     )
+    from repro.service.protocol import DEFAULT_SERVICE_PORT
+
     parser.add_argument(
         "--host", default="127.0.0.1", help="interface to bind (default: loopback)"
     )
     parser.add_argument(
         "--port",
         type=int,
-        default=9043,
-        help="port to bind; 0 picks an ephemeral port (default: 9043)",
+        default=DEFAULT_SERVICE_PORT,
+        help=(
+            "port to bind; 0 picks an ephemeral port "
+            f"(default: {DEFAULT_SERVICE_PORT}, which repro.api.connect() "
+            "dials by default)"
+        ),
     )
     parser.add_argument(
         "--cache-entries",

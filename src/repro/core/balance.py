@@ -27,6 +27,7 @@ whenever a miner is configured with ``partitioner="planned"``.
 from __future__ import annotations
 
 import heapq
+import itertools
 import math
 from collections import defaultdict
 from collections.abc import Iterable, Sequence
@@ -317,7 +318,9 @@ def estimate_partition_loads(
         if not 0.0 < sample <= 1.0:
             raise MiningError(f"sample must be in (0, 1], got {sample}")
         stride = max(1, round(1.0 / sample))
-        records = records[::stride]
+        # islice, not records[::stride]: the estimation pass only iterates,
+        # and store-backed record sequences reject strided slicing.
+        records = itertools.islice(iter(records), 0, None, stride)
     balance = measure_partition_balance(job, records)
     return dict(balance.bytes_by_partition)
 

@@ -237,6 +237,7 @@ class DCandMiner:
             job.partition_plan = plan_job_partitions(
                 job, records, cluster.num_reduce_tasks,
                 num_workers=cluster.num_workers,
+                sample=self.cluster.plan_sample,
             )
         result = cluster.run(job, records)
         patterns = dict(result.outputs)

@@ -155,6 +155,7 @@ class _SubsequenceBaselineMiner:
             job.partition_plan = plan_job_partitions(
                 job, records, cluster.num_reduce_tasks,
                 num_workers=cluster.num_workers,
+                sample=self.cluster.plan_sample,
             )
         result = cluster.run(job, records)
         return MiningResult(dict(result.outputs), result.metrics, self.algorithm_name)

@@ -37,6 +37,12 @@ class RunRecord:
     wire_bytes: int = 0
     spilled_buckets: int = 0
     input_pickle_bytes: int = 0
+    # Blob traffic of the multihost backend; zero everywhere else.  Kept out
+    # of as_row() so the committed BENCH goldens keep their exact shape.
+    blob_put_count: int = 0
+    blob_put_bytes: int = 0
+    blob_get_count: int = 0
+    blob_get_bytes: int = 0
     num_patterns: int = 0
     num_workers: int = 1
     partitioner: str = "hash"
@@ -240,6 +246,10 @@ def run_algorithm(
     record.wire_bytes = metrics.wire_bytes
     record.spilled_buckets = metrics.spilled_buckets
     record.input_pickle_bytes = metrics.map_input_pickle_bytes
+    record.blob_put_count = metrics.blob_put_count
+    record.blob_put_bytes = metrics.blob_put_bytes
+    record.blob_get_count = metrics.blob_get_count
+    record.blob_get_bytes = metrics.blob_get_bytes
     record.partitioner = metrics.partitioner
     record.partition_max_bytes = metrics.partition_max_bytes
     record.partition_mean_bytes = metrics.partition_mean_bytes

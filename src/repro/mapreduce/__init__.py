@@ -1,7 +1,7 @@
 """MapReduce / bulk-synchronous-parallel substrate with pluggable backends.
 
 One job model (:class:`MapReduceJob`), one stage driver
-(:class:`~repro.mapreduce.base.StageDriverCluster`), four execution backends:
+(:class:`~repro.mapreduce.base.StageDriverCluster`), five execution backends:
 
 * ``simulated`` — in-process execution that models the makespan of
   ``num_workers`` workers (deterministic, no parallelism overhead);
@@ -10,12 +10,25 @@ One job model (:class:`MapReduceJob`), one stage driver
 * ``persistent-processes`` — a local process pool whose workers attach the
   input database once via a shared-memory
   :class:`~repro.sequences.store.EncodedSequenceStore`; tasks carry chunk
-  descriptors, so the per-task database pickling tax disappears.
+  descriptors, so the per-task database pickling tax disappears;
+* ``multihost`` — subprocess hosts that attach the published store the same
+  way but exchange their encoded reduce buckets through a pluggable
+  :class:`~repro.mapreduce.blobstore.BlobStore` (content-addressed blobs in
+  a shared directory), the shape of a serverless/object-store deployment.
 
 Use :func:`make_cluster` to pick a backend by name.
 """
 
 from repro.mapreduce.base import Cluster, JobResult, StageDriverCluster
+from repro.mapreduce.blobstore import (
+    BlobNotFoundError,
+    BlobStore,
+    BlobStoreError,
+    DirectoryBlobStore,
+    InMemoryBlobStore,
+    content_key,
+    get_with_retry,
+)
 from repro.mapreduce.engine import SimulatedCluster, run_job
 from repro.mapreduce.factory import (
     BACKENDS,
@@ -25,6 +38,7 @@ from repro.mapreduce.factory import (
     resolve_cluster,
     resolve_legacy_substrate,
 )
+from repro.mapreduce.multihost import BlobShuffle, MultiHostCluster, run_blob_map_task
 from repro.mapreduce.job import (
     DEFAULT_PARTITIONER,
     PARTITIONERS,
@@ -39,7 +53,7 @@ from repro.mapreduce.parallel import (
     ProcessPoolCluster,
     ThreadPoolCluster,
 )
-from repro.mapreduce.spill import WireFragment, merge_fragments
+from repro.mapreduce.spill import FragmentReader, WireFragment, merge_fragments
 from repro.mapreduce.tasks import (
     MapTaskResult,
     ReduceTaskResult,
@@ -52,16 +66,24 @@ from repro.mapreduce.wire import CODECS, Codec, CompactCodec, PickleCodec, make_
 __all__ = [
     "BACKENDS",
     "CODECS",
+    "BlobNotFoundError",
+    "BlobShuffle",
+    "BlobStore",
+    "BlobStoreError",
     "Cluster",
     "ClusterConfig",
     "Codec",
     "CompactCodec",
     "DEFAULT_PARTITIONER",
+    "DirectoryBlobStore",
+    "FragmentReader",
+    "InMemoryBlobStore",
     "PARTITIONERS",
     "JobMetrics",
     "JobResult",
     "MapReduceJob",
     "MapTaskResult",
+    "MultiHostCluster",
     "PersistentProcessPoolCluster",
     "PickleCodec",
     "ProcessPoolCluster",
@@ -71,6 +93,8 @@ __all__ = [
     "ThreadPoolCluster",
     "UNSET",
     "WireFragment",
+    "content_key",
+    "get_with_retry",
     "iter_map_output",
     "lpt_worker_loads",
     "make_cluster",
@@ -79,6 +103,7 @@ __all__ = [
     "normalize_partitioner",
     "resolve_cluster",
     "resolve_legacy_substrate",
+    "run_blob_map_task",
     "run_job",
     "run_map_task",
     "run_reduce_task",

@@ -209,42 +209,55 @@ class StageDriverCluster:
                             )
                         except Exception:
                             pass
-                with self._executor_scope(chunks, job) as execute:
-                    # Map stage: each task partitions, combines, and encodes
-                    # its reduce buckets locally (worker-side shuffle write),
-                    # spilling payloads to disk past the in-memory budget.
-                    map_results: list[MapTaskResult] = execute(
-                        [self._map_task(job, chunk, job_spill_dir) for chunk in chunks]
-                    )
-                    fragments: list[list[WireFragment]] = [
-                        [] for _ in range(self.num_reduce_tasks)
-                    ]
-                    for result in map_results:
-                        metrics.map_output_records += result.map_output_records
-                        metrics.combined_records += result.combined_records
-                        metrics.shuffle_bytes += result.shuffle_bytes
-                        metrics.shuffle_records += result.shuffle_records
-                        metrics.wire_bytes += result.wire_bytes
-                        metrics.spilled_buckets += result.spilled_buckets
-                        metrics.spilled_bytes += result.spilled_bytes
-                        for bucket_index, size in result.bucket_shuffle_bytes.items():
-                            metrics.reduce_bucket_bytes[bucket_index] = (
-                                metrics.reduce_bucket_bytes.get(bucket_index, 0) + size
-                            )
-                        metrics.map_task_seconds.append(result.seconds)
-                        for bucket_index, fragment in result.buckets:
-                            fragments[bucket_index].append(fragment)
-
-                    # Reduce stage: one task per non-empty bucket; the
-                    # streamed key-group merge (shuffle read) happens inside
-                    # the task, i.e. on the worker.
-                    reduce_results: list[ReduceTaskResult] = execute(
-                        [
-                            (run_reduce_task, (job, bucket_fragments, self.codec))
-                            for bucket_fragments in fragments
-                            if bucket_fragments
+                # The shuffle scope wraps the executor scope: the executor's
+                # shutdown joins every still-running worker task first, so
+                # the shuffle transport (e.g. the multi-host blob namespace)
+                # is cleaned up only after the last task that could write to
+                # it has finished — even when a mid-stage failure aborts the
+                # run.
+                with self._shuffle_scope(job) as shuffle:
+                    with self._executor_scope(chunks, job) as execute:
+                        # Map stage: each task partitions, combines, and
+                        # encodes its reduce buckets locally (worker-side
+                        # shuffle write), spilling payloads to disk past the
+                        # in-memory budget.
+                        map_results: list[MapTaskResult] = execute(
+                            [
+                                self._map_task(job, chunk, job_spill_dir, shuffle)
+                                for chunk in chunks
+                            ]
+                        )
+                        fragments: list[list[WireFragment]] = [
+                            [] for _ in range(self.num_reduce_tasks)
                         ]
-                    )
+                        for result in map_results:
+                            metrics.map_output_records += result.map_output_records
+                            metrics.combined_records += result.combined_records
+                            metrics.shuffle_bytes += result.shuffle_bytes
+                            metrics.shuffle_records += result.shuffle_records
+                            metrics.wire_bytes += result.wire_bytes
+                            metrics.spilled_buckets += result.spilled_buckets
+                            metrics.spilled_bytes += result.spilled_bytes
+                            metrics.blob_put_count += result.blob_put_count
+                            metrics.blob_put_bytes += result.blob_put_bytes
+                            for bucket_index, size in result.bucket_shuffle_bytes.items():
+                                metrics.reduce_bucket_bytes[bucket_index] = (
+                                    metrics.reduce_bucket_bytes.get(bucket_index, 0) + size
+                                )
+                            metrics.map_task_seconds.append(result.seconds)
+                            for bucket_index, fragment in result.buckets:
+                                fragments[bucket_index].append(fragment)
+
+                        # Reduce stage: one task per non-empty bucket; the
+                        # streamed key-group merge (shuffle read) happens
+                        # inside the task, i.e. on the worker.
+                        reduce_results: list[ReduceTaskResult] = execute(
+                            [
+                                self._reduce_task(job, bucket_fragments, shuffle)
+                                for bucket_fragments in fragments
+                                if bucket_fragments
+                            ]
+                        )
         finally:
             if job_spill_dir is not None:
                 shutil.rmtree(job_spill_dir, ignore_errors=True)
@@ -252,6 +265,8 @@ class StageDriverCluster:
         outputs: list[Any] = []
         for result in reduce_results:
             outputs.extend(result.outputs)
+            metrics.blob_get_count += result.blob_get_count
+            metrics.blob_get_bytes += result.blob_get_bytes
         metrics.reduce_task_seconds.extend(self._worker_times(reduce_results))
         metrics.output_records = len(outputs)
         return JobResult(outputs=outputs, metrics=metrics)
@@ -270,7 +285,21 @@ class StageDriverCluster:
         """
         yield [chunk for chunk in split_records(records, self.num_workers) if len(chunk)]
 
-    def _map_task(self, job: MapReduceJob, chunk: Any, job_spill_dir: str | None) -> Task:
+    @contextmanager
+    def _shuffle_scope(self, job: MapReduceJob):
+        """Per-run shuffle-transport state handed to the task builders.
+
+        The default backends move fragments through driver memory and local
+        spill files, so they yield ``None``.  The multi-host backend yields
+        its per-job blob namespace here; the scope closes *after* the
+        executor scope (every worker task has finished), which is what
+        guarantees the transport's cleanup even on mid-stage failure.
+        """
+        yield None
+
+    def _map_task(
+        self, job: MapReduceJob, chunk: Any, job_spill_dir: str | None, shuffle: Any = None
+    ) -> Task:
         """Build the map task for one chunk produced by :meth:`_input_scope`."""
         return (
             run_map_task,
@@ -284,6 +313,12 @@ class StageDriverCluster:
                 job_spill_dir,
             ),
         )
+
+    def _reduce_task(
+        self, job: MapReduceJob, fragments: list[WireFragment], shuffle: Any = None
+    ) -> Task:
+        """Build the reduce task for one non-empty bucket's fragments."""
+        return (run_reduce_task, (job, fragments, self.codec))
 
     @contextmanager
     def _executor_scope(self, chunks: Sequence[Any], job: MapReduceJob):

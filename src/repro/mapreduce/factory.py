@@ -8,6 +8,7 @@ from dataclasses import dataclass, replace
 from repro.errors import MapReduceError
 from repro.mapreduce.base import Cluster
 from repro.mapreduce.engine import SimulatedCluster
+from repro.mapreduce.multihost import MultiHostCluster
 from repro.mapreduce.parallel import (
     PersistentProcessPoolCluster,
     ProcessPoolCluster,
@@ -16,7 +17,7 @@ from repro.mapreduce.parallel import (
 from repro.mapreduce.wire import Codec
 
 #: Canonical backend names, in the order shown by ``--help``.
-BACKENDS = ("simulated", "threads", "processes", "persistent-processes")
+BACKENDS = ("simulated", "threads", "processes", "persistent-processes", "multihost")
 
 #: Accepted spellings -> canonical backend name.
 _ALIASES = {
@@ -35,6 +36,11 @@ _ALIASES = {
     "persistent": "persistent-processes",
     "shared-memory": "persistent-processes",
     "shm": "persistent-processes",
+    "multihost": "multihost",
+    "multi-host": "multihost",
+    "multi_host": "multihost",
+    "blob": "multihost",
+    "blob-shuffle": "multihost",
 }
 
 _CLUSTER_CLASSES = {
@@ -42,6 +48,7 @@ _CLUSTER_CLASSES = {
     "threads": ThreadPoolCluster,
     "processes": ProcessPoolCluster,
     "persistent-processes": PersistentProcessPoolCluster,
+    "multihost": MultiHostCluster,
 }
 
 
@@ -111,9 +118,16 @@ class ClusterConfig:
     codec: str | Codec = "compact"
     spill_budget_bytes: int | None = None
     spill_dir: str | None = None
+    #: Directory backing the ``multihost`` backend's blob store (``None``
+    #: uses a private temp directory per run); other backends ignore it.
+    blob_dir: str | None = None
     kernel: str | None = None
     grid: str | None = None
     partitioner: str | None = None
+    #: Stride-sampling fraction in (0, 1] for the ``"planned"`` partitioner's
+    #: load-estimation pass (``None`` estimates over every record); consumed
+    #: by the miners when they build their partition plan.
+    plan_sample: float | None = None
 
     @classmethod
     def resolve(
@@ -213,9 +227,11 @@ class ClusterConfig:
             self.measure_shuffle,
             codec,
             self.spill_budget_bytes,
+            self.blob_dir,
             self.kernel_name,
             self.grid_name,
             self.partitioner_name,
+            self.plan_sample,
         )
         return "|".join(str(part) for part in parts)
 
@@ -228,6 +244,7 @@ def make_cluster(
     codec: str | Codec = "compact",
     spill_budget_bytes: int | None = None,
     spill_dir: str | None = None,
+    blob_dir: str | None = None,
     kernel: str | None = None,
     grid: str | None = None,
     partitioner: str | None = None,
@@ -238,10 +255,14 @@ def make_cluster(
     are accepted): ``"simulated"`` models the makespan of ``num_workers``
     workers in-process, ``"threads"`` runs on a local thread pool,
     ``"processes"`` runs on a local process pool for real wall-clock
-    speed-ups, and ``"persistent-processes"`` also uses a process pool but
+    speed-ups, ``"persistent-processes"`` also uses a process pool but
     publishes the input database once as a shared
     :class:`~repro.sequences.store.EncodedSequenceStore` so tasks ship chunk
-    descriptors instead of pickled sequence lists.
+    descriptors instead of pickled sequence lists, and ``"multihost"``
+    additionally exchanges the encoded reduce buckets through a pluggable
+    blob store (a local directory rooted at ``blob_dir``; a per-run temp
+    directory when ``None``) so map and reduce hosts never share memory or a
+    spill file system.
     ``num_workers=None`` uses the backend's default worker count.  ``codec``
     picks the shuffle wire format (:data:`~repro.mapreduce.wire.CODECS`) and
     ``spill_budget_bytes`` caps the encoded payload bytes a map task keeps in
@@ -265,6 +286,7 @@ def make_cluster(
             codec=config.codec,
             spill_budget_bytes=config.spill_budget_bytes,
             spill_dir=config.spill_dir,
+            blob_dir=config.blob_dir,
             kernel=config.kernel,
             grid=config.grid,
             partitioner=config.partitioner,
@@ -274,7 +296,12 @@ def make_cluster(
         raise MapReduceError(
             f"unknown execution backend {backend!r}; choose one of {', '.join(BACKENDS)}"
         )
+    if blob_dir is not None and key != "multihost":
+        raise MapReduceError(
+            f"blob_dir applies only to the 'multihost' backend, not {key!r}"
+        )
     cluster_class = _CLUSTER_CLASSES[key]
+    extra = {"blob_dir": blob_dir} if key == "multihost" else {}
     return cluster_class(
         num_workers=num_workers,
         num_reduce_tasks=num_reduce_tasks,
@@ -285,6 +312,7 @@ def make_cluster(
         kernel=kernel,
         grid=grid,
         partitioner=partitioner,
+        **extra,
     )
 
 
@@ -296,6 +324,7 @@ def resolve_cluster(
     codec: str | Codec = "compact",
     spill_budget_bytes: int | None = None,
     spill_dir: str | None = None,
+    blob_dir: str | None = None,
     kernel: str | None = None,
     grid: str | None = None,
     partitioner: str | None = None,
@@ -324,6 +353,7 @@ def resolve_cluster(
         codec=codec,
         spill_budget_bytes=spill_budget_bytes,
         spill_dir=spill_dir,
+        blob_dir=blob_dir,
         kernel=kernel,
         grid=grid,
         partitioner=partitioner,

@@ -55,6 +55,14 @@ class JobMetrics:
     #: Number of bucket payloads spilled to temp files and their total size.
     spilled_buckets: int = 0
     spilled_bytes: int = 0
+    #: Blob-store traffic of the multi-host backend: every encoded reduce
+    #: bucket is uploaded once by its map task (puts) and fetched — once per
+    #: distinct content-addressed key per reduce task — by the reduce side
+    #: (gets).  All four stay zero on the in-memory/spill-file backends.
+    blob_put_count: int = 0
+    blob_put_bytes: int = 0
+    blob_get_count: int = 0
+    blob_get_bytes: int = 0
     #: Pickled size of the map tasks' input arguments — the per-task database
     #: shipping cost a process-pool backend pays.  Backends that pass chunk
     #: descriptors against a shared store (``persistent-processes``) report a
@@ -151,6 +159,10 @@ class JobMetrics:
             "wire_bytes": self.wire_bytes,
             "spilled_buckets": self.spilled_buckets,
             "spilled_bytes": self.spilled_bytes,
+            "blob_put_count": self.blob_put_count,
+            "blob_put_bytes": self.blob_put_bytes,
+            "blob_get_count": self.blob_get_count,
+            "blob_get_bytes": self.blob_get_bytes,
             "map_input_pickle_bytes": self.map_input_pickle_bytes,
             "input_records": self.input_records,
             "output_records": self.output_records,
@@ -175,6 +187,10 @@ class JobMetrics:
             wire_bytes=self.wire_bytes + other.wire_bytes,
             spilled_buckets=self.spilled_buckets + other.spilled_buckets,
             spilled_bytes=self.spilled_bytes + other.spilled_bytes,
+            blob_put_count=self.blob_put_count + other.blob_put_count,
+            blob_put_bytes=self.blob_put_bytes + other.blob_put_bytes,
+            blob_get_count=self.blob_get_count + other.blob_get_count,
+            blob_get_bytes=self.blob_get_bytes + other.blob_get_bytes,
             map_input_pickle_bytes=self.map_input_pickle_bytes + other.map_input_pickle_bytes,
             map_output_records=self.map_output_records + other.map_output_records,
             combined_records=self.combined_records + other.combined_records,

@@ -1,0 +1,191 @@
+"""The multi-host backend: blob-staged shuffle between subprocess hosts.
+
+:class:`MultiHostCluster` executes jobs the way a fleet of stateless hosts
+would.  Input never travels with tasks: the records are published once as an
+:class:`~repro.sequences.store.EncodedSequenceStore` and each subprocess
+"host" worker attaches the published handle exactly like the
+persistent-processes backend.  The *shuffle* is where it departs from every
+other backend: map tasks encode their reduce buckets with the configured wire
+codec as usual (spilling past the in-memory budget), then upload every
+encoded bucket payload into a pluggable
+:class:`~repro.mapreduce.blobstore.BlobStore` under a per-job,
+content-addressed key — spilled payloads stream from the spill file straight
+into the store — and hand the driver only blob-referencing
+:class:`~repro.mapreduce.spill.WireFragment` descriptors.  Reduce tasks fetch
+their bucket's blobs by key (with retry-with-backoff, one get per distinct
+key) and run the same streamed ``merge_fragments`` read as everywhere else.
+The spill format *is* the shuffle transport, so patterns, supports, and all
+modeled/measured shuffle metrics stay byte-identical to the other four
+backends; only the new blob put/get counters are non-zero.
+
+The per-job blob namespace lives in a scope that closes strictly after the
+executor scope: a mid-stage worker failure first joins the surviving tasks,
+then every key under the job prefix is deleted (and a backend-owned temp
+store directory removed wholesale), so no blob outlives a failed job.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+from repro.mapreduce.base import Task
+from repro.mapreduce.blobstore import (
+    BlobStore,
+    DirectoryBlobStore,
+    content_key,
+    delete_prefix,
+)
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.parallel import PersistentProcessPoolCluster
+from repro.mapreduce.spill import (
+    FragmentReader,
+    WireFragment,
+    remove_spill_files,
+)
+from repro.mapreduce.tasks import MapTaskResult, run_reduce_task, run_store_map_task
+from repro.mapreduce.wire import Codec
+from repro.sequences.store import StoreChunk
+
+__all__ = ["BlobShuffle", "MultiHostCluster", "run_blob_map_task"]
+
+
+@dataclass(frozen=True)
+class BlobShuffle:
+    """One job's shuffle namespace: a blob store plus a unique key prefix.
+
+    Ships with every map and reduce task (the store implementations hold only
+    a root path, so this pickles at descriptor size, like a
+    :class:`~repro.sequences.store.StoreChunk`).
+    """
+
+    store: BlobStore
+    prefix: str
+
+
+def run_blob_map_task(
+    job: MapReduceJob,
+    chunk: StoreChunk,
+    num_reduce_tasks: int,
+    measure_shuffle: bool,
+    codec: Codec | str,
+    spill_budget_bytes: int | None,
+    spill_dir: str | None,
+    shuffle: BlobShuffle,
+) -> MapTaskResult:
+    """Run a store-chunk map task, then stage every bucket in the blob store.
+
+    Everything up to and including the encoded fragments is byte-identical to
+    :func:`~repro.mapreduce.tasks.run_store_map_task` — same codec, same
+    spill budget, same accounting.  Each fragment's payload then goes into
+    the store under its content-addressed key: inline fragments upload from
+    memory, spilled fragments stream from the task's spill file (one shared
+    handle via :class:`~repro.mapreduce.spill.FragmentReader`).  The task's
+    spill file is deleted right away — its contents live in the store now —
+    and the returned fragments carry only blob keys.
+    """
+    result = run_store_map_task(
+        job,
+        chunk,
+        num_reduce_tasks,
+        measure_shuffle,
+        codec=codec,
+        spill_budget_bytes=spill_budget_bytes,
+        spill_dir=spill_dir,
+    )
+    started = time.perf_counter()
+    staged: list[tuple[int, WireFragment]] = []
+    with FragmentReader() as reader:
+        for bucket_index, fragment in result.buckets:
+            blob = reader.read(fragment)
+            key = content_key(blob, shuffle.prefix)
+            shuffle.store.put(key, blob)
+            result.blob_put_count += 1
+            result.blob_put_bytes += len(blob)
+            staged.append(
+                (
+                    bucket_index,
+                    WireFragment(
+                        records=fragment.records,
+                        wire_bytes=fragment.wire_bytes,
+                        blob_key=key,
+                    ),
+                )
+            )
+    result.buckets = staged
+    remove_spill_files([result.spill_path])
+    result.spill_path = None
+    result.seconds += time.perf_counter() - started
+    return result
+
+
+class MultiHostCluster(PersistentProcessPoolCluster):
+    """Subprocess hosts exchanging encoded reduce buckets through blob storage.
+
+    ``blob_dir`` selects the directory backing the
+    :class:`~repro.mapreduce.blobstore.DirectoryBlobStore` (think: the mount
+    point or bucket of a shared object store).  ``None`` — the default —
+    creates a private temp directory per :meth:`run` and removes it
+    wholesale; a caller-provided directory is shared, so only the job's own
+    key prefix is deleted and the directory itself is left exactly as found.
+    """
+
+    backend_name = "multihost"
+
+    def __init__(self, *args, blob_dir: str | None = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.blob_dir = blob_dir
+
+    @contextmanager
+    def _shuffle_scope(self, job: MapReduceJob):
+        owned_root: str | None = None
+        if self.blob_dir is None:
+            owned_root = tempfile.mkdtemp(prefix="repro-blobs-", dir=self.spill_dir)
+            root = owned_root
+        else:
+            os.makedirs(self.blob_dir, exist_ok=True)
+            root = self.blob_dir
+        store = DirectoryBlobStore(root)
+        prefix = f"job-{uuid.uuid4().hex[:16]}"
+        try:
+            yield BlobShuffle(store=store, prefix=prefix)
+        finally:
+            # Runs after the executor scope has joined every worker task, so
+            # no host can upload a blob once its job's namespace is gone.
+            try:
+                delete_prefix(store, prefix)
+            finally:
+                if owned_root is not None:
+                    shutil.rmtree(owned_root, ignore_errors=True)
+
+    def _map_task(
+        self,
+        job: MapReduceJob,
+        chunk: StoreChunk,
+        job_spill_dir: str | None,
+        shuffle: Any = None,
+    ) -> Task:
+        return (
+            run_blob_map_task,
+            (
+                job,
+                chunk,
+                self.num_reduce_tasks,
+                self.measure_shuffle,
+                self.codec,
+                self.spill_budget_bytes,
+                job_spill_dir,
+                shuffle,
+            ),
+        )
+
+    def _reduce_task(
+        self, job: MapReduceJob, fragments: list[WireFragment], shuffle: Any = None
+    ) -> Task:
+        return (run_reduce_task, (job, fragments, self.codec, shuffle.store))

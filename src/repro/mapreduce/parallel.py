@@ -166,7 +166,13 @@ class PersistentProcessPoolCluster(ExecutorCluster):
                 for start, stop in split_ranges(len(store), self.num_workers)
             ]
 
-    def _map_task(self, job: MapReduceJob, chunk: StoreChunk, job_spill_dir: str | None) -> Task:
+    def _map_task(
+        self,
+        job: MapReduceJob,
+        chunk: StoreChunk,
+        job_spill_dir: str | None,
+        shuffle: Any = None,
+    ) -> Task:
         return (
             run_store_map_task,
             (

@@ -28,33 +28,124 @@ from repro.mapreduce.wire import Codec
 
 @dataclass
 class WireFragment:
-    """One encoded bucket payload: inline bytes or a slice of a spill file."""
+    """One encoded bucket payload: inline bytes, a slice of a spill file, or
+    a blob-store reference (the multi-host shuffle transport)."""
 
     records: int
     wire_bytes: int
     data: bytes | None = None
     path: str | None = None
     offset: int = 0
+    blob_key: str | None = None
 
     @property
     def spilled(self) -> bool:
         return self.path is not None
 
     def read(self) -> bytes:
-        """Return the encoded payload, reading it back from disk if spilled."""
+        """Return the encoded payload, reading it back from disk if spilled.
+
+        One open-seek-read per call; reduce tasks read many fragments from the
+        same spill file through a :class:`FragmentReader` instead, which keeps
+        one handle per distinct path.  Blob-referencing fragments can only be
+        read through a reader that knows their store.
+        """
         if self.data is not None:
             return self.data
+        if self.blob_key is not None:
+            raise MapReduceError(
+                f"fragment references blob {self.blob_key!r}; read it through a "
+                "FragmentReader constructed with its blob store"
+            )
         if self.path is None:
             raise MapReduceError("fragment has neither inline data nor a spill file")
         with open(self.path, "rb") as handle:
-            handle.seek(self.offset)
-            blob = handle.read(self.wire_bytes)
-        if len(blob) != self.wire_bytes:
-            raise MapReduceError(
-                f"truncated spill file {self.path}: expected {self.wire_bytes} bytes "
-                f"at offset {self.offset}, got {len(blob)}"
-            )
+            return _read_slice(handle, self)
+
+
+def _read_slice(handle: IO[bytes], fragment: WireFragment) -> bytes:
+    """Read one fragment's slice from an open spill-file handle."""
+    handle.seek(fragment.offset)
+    blob = handle.read(fragment.wire_bytes)
+    if len(blob) != fragment.wire_bytes:
+        raise MapReduceError(
+            f"truncated spill file {fragment.path}: expected "
+            f"{fragment.wire_bytes} bytes at offset {fragment.offset}, "
+            f"got {len(blob)}"
+        )
+    return blob
+
+
+class FragmentReader:
+    """Reads fragments while reusing one handle per distinct spill file.
+
+    A reduce bucket typically holds one fragment per map task, and every
+    fragment a single map task spilled shares that task's spill file —
+    ``WireFragment.read()``'s open-seek-read per fragment therefore reopens
+    the same few files over and over.  The reader keeps one open handle per
+    distinct path for its lifetime instead.
+
+    With a ``blob_store``, blob-referencing fragments are fetched with
+    :func:`~repro.mapreduce.blobstore.get_with_retry` and cached per key, so
+    a key shared by several fragments (content-addressed dedup) costs one
+    ``get``; the fetch counters feed the job's blob metrics.  Use as a
+    context manager, or call :meth:`close` when done.
+    """
+
+    def __init__(self, blob_store=None) -> None:
+        self.blob_store = blob_store
+        self.blob_gets = 0
+        self.blob_get_bytes = 0
+        self._handles: dict[str, IO[bytes]] = {}
+        self._blobs: dict[str, bytes] = {}
+
+    def read(self, fragment: WireFragment) -> bytes:
+        """Return one fragment's encoded payload (see :class:`WireFragment`)."""
+        if fragment.data is not None:
+            return fragment.data
+        if fragment.blob_key is not None:
+            return self._fetch_blob(fragment.blob_key)
+        if fragment.path is None:
+            raise MapReduceError("fragment has neither inline data nor a spill file")
+        handle = self._handles.get(fragment.path)
+        if handle is None:
+            handle = self._handles[fragment.path] = open(fragment.path, "rb")
+        return _read_slice(handle, fragment)
+
+    def read_many(self, fragments: Iterable[WireFragment]):
+        """Yield each fragment's payload, sharing handles and blob fetches."""
+        for fragment in fragments:
+            yield self.read(fragment)
+
+    def _fetch_blob(self, key: str) -> bytes:
+        blob = self._blobs.get(key)
+        if blob is None:
+            if self.blob_store is None:
+                raise MapReduceError(
+                    f"fragment references blob {key!r} but this reader has no "
+                    "blob store"
+                )
+            from repro.mapreduce.blobstore import get_with_retry
+
+            blob = self._blobs[key] = get_with_retry(self.blob_store, key)
+            self.blob_gets += 1
+            self.blob_get_bytes += len(blob)
         return blob
+
+    def close(self) -> None:
+        for handle in self._handles.values():
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+        self._handles.clear()
+        self._blobs.clear()
+
+    def __enter__(self) -> "FragmentReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class SpillWriter:
@@ -109,28 +200,46 @@ def store_payloads(
                 fragment.data = blob
                 inline_total += len(blob)
             fragments.append((bucket_index, fragment))
-    finally:
+    except BaseException:
+        # The caller never sees ``writer.path`` when the ``encoded`` iterator
+        # raises mid-task (a codec failure, a poisoned combine), so a partial
+        # spill file would be orphaned until the driver's job-directory
+        # cleanup — or forever, for direct callers without one.  Remove it
+        # here before re-raising.
         writer.close()
+        remove_spill_files([writer.path])
+        raise
+    writer.close()
     return fragments, writer.path
 
 
 def merge_fragments(
-    fragments: Sequence[WireFragment], codec: Codec
+    fragments: Sequence[WireFragment], codec: Codec, reader: FragmentReader | None = None
 ) -> dict[Any, list[Any]]:
     """Merge one bucket's fragments by key (the reduce-side shuffle read).
 
     Fragments are read and decoded one at a time — only the merged key groups
     and a single fragment's blob are ever in memory, which is what lets spilled
-    shuffles stay larger than the in-memory budget.
+    shuffles stay larger than the in-memory budget.  Reads go through a
+    :class:`FragmentReader` (one open handle per distinct spill file, one blob
+    get per distinct key); pass one in to share its caches and collect its
+    fetch counters, otherwise a private reader spans this call.
     """
     grouped: dict[Any, list[Any]] = {}
-    for fragment in fragments:
-        for key, values in codec.iter_bucket(fragment.read()):
-            existing = grouped.get(key)
-            if existing is None:
-                grouped[key] = values
-            else:
-                existing.extend(values)
+    owned = reader is None
+    if owned:
+        reader = FragmentReader()
+    try:
+        for blob in reader.read_many(fragments):
+            for key, values in codec.iter_bucket(blob):
+                existing = grouped.get(key)
+                if existing is None:
+                    grouped[key] = values
+                else:
+                    existing.extend(values)
+    finally:
+        if owned:
+            reader.close()
     return grouped
 
 

@@ -25,7 +25,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.spill import WireFragment, merge_fragments, store_payloads
+from repro.mapreduce.spill import (
+    FragmentReader,
+    WireFragment,
+    merge_fragments,
+    store_payloads,
+)
 from repro.mapreduce.wire import Codec, make_codec
 from repro.sequences.store import StoreChunk, resolve_chunk
 
@@ -60,6 +65,9 @@ class MapTaskResult:
     spilled_buckets: int = 0
     spilled_bytes: int = 0
     spill_path: str | None = None
+    #: Blob-store shuffle writes (multi-host backend; zero elsewhere).
+    blob_put_count: int = 0
+    blob_put_bytes: int = 0
     seconds: float = 0.0
     worker: tuple[int, int] = (0, 0)
 
@@ -69,6 +77,9 @@ class ReduceTaskResult:
     """Output of one reduce task over a single bucket."""
 
     outputs: list[Any] = field(default_factory=list)
+    #: Blob-store shuffle reads (multi-host backend; zero elsewhere).
+    blob_get_count: int = 0
+    blob_get_bytes: int = 0
     seconds: float = 0.0
     worker: tuple[int, int] = (0, 0)
 
@@ -177,15 +188,26 @@ def run_reduce_task(
     job: MapReduceJob,
     fragments: Sequence[WireFragment],
     codec: Codec | str = "compact",
+    blob_store: Any = None,
 ) -> ReduceTaskResult:
-    """Merge the encoded fragments of one bucket and reduce every key group."""
+    """Merge the encoded fragments of one bucket and reduce every key group.
+
+    ``blob_store`` is the multi-host backend's fragment source: its fragments
+    carry blob keys instead of inline bytes or spill-file slices, and the
+    merge fetches them (with retry, one get per distinct key) through a
+    :class:`~repro.mapreduce.spill.FragmentReader` over the store.
+    """
     started = time.perf_counter()
-    grouped = merge_fragments(fragments, make_codec(codec))
+    with FragmentReader(blob_store) as reader:
+        grouped = merge_fragments(fragments, make_codec(codec), reader=reader)
+        blob_get_count, blob_get_bytes = reader.blob_gets, reader.blob_get_bytes
     outputs: list[Any] = []
     for key, values in grouped.items():
         outputs.extend(job.reduce(key, values))
     return ReduceTaskResult(
         outputs=outputs,
+        blob_get_count=blob_get_count,
+        blob_get_bytes=blob_get_bytes,
         seconds=time.perf_counter() - started,
         worker=worker_token(),
     )

@@ -284,6 +284,7 @@ class GapConstrainedMiner:
             job.partition_plan = plan_job_partitions(
                 job, records, cluster.num_reduce_tasks,
                 num_workers=cluster.num_workers,
+                sample=self.cluster.plan_sample,
             )
         result = cluster.run(job, records)
         name = self.algorithm_name if self.use_hierarchy else "MG-FSM"

@@ -24,7 +24,9 @@ the in-process library path.
 
 from repro.service.cache import CacheInfo, QueryCache
 from repro.service.protocol import (
+    DEFAULT_SERVICE_PORT,
     PROTOCOL_VERSION,
+    decode_cache_info,
     decode_result,
     encode_result,
     error_payload,
@@ -34,9 +36,11 @@ from repro.service.server import MiningServer
 
 __all__ = [
     "CacheInfo",
+    "DEFAULT_SERVICE_PORT",
     "MiningServer",
     "PROTOCOL_VERSION",
     "QueryCache",
+    "decode_cache_info",
     "decode_result",
     "encode_result",
     "error_payload",

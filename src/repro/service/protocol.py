@@ -25,9 +25,15 @@ from repro.mapreduce import ClusterConfig
 from repro.mapreduce.metrics import JobMetrics
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase
+from repro.service.cache import CacheInfo
 
 #: Bumped whenever a payload shape changes incompatibly.
 PROTOCOL_VERSION = 1
+
+#: The port ``repro serve`` binds — and :func:`repro.api.connect` dials — by
+#: default.  Shared here so the two sides cannot drift apart (the client used
+#: to default to port 0, which no listening daemon can ever occupy).
+DEFAULT_SERVICE_PORT = 9043
 
 
 # ----------------------------------------------------------------- framing
@@ -206,6 +212,24 @@ def decode_result(payload: dict) -> MiningResult:
         {tuple(pattern): frequency for pattern, frequency in payload["patterns"]},
         metrics=metrics,
         algorithm=payload["algorithm"],
+    )
+
+
+# ---------------------------------------------------------------- cache info
+_CACHE_INFO_FIELDS = tuple(field.name for field in dataclasses.fields(CacheInfo))
+
+
+def decode_cache_info(payload: dict) -> CacheInfo:
+    """Rebuild a :class:`~repro.service.cache.CacheInfo` from its wire form.
+
+    The one tolerant decoder for both sides: unknown keys are ignored (the
+    server's ``as_dict`` already ships the derived ``hit_rate``, and a newer
+    server may ship counters an older client does not know), and missing
+    keys fall back to the dataclass defaults — so protocol additions never
+    break old clients.
+    """
+    return CacheInfo(
+        **{name: payload[name] for name in _CACHE_INFO_FIELDS if name in payload}
     )
 
 

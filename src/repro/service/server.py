@@ -16,7 +16,6 @@ import threading
 import time
 
 from repro.service import protocol
-from repro.service.cache import CacheInfo
 
 
 class _ClientHandler(socketserver.StreamRequestHandler):
@@ -205,14 +204,3 @@ class MiningServer(socketserver.ThreadingTCPServer):
 
     def _op_shutdown(self, request: dict) -> dict:
         return {"stopping": True}
-
-
-def cache_info_from_dict(payload: dict) -> CacheInfo:
-    """Rebuild a :class:`CacheInfo` from its ``as_dict`` wire form."""
-    return CacheInfo(
-        hits=payload["hits"],
-        misses=payload["misses"],
-        evictions=payload["evictions"],
-        entries=payload["entries"],
-        max_entries=payload["max_entries"],
-    )

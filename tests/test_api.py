@@ -332,3 +332,5 @@ class TestConfigFingerprint:
         assert ClusterConfig(codec="zlib").fingerprint() != base
         assert ClusterConfig(kernel="interpreted").fingerprint() != base
         assert ClusterConfig(grid="legacy").fingerprint() != base
+        assert ClusterConfig(blob_dir="/tmp/blobs").fingerprint() != base
+        assert ClusterConfig(plan_sample=0.5).fingerprint() != base

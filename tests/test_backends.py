@@ -14,6 +14,7 @@ from repro.errors import MapReduceError
 from repro.mapreduce import (
     BACKENDS,
     MapReduceJob,
+    MultiHostCluster,
     PersistentProcessPoolCluster,
     ProcessPoolCluster,
     SimulatedCluster,
@@ -80,11 +81,14 @@ FID_COUNTS = {1: 3, 2: 3, 3: 4}
 # ------------------------------------------------------------------- factory
 class TestMakeCluster:
     def test_backend_names(self):
-        assert BACKENDS == ("simulated", "threads", "processes", "persistent-processes")
+        assert BACKENDS == (
+            "simulated", "threads", "processes", "persistent-processes", "multihost"
+        )
         assert isinstance(make_cluster("simulated"), SimulatedCluster)
         assert isinstance(make_cluster("threads"), ThreadPoolCluster)
         assert isinstance(make_cluster("processes"), ProcessPoolCluster)
         assert isinstance(make_cluster("persistent-processes"), PersistentProcessPoolCluster)
+        assert isinstance(make_cluster("multihost"), MultiHostCluster)
 
     @pytest.mark.parametrize("alias,cls", [
         ("process", ProcessPoolCluster),
@@ -94,6 +98,8 @@ class TestMakeCluster:
         ("Simulated", SimulatedCluster),
         ("persistent", PersistentProcessPoolCluster),
         ("shm", PersistentProcessPoolCluster),
+        ("multi-host", MultiHostCluster),
+        ("blob", MultiHostCluster),
     ])
     def test_aliases(self, alias, cls):
         assert isinstance(make_cluster(alias), cls)

@@ -328,6 +328,42 @@ class TestPartitionPlanning:
         with pytest.raises(MiningError):
             estimate_partition_loads(job, records, sample=1.5)
 
+    def test_sampling_works_over_store_backed_records(self):
+        """The estimation pass must accept record views that reject strided
+        slicing (the persistent backends' store slices)."""
+        from repro.sequences.store import EncodedSequenceStore
+
+        job = _WordCountJob()
+        store = EncodedSequenceStore.from_sequences([(1,), (2,), (1,), (2,)])
+        try:
+            assert estimate_partition_loads(job, store, sample=0.5) == {1: 10}
+            assert estimate_partition_loads(
+                job, store.slice(0, len(store)), sample=0.5
+            ) == {1: 10}
+        finally:
+            store.close()
+
+    def test_plan_sample_knob_keeps_patterns_byte_identical(
+        self, ex_dictionary, ex_database
+    ):
+        """``ClusterConfig(plan_sample=...)`` may change the plan, never the mining."""
+        from repro.mapreduce import ClusterConfig
+
+        results = {
+            sample: DSeqMiner(
+                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary,
+                cluster=ClusterConfig(
+                    num_workers=2, partitioner="planned", plan_sample=sample
+                ),
+            ).mine(ex_database)
+            for sample in (None, 0.5)
+        }
+        full, sampled = results[None], results[0.5]
+        assert sampled.patterns() == full.patterns()
+        assert sampled.metrics.shuffle_bytes == full.metrics.shuffle_bytes
+        assert sampled.metrics.shuffle_records == full.metrics.shuffle_records
+        assert sampled.metrics.partitioner == "planned"
+
     def test_plan_job_partitions_on_running_example(self, ex_dictionary, ex_database):
         miner = DSeqMiner(RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=1)
         job = DSeqJob(miner.patex.compile(ex_dictionary), ex_dictionary, 2)

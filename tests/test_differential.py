@@ -206,7 +206,7 @@ class TestKernelMatrix:
     the interpreted per-label walk.
     """
 
-    BACKENDS = ("simulated", "threads", "processes", "persistent-processes")
+    BACKENDS = ("simulated", "threads", "processes", "persistent-processes", "multihost")
 
     @pytest.fixture(scope="class")
     def kernel_data(self):
@@ -271,7 +271,7 @@ class TestPartitionerMatrix:
     different bucket compositions.)
     """
 
-    BACKENDS = ("simulated", "threads", "processes", "persistent-processes")
+    BACKENDS = ("simulated", "threads", "processes", "persistent-processes", "multihost")
 
     @pytest.fixture(scope="class")
     def partitioner_data(self):
@@ -533,7 +533,7 @@ class TestGridAndDedupMatrix:
     """
 
     #: Backends compared against the simulated baseline sweep.
-    BACKENDS = ("threads", "processes", "persistent-processes")
+    BACKENDS = ("threads", "processes", "persistent-processes", "multihost")
 
     #: Every (kernel, grid, dedup) combination.
     CONFIGS = tuple(

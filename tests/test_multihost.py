@@ -1,0 +1,278 @@
+"""The multi-host blob-staged shuffle backend and the shared FragmentReader.
+
+Acceptance criteria of the ``multihost`` backend: patterns, supports, and all
+modeled/measured shuffle metrics are byte-identical to every other backend
+(the blob store is a *transport*, not a semantics change), the new blob
+put/get counters account for the staged traffic, and no blob — or spill
+file — survives a finished job, successful or not.
+"""
+
+from __future__ import annotations
+
+import builtins
+import os
+
+import pytest
+
+from repro.core import DSeqMiner
+from repro.errors import MapReduceError
+from repro.mapreduce import (
+    ClusterConfig,
+    FragmentReader,
+    InMemoryBlobStore,
+    MapReduceJob,
+    MultiHostCluster,
+    WireFragment,
+    make_cluster,
+    make_codec,
+    merge_fragments,
+)
+from repro.mapreduce.spill import store_payloads
+
+from tests.test_differential import MATRIX_MINERS, make_differential_database
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_differential_database(count=40, seed=31)
+
+
+class FidCountJob(MapReduceJob):
+    """Integer word count runnable on the store-backed backends."""
+
+    use_combiner = True
+
+    def map(self, record):
+        for fid in record:
+            yield fid, 1
+
+    def combine(self, key, values):
+        yield key, sum(values)
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+FID_RECORDS = [(fid % 7 + 1,) * (fid % 3 + 1) for fid in range(30)]
+
+
+class ExplodingMapJob(FidCountJob):
+    """One poisoned record kills its host mid-map; other hosts keep uploading."""
+
+    def map(self, record):
+        if record == (99,):
+            raise MapReduceError("host down")
+        yield from super().map(record)
+
+
+# ------------------------------------------------------- backend equivalence
+class TestMultiHostEquivalence:
+    @pytest.mark.parametrize("codec", ("compact", "zlib"))
+    @pytest.mark.parametrize("miner_name", sorted(MATRIX_MINERS))
+    def test_byte_identical_to_simulated(self, miner_name, codec, corpus):
+        dictionary, database = corpus
+        factory = MATRIX_MINERS[miner_name]
+        reference = factory(dictionary, "simulated", codec).mine(database)
+        multihost = factory(dictionary, "multihost", codec).mine(database)
+        assert multihost.patterns() == reference.patterns()
+        for metric in (
+            "shuffle_bytes",
+            "shuffle_records",
+            "wire_bytes",
+            "spilled_buckets",
+            "spilled_bytes",
+            "map_output_records",
+            "combined_records",
+            "output_records",
+        ):
+            assert getattr(multihost.metrics, metric) == (
+                getattr(reference.metrics, metric)
+            ), metric
+        # Only the blob counters set the backends apart.
+        assert reference.metrics.blob_put_count == 0
+        assert reference.metrics.blob_get_count == 0
+        assert multihost.metrics.blob_put_count > 0
+        assert multihost.metrics.blob_get_count > 0
+        assert multihost.metrics.blob_put_bytes > 0
+        # Content-addressed dedup can only ever shrink the reduce-side reads.
+        assert multihost.metrics.blob_get_count <= multihost.metrics.blob_put_count
+        assert multihost.metrics.blob_get_bytes <= multihost.metrics.blob_put_bytes
+
+    def test_spilled_shuffle_stays_byte_identical(self, corpus):
+        """Past the spill budget, fragments stage from the spill file — same bytes."""
+        dictionary, database = corpus
+        results = {
+            backend: DSeqMiner(
+                ".*(A)[(.^)|.]*(b).*", 2, dictionary,
+                cluster=ClusterConfig(
+                    backend=backend, num_workers=2, spill_budget_bytes=0
+                ),
+            ).mine(database)
+            for backend in ("simulated", "multihost")
+        }
+        reference, multihost = results["simulated"], results["multihost"]
+        assert multihost.patterns() == reference.patterns()
+        assert multihost.metrics.spilled_buckets == reference.metrics.spilled_buckets
+        assert multihost.metrics.spilled_bytes == reference.metrics.spilled_bytes
+        assert multihost.metrics.spilled_buckets > 0
+        assert multihost.metrics.blob_put_bytes == multihost.metrics.wire_bytes
+
+
+# ------------------------------------------------------------- blob hygiene
+class TestBlobCleanup:
+    def test_default_run_leaves_spill_dir_empty(self, tmp_path):
+        cluster = MultiHostCluster(num_workers=2, spill_dir=str(tmp_path))
+        result = cluster.run(FidCountJob(), FID_RECORDS)
+        assert result.metrics.blob_put_count > 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_shared_blob_dir_left_exactly_as_found(self, tmp_path):
+        blob_dir = tmp_path / "store"
+        blob_dir.mkdir()
+        unrelated = blob_dir / "someone-elses-blob"
+        unrelated.write_bytes(b"keep me")
+        cluster = MultiHostCluster(num_workers=2, blob_dir=str(blob_dir))
+        cluster.run(FidCountJob(), FID_RECORDS)
+        assert sorted(path.name for path in blob_dir.iterdir()) == [
+            "someone-elses-blob"
+        ]
+        assert unrelated.read_bytes() == b"keep me"
+
+    def test_mid_stage_host_failure_cleans_blobs_and_raises(self, tmp_path):
+        """Kill one host mid-map: the job fails loudly and no blob survives."""
+        blob_dir = tmp_path / "store"
+        spill_dir = tmp_path / "spill"
+        spill_dir.mkdir()
+        cluster = MultiHostCluster(
+            num_workers=2,
+            blob_dir=str(blob_dir),
+            spill_dir=str(spill_dir),
+            spill_budget_bytes=0,
+        )
+        # Enough healthy records that other hosts finish (and upload) before
+        # and after the poisoned one dies.
+        records = FID_RECORDS[:15] + [(99,)] + FID_RECORDS[15:]
+        with pytest.raises(MapReduceError, match="host down"):
+            cluster.run(ExplodingMapJob(), records)
+        assert list(blob_dir.iterdir()) == []  # job namespace fully deleted
+        assert list(spill_dir.iterdir()) == []  # no spill file leaked either
+        # The cluster stays usable for the next job.
+        result = cluster.run(FidCountJob(), FID_RECORDS)
+        assert result.metrics.blob_put_count > 0
+        assert list(blob_dir.iterdir()) == []
+
+    def test_two_jobs_sharing_a_blob_dir_do_not_collide(self, tmp_path):
+        blob_dir = str(tmp_path / "store")
+        for _ in range(2):
+            cluster = MultiHostCluster(num_workers=2, blob_dir=blob_dir)
+            cluster.run(FidCountJob(), FID_RECORDS)
+        assert os.listdir(blob_dir) == []
+
+    def test_blob_dir_on_other_backends_is_rejected(self):
+        with pytest.raises(MapReduceError, match="blob_dir"):
+            make_cluster("threads", blob_dir="/tmp/blobs")
+
+
+# -------------------------------------------------- FragmentReader behaviour
+class TestFragmentReader:
+    def _spilled_fragments(self, tmp_path, buckets):
+        codec = make_codec("compact")
+        encoded = (
+            (index, codec.encode_bucket(payload), sum(map(len, payload.values())))
+            for index, payload in enumerate(buckets)
+        )
+        fragments, path = store_payloads(encoded, 0, str(tmp_path))
+        return [fragment for _, fragment in fragments], path, codec
+
+    def test_merge_opens_each_spill_file_once(self, tmp_path, monkeypatch):
+        """The regression: per-fragment reopening of the same spill file."""
+        buckets = [{index: [1, 2]} for index in range(8)]
+        fragments, path, codec = self._spilled_fragments(tmp_path, buckets)
+        assert all(fragment.path == path for fragment in fragments)
+
+        opened = []
+        real_open = builtins.open
+
+        def counting_open(file, *args, **kwargs):
+            opened.append(str(file))
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", counting_open)
+        merged = merge_fragments(fragments, codec)
+        assert merged == {index: [1, 2] for index in range(8)}
+        assert opened.count(path) == 1  # one handle for all eight fragments
+
+    def test_reader_fetches_each_blob_key_once(self):
+        codec = make_codec("compact")
+        blob = codec.encode_bucket({7: [1]})
+        store = InMemoryBlobStore()
+        store.put("job/k", blob)
+        fragments = [
+            WireFragment(records=1, wire_bytes=len(blob), blob_key="job/k")
+            for _ in range(5)
+        ]
+        with FragmentReader(store) as reader:
+            merged = merge_fragments(fragments, codec, reader=reader)
+            assert reader.blob_gets == 1
+            assert reader.blob_get_bytes == len(blob)
+        assert store.gets == 1  # content-addressed dedup: one get per key
+        assert merged == {7: [1, 1, 1, 1, 1]}
+
+    def test_blob_fragment_requires_a_store(self):
+        fragment = WireFragment(records=1, wire_bytes=3, blob_key="job/k")
+        with pytest.raises(MapReduceError, match="FragmentReader"):
+            fragment.read()
+        with FragmentReader() as reader:
+            with pytest.raises(MapReduceError, match="no.*blob store"):
+                reader.read(fragment)
+
+    def test_inline_fragments_never_open_anything(self, monkeypatch):
+        def forbidden_open(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("inline fragments must not touch the disk")
+
+        monkeypatch.setattr(builtins, "open", forbidden_open)
+        codec = make_codec("compact")
+        blob = codec.encode_bucket({1: [2]})
+        with FragmentReader() as reader:
+            assert reader.read(
+                WireFragment(records=1, wire_bytes=len(blob), data=blob)
+            ) == blob
+
+
+# ------------------------------------------------- spill-leak regression
+class ExplodingCodec:
+    """Wraps a codec; ``encode_bucket`` raises on the Nth call."""
+
+    def __init__(self, fail_on: int) -> None:
+        self._codec = make_codec("compact")
+        self._calls = 0
+        self.fail_on = fail_on
+
+    def encode_bucket(self, payload):
+        self._calls += 1
+        if self._calls == self.fail_on:
+            raise MapReduceError("codec boom")
+        return self._codec.encode_bucket(payload)
+
+
+class TestStorePayloadsLeak:
+    def test_spill_file_removed_when_encoding_fails_mid_task(self, tmp_path):
+        """The regression: an iterator raising mid-``store_payloads`` used to
+        orphan the partially written spill file forever."""
+        codec = ExplodingCodec(fail_on=4)
+
+        def encoded():
+            for index in range(8):
+                blob = codec.encode_bucket({index: [1, 2, 3]})
+                yield index, blob, 3
+
+        with pytest.raises(MapReduceError, match="codec boom"):
+            store_payloads(encoded(), 0, str(tmp_path))
+        assert list(tmp_path.iterdir()) == []  # the partial spill file is gone
+
+    def test_successful_task_still_returns_its_spill_file(self, tmp_path):
+        codec = make_codec("compact")
+        encoded = [(0, codec.encode_bucket({0: [1]}), 1)]
+        fragments, path = store_payloads(iter(encoded), 0, str(tmp_path))
+        assert path is not None and os.path.exists(path)
+        assert [f.spilled for _, f in fragments] == [True]

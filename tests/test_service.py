@@ -144,6 +144,49 @@ class TestProtocol:
         with pytest.raises(ServiceError, match="Weird: boom"):
             protocol.raise_error_payload({"type": "Weird", "message": "boom"})
 
+    def test_cache_info_round_trips_through_the_tolerant_decoder(self):
+        info = CacheInfo(hits=3, misses=1, evictions=2, entries=4, max_entries=8)
+        # as_dict ships the derived hit_rate too; the decoder must ignore it.
+        decoded = protocol.decode_cache_info(info.as_dict())
+        assert decoded == info
+
+    def test_cache_info_decoder_tolerates_unknown_and_missing_keys(self):
+        # A newer server shipping extra counters must not break this client,
+        # and an older server omitting fields falls back to the defaults.
+        decoded = protocol.decode_cache_info(
+            {"hits": 5, "hit_rate": 0.5, "brand_new_counter": 7}
+        )
+        assert decoded.hits == 5
+        assert decoded.misses == 0
+        assert decoded.entries == 0
+
+
+class TestDefaultServicePort:
+    def test_serve_and_connect_share_one_default(self):
+        from argparse import ArgumentParser
+
+        from repro.cli import serve_cmd
+
+        parser = ArgumentParser()
+        serve_cmd.add_parser(parser.add_subparsers())
+        args = parser.parse_args(["serve"])
+        assert args.port == protocol.DEFAULT_SERVICE_PORT
+        import inspect
+
+        signature = inspect.signature(repro.api.connect)
+        assert signature.parameters["port"].default == protocol.DEFAULT_SERVICE_PORT
+
+    def test_connect_rejects_port_zero(self):
+        # Port 0 is only meaningful when *binding* a server; dialing it used
+        # to be the silently broken default.
+        with pytest.raises(ServiceError, match="port 0"):
+            repro.api.connect(port=0)
+
+    def test_port_is_exported_from_the_service_package(self):
+        from repro.service import DEFAULT_SERVICE_PORT
+
+        assert DEFAULT_SERVICE_PORT == protocol.DEFAULT_SERVICE_PORT > 0
+
 
 # ------------------------------------------------------------ client/server
 class TestServiceSession:
