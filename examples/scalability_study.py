@@ -22,7 +22,7 @@ BACKEND = "simulated"
 
 
 def run(miner_class, expression, sigma, dictionary, database, workers):
-    miner = miner_class(expression, sigma, dictionary, num_workers=workers, backend=BACKEND)
+    miner = miner_class(expression, sigma, dictionary, num_workers=workers, cluster=BACKEND)
     result = miner.mine(database)
     return result.metrics.total_seconds, len(result)
 

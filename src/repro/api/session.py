@@ -162,8 +162,9 @@ def mine(
     config:
         The execution substrate as one
         :class:`~repro.mapreduce.ClusterConfig` (default: the library
-        default substrate).  This replaces the deprecated per-miner
-        ``backend=``/``codec=``/``spill_budget_bytes=`` keywords.
+        default substrate).  This replaces the per-miner
+        ``backend=``/``codec=``/``spill_budget_bytes=`` keywords, which
+        were removed after their deprecation cycle.
     options:
         Forwarded to the selected miner (e.g. ``use_rewriting`` for D-SEQ,
         ``max_runs``, ``dedup``).

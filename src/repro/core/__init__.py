@@ -1,8 +1,10 @@
 """Core distributed FSM algorithms: D-SEQ, D-CAND, and baselines."""
 
 from repro.core.balance import (
+    JobPlanner,
     PartitionBalance,
     PartitionPlan,
+    attach_partition_plan,
     dcand_partition_balance,
     dseq_partition_balance,
     estimate_partition_loads,
@@ -31,6 +33,13 @@ from repro.core.partitioning import (
     pivot_items_of_candidates,
     subsequence_key,
 )
+from repro.core.prefix_batch import (
+    DEFAULT_MAP_BATCHING,
+    MAP_BATCHINGS,
+    batched_accepting,
+    batched_grids,
+    normalize_map_batching,
+)
 from repro.core.pivot_search import (
     PositionStateGrid,
     pivot_items,
@@ -46,11 +55,14 @@ __all__ = [
     "DCandJob",
     "DCandMiner",
     "DEFAULT_GRID",
+    "DEFAULT_MAP_BATCHING",
     "DSeqJob",
     "DSeqMiner",
     "DesqDfsMiner",
     "FlatPivotGrid",
     "GRIDS",
+    "JobPlanner",
+    "MAP_BATCHINGS",
     "MiningResult",
     "NaiveMiner",
     "NfaLocalMiner",
@@ -58,6 +70,9 @@ __all__ = [
     "PartitionPlan",
     "PositionStateGrid",
     "SemiNaiveMiner",
+    "attach_partition_plan",
+    "batched_accepting",
+    "batched_grids",
     "cached_grid",
     "dcand_partition_balance",
     "dseq_partition_balance",
@@ -70,6 +85,7 @@ __all__ = [
     "plan_job_partitions",
     "plan_partitions",
     "normalize_grid",
+    "normalize_map_batching",
     "pivot_item",
     "pivot_items",
     "pivot_items_of_candidates",

@@ -398,3 +398,87 @@ def plan_job_partitions(
     """
     loads = estimate_partition_loads(job, records, sample=sample)
     return plan_partitions(loads, num_reduce_tasks, num_workers=num_workers)
+
+
+def _records_key(records) -> object:
+    """A cache key identifying a record set: content hash when cheap, else id.
+
+    Encoded stores (what every miner hands to ``Cluster.run``) carry a cached
+    ``content_hash()``; arbitrary record sequences fall back to object
+    identity, which can only under-share, never alias different corpora.
+    """
+    content_hash = getattr(records, "content_hash", None)
+    if callable(content_hash):
+        return content_hash()
+    return id(records)
+
+
+class JobPlanner:
+    """Per-miner cache of :class:`PartitionPlan` objects.
+
+    The load-estimation pass replays the job's map phase over the corpus —
+    by far the most expensive part of planning — so re-estimating on every
+    ``mine()`` call (and, for multi-job miners, every stage) is pure waste:
+    the plan is a function of the job type, the records, and the bucket
+    layout, all of which repeat.  The planner estimates once per distinct
+    ``(job type, records, layout, sample)`` and replays the cached plan.
+    Sharing a plan is always safe: a plan only decides *where* keys land,
+    never what is mined, and unplanned keys fall back to the stable hash.
+    """
+
+    __slots__ = ("_plans",)
+
+    def __init__(self) -> None:
+        self._plans: dict = {}
+
+    def plan_for(
+        self,
+        job: MapReduceJob,
+        records: Sequence,
+        num_reduce_tasks: int,
+        num_workers: int | None = None,
+        sample: float | None = None,
+    ) -> PartitionPlan:
+        """The cached plan for this job/records/layout, building on a miss."""
+        key = (
+            type(job).__name__,
+            _records_key(records),
+            num_reduce_tasks,
+            num_workers,
+            sample,
+        )
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = plan_job_partitions(
+                job,
+                records,
+                num_reduce_tasks,
+                num_workers=num_workers,
+                sample=sample,
+            )
+            self._plans[key] = plan
+        return plan
+
+
+def attach_partition_plan(miner, job: MapReduceJob, records: Sequence, cluster) -> None:
+    """Attach the miner's (cached) skew-aware plan to ``job`` when planned.
+
+    The one planning block shared by every cluster miner: a no-op unless the
+    miner's config selects the ``"planned"`` partitioner; otherwise the plan
+    comes from a :class:`JobPlanner` lazily stored on the miner, so repeated
+    ``mine()`` calls over the same corpus estimate the per-pivot loads once.
+    """
+    config = miner.cluster
+    if config.partitioner_name != "planned":
+        return
+    planner = getattr(miner, "_job_planner", None)
+    if planner is None:
+        planner = JobPlanner()
+        miner._job_planner = planner
+    job.partition_plan = planner.plan_for(
+        job,
+        records,
+        cluster.num_reduce_tasks,
+        num_workers=cluster.num_workers,
+        sample=config.plan_sample,
+    )

@@ -24,6 +24,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.core.nfa_mining import NfaLocalMiner
 from repro.core.pivot_search import pivots_of_output_sets
+from repro.core.prefix_batch import batched_accepting, normalize_map_batching
 from repro.core.results import MiningResult
 from repro.dictionary import EPSILON_FID, Dictionary
 from repro.fst import (
@@ -36,12 +37,10 @@ from repro.fst import (
     run_output_sets,
 )
 from repro.mapreduce import (
-    UNSET,
     Cluster,
     ClusterConfig,
     MapReduceJob,
     resolve_cluster,
-    resolve_legacy_substrate,
 )
 from repro.nfa import TrieBuilder, deserialize, serialize
 from repro.patex import PatEx
@@ -65,6 +64,7 @@ class DCandJob(MapReduceJob):
         minimize_nfas: bool = True,
         aggregate_nfas: bool = True,
         max_runs: int = DEFAULT_MAX_RUNS,
+        map_batching: str | None = None,
     ) -> None:
         kernel = ensure_kernel(fst, dictionary)
         self.kernel = kernel
@@ -74,6 +74,7 @@ class DCandJob(MapReduceJob):
         self.minimize_nfas = minimize_nfas
         self.aggregate_nfas = aggregate_nfas
         self.max_runs = max_runs
+        self.map_batching = normalize_map_batching(map_batching)
         self.max_frequent_fid = self.dictionary.largest_frequent_fid(sigma)
         self.use_combiner = aggregate_nfas
 
@@ -107,6 +108,33 @@ class DCandJob(MapReduceJob):
             nfa = builder.minimized() if self.minimize_nfas else builder.trie()
             payload = serialize(nfa)
             yield pivot, payload if weight == 1 else (payload, weight)
+
+    def map_records(self, records, counters: dict | None = None):
+        """Map a chunk, trie-batching the accepting prefilter when configured.
+
+        D-CAND's map cost is run enumeration, which starts by discovering
+        whether the sequence accepts at all.  With ``map_batching="trie"`` the
+        chunk's unique sequences are walked as one prefix trie with a shared
+        reachable-state-set simulation
+        (:func:`~repro.core.prefix_batch.batched_accepting`); records whose
+        sequence cannot accept are skipped before run enumeration.  A
+        non-accepting record emits nothing on the per-record path too, so the
+        shuffle is byte-identical either way.
+        """
+        if self.map_batching != "trie":
+            yield from super().map_records(records, counters)
+            return
+        records = list(records)
+        accepting = batched_accepting(
+            self.kernel,
+            (record_parts(record)[0] for record in records),
+            counters=counters,
+        )
+        for record in records:
+            sequence, _weight = record_parts(record)
+            if not accepting[sequence]:
+                continue
+            yield from self.map(record)
 
     @staticmethod
     def _restrict(
@@ -171,9 +199,10 @@ class DCandMiner:
 
     The execution substrate is one :class:`~repro.mapreduce.ClusterConfig`
     passed as ``cluster=``; the legacy ``backend=``/``codec=``/
-    ``spill_budget_bytes=`` keywords still work but are deprecated (they
-    warn; see the README's migration table).  ``dedup=False`` disables the corpus-level unique-sequence
-    pass (the debugging reference: results are byte-identical either way).
+    ``spill_budget_bytes=`` keywords were removed after their deprecation
+    cycle (see the README's migration table).  ``dedup=False`` disables the
+    corpus-level unique-sequence pass (the debugging reference: results are
+    byte-identical either way).
     """
 
     algorithm_name = "D-CAND"
@@ -187,12 +216,10 @@ class DCandMiner:
         aggregate_nfas: bool = True,
         num_workers: int = 4,
         max_runs: int = DEFAULT_MAX_RUNS,
-        backend: str | Cluster = UNSET,
-        codec: str = UNSET,
-        spill_budget_bytes: int | None = UNSET,
         kernel: str | None = None,
         grid: str | None = None,
         partitioner: str | None = None,
+        map_batching: str | None = None,
         dedup: bool = True,
         cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
@@ -205,16 +232,11 @@ class DCandMiner:
         self.dedup = dedup
         self.cluster = ClusterConfig.resolve(
             cluster,
-            **resolve_legacy_substrate(
-                type(self).__name__,
-                backend=backend,
-                codec=codec,
-                spill_budget_bytes=spill_budget_bytes,
-            ),
             num_workers=num_workers,
             kernel=kernel,
             grid=grid,
             partitioner=partitioner,
+            map_batching=map_batching,
         )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
@@ -227,18 +249,14 @@ class DCandMiner:
             minimize_nfas=self.minimize_nfas,
             aggregate_nfas=self.aggregate_nfas,
             max_runs=self.max_runs,
+            map_batching=self.cluster.map_batching_name,
         )
         records = as_mining_records(database, dedup=self.dedup)
         cluster = resolve_cluster(self.cluster)
-        if self.cluster.partitioner_name == "planned":
-            # Deferred import: repro.core.balance imports this module's job.
-            from repro.core.balance import plan_job_partitions
+        # Deferred import: repro.core.balance imports this module's job.
+        from repro.core.balance import attach_partition_plan
 
-            job.partition_plan = plan_job_partitions(
-                job, records, cluster.num_reduce_tasks,
-                num_workers=cluster.num_workers,
-                sample=self.cluster.plan_sample,
-            )
+        attach_partition_plan(self, job, records, cluster)
         result = cluster.run(job, records)
         patterns = dict(result.outputs)
         return MiningResult(patterns, result.metrics, algorithm=self.algorithm_name)

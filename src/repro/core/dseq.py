@@ -34,18 +34,17 @@ from collections.abc import Iterable, Sequence
 from repro.core.grid_engine import GridMemoWarmup, cached_grid, normalize_grid
 from repro.core.local_mining import DesqDfsMiner
 from repro.core.pivot_search import pivots_by_run_enumeration
+from repro.core.prefix_batch import batched_grids, normalize_map_batching
 from repro.core.results import MiningResult
 from repro.core.rewriting import rewrite_for_pivot
 from repro.dictionary import Dictionary
 from repro.errors import CandidateExplosionError
 from repro.fst import DEFAULT_MAX_RUNS, Fst, MiningKernel, ensure_kernel, make_kernel
 from repro.mapreduce import (
-    UNSET,
     Cluster,
     ClusterConfig,
     MapReduceJob,
     resolve_cluster,
-    resolve_legacy_substrate,
 )
 from repro.patex import PatEx
 from repro.sequences import (
@@ -71,6 +70,7 @@ class DSeqJob(MapReduceJob):
         use_early_stopping: bool = True,
         max_runs: int = DEFAULT_MAX_RUNS,
         grid: str | None = None,
+        map_batching: str | None = None,
     ) -> None:
         kernel = ensure_kernel(fst, dictionary)
         self.kernel = kernel
@@ -82,18 +82,20 @@ class DSeqJob(MapReduceJob):
         self.use_early_stopping = use_early_stopping
         self.max_runs = max_runs
         self.grid = normalize_grid(grid)
+        self.map_batching = normalize_map_batching(map_batching)
         self.max_frequent_fid = self.dictionary.largest_frequent_fid(sigma)
 
     def worker_warmup(self):
         """Ship the kernel and the per-worker grid-memo sizing to the pool."""
         return GridMemoWarmup(self.kernel)
 
-    def _grid_for(self, sequence: tuple[int, ...]):
+    def _grid_for(self, sequence: tuple[int, ...], span_hash: int | None = None):
         return cached_grid(
             self.kernel,
             sequence,
             max_frequent_fid=self.max_frequent_fid,
             grid=self.grid,
+            span_hash=span_hash,
         )
 
     # ------------------------------------------------------------------- map
@@ -105,10 +107,39 @@ class DSeqJob(MapReduceJob):
         corpus-level dedup) carry their multiplicity along with the rewritten
         representation so the combiner and reducer count them correctly.
         """
+        yield from self._map_record(record)
+
+    def map_records(self, records, counters: dict | None = None):
+        """Map a chunk, trie-batching the grid builds when configured.
+
+        With ``map_batching="trie"`` (and the flat grid engine in use) the
+        chunk's unique sequences are loaded into one prefix trie and every
+        grid is snapshotted out of the shared forward state
+        (:func:`~repro.core.prefix_batch.batched_grids`); each record is then
+        mapped against its prebuilt grid.  Emission order and content are
+        exactly the per-record path's, so batching is invisible on the wire.
+        """
+        if self.map_batching != "trie" or self.grid != "flat" or not (
+            self.use_grid or self.use_rewriting
+        ):
+            yield from super().map_records(records, counters)
+            return
+        records = list(records)
+        grids = batched_grids(
+            self.kernel,
+            (record_parts(record)[0] for record in records),
+            max_frequent_fid=self.max_frequent_fid,
+            counters=counters,
+        )
+        for record in records:
+            sequence, _weight = record_parts(record)
+            yield from self._map_record(record, built_grid=grids[sequence])
+
+    def _map_record(self, record, built_grid=None) -> Iterable[tuple[int, tuple]]:
         sequence, weight = record_parts(record)
-        grid = None
-        if self.use_grid or self.use_rewriting:
-            grid = self._grid_for(sequence)
+        grid = built_grid
+        if grid is None and (self.use_grid or self.use_rewriting):
+            grid = self._grid_for(sequence, getattr(record, "span_hash", None))
         if self.use_grid:
             pivots = grid.pivot_items()
         else:
@@ -124,7 +155,7 @@ class DSeqJob(MapReduceJob):
                 # falls back to the grid for this sequence (the ablation in
                 # Fig. 10a measures the cost of reaching this point).
                 if grid is None:
-                    grid = self._grid_for(sequence)
+                    grid = self._grid_for(sequence, getattr(record, "span_hash", None))
                 pivots = grid.pivot_items()
         for pivot in pivots:
             if self.use_rewriting:
@@ -163,6 +194,7 @@ class DSeqJob(MapReduceJob):
             pivot=key,
             use_early_stopping=self.use_early_stopping,
             grid=self.grid,
+            map_batching=self.map_batching,
         )
         patterns = miner.mine(sequences, weights)
         yield from patterns.items()
@@ -183,9 +215,9 @@ class DSeqMiner:
         result = miner.mine(database)
 
     The execution substrate is one :class:`~repro.mapreduce.ClusterConfig`
-    passed as ``cluster=`` (which then fully specifies the run).  The legacy
-    ``backend=``/``codec=``/``spill_budget_bytes=`` keywords still work but
-    are deprecated (they warn; see the README's migration table).
+    passed as ``cluster=`` (which then fully specifies the run); the legacy
+    ``backend=``/``codec=``/``spill_budget_bytes=`` keywords were removed
+    after their deprecation cycle (see the README's migration table).
     ``dedup=False`` disables the corpus-level unique-sequence pass (the
     debugging reference: results are byte-identical either way).
     """
@@ -202,12 +234,10 @@ class DSeqMiner:
         use_early_stopping: bool = True,
         num_workers: int = 4,
         max_runs: int = DEFAULT_MAX_RUNS,
-        backend: str | Cluster = UNSET,
-        codec: str = UNSET,
-        spill_budget_bytes: int | None = UNSET,
         kernel: str | None = None,
         grid: str | None = None,
         partitioner: str | None = None,
+        map_batching: str | None = None,
         dedup: bool = True,
         cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
@@ -221,16 +251,11 @@ class DSeqMiner:
         self.dedup = dedup
         self.cluster = ClusterConfig.resolve(
             cluster,
-            **resolve_legacy_substrate(
-                "DSeqMiner",
-                backend=backend,
-                codec=codec,
-                spill_budget_bytes=spill_budget_bytes,
-            ),
             num_workers=num_workers,
             kernel=kernel,
             grid=grid,
             partitioner=partitioner,
+            map_batching=map_batching,
         )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
@@ -245,18 +270,14 @@ class DSeqMiner:
             use_early_stopping=self.use_early_stopping,
             max_runs=self.max_runs,
             grid=self.cluster.grid_name,
+            map_batching=self.cluster.map_batching_name,
         )
         records = as_mining_records(database, dedup=self.dedup)
         cluster = resolve_cluster(self.cluster)
-        if self.cluster.partitioner_name == "planned":
-            # Deferred import: repro.core.balance imports this module's job.
-            from repro.core.balance import plan_job_partitions
+        # Deferred import: repro.core.balance imports this module's job.
+        from repro.core.balance import attach_partition_plan
 
-            job.partition_plan = plan_job_partitions(
-                job, records, cluster.num_reduce_tasks,
-                num_workers=cluster.num_workers,
-                sample=self.cluster.plan_sample,
-            )
+        attach_partition_plan(self, job, records, cluster)
         result = cluster.run(job, records)
         patterns = dict(result.outputs)
         return MiningResult(patterns, result.metrics, algorithm=self.algorithm_name)

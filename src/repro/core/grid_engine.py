@@ -366,6 +366,223 @@ class FlatPivotGrid:
         return self._last_producing.get(pivot, 0)
 
 
+# ------------------------------------------------- incremental trie extension
+class GrowableFlatGrid:
+    """Shared forward state for trie-batched :class:`FlatPivotGrid` builds.
+
+    The batch-map layer (:mod:`repro.core.prefix_batch`) walks a trie over the
+    unique encoded sequences of a chunk and drives the kernel once per trie
+    *node*: :meth:`extend` appends one position's arena columns and pivot row,
+    :meth:`mark`/:meth:`rewind` make sibling branches share the prefix columns
+    without copying, and :meth:`snapshot` freezes the current path into a real
+    :class:`FlatPivotGrid`.
+
+    The forward step here is *unfiltered*: it keeps the "skip empty pivot
+    runs" rule but drops the per-target reachability check, because the
+    reachability table depends on the whole sequence (it looks ahead to the
+    suffix) and the suffix differs per trie branch.  :meth:`snapshot` restores
+    exactly the filtered grid: it computes the leaf's reachability table and
+    keeps only the arena columns and row entries whose coordinates are alive.
+    Dead sources can only produce dead targets (a source with a live edge into
+    an alive target is itself alive one position earlier), so filtering the
+    unfiltered arena by target liveness reproduces the per-sequence build
+    edge for edge — which is what the equivalence suite checks.
+    """
+
+    __slots__ = (
+        "kernel",
+        "max_frequent_fid",
+        "_sequence",
+        "_rows",
+        "_edge_source",
+        "_edge_target",
+        "_edge_tid",
+        "_out_items",
+        "_out_start",
+        "_bounds",
+    )
+
+    def __init__(
+        self,
+        fst: Fst | MiningKernel,
+        dictionary: Dictionary | None = None,
+        max_frequent_fid: int | None = None,
+    ) -> None:
+        kernel = ensure_kernel(fst, dictionary)
+        self.kernel = kernel
+        self.max_frequent_fid = max_frequent_fid
+        self._sequence: list[int] = []
+        self._rows: list[dict[int, tuple[int, ...]]] = [
+            {kernel.initial_state: EPSILON_OUTPUT}
+        ]
+        # Plain lists, not arrays: the growable arena is append/truncate-heavy
+        # and list ops are cheaper; :meth:`snapshot` converts the kept columns
+        # to the arrays :class:`FlatPivotGrid` stores in one C pass.
+        self._edge_source: list[int] = []
+        self._edge_target: list[int] = []
+        self._edge_tid: list[int] = []
+        self._out_items: list[int] = []
+        self._out_start: list[int] = [0]
+        self._bounds = [0]
+
+    def __len__(self) -> int:
+        return len(self._sequence)
+
+    def extend(self, item: int) -> None:
+        """Append one position: the forward DP step consuming ``item``."""
+        kernel = self.kernel
+        max_frequent_fid = self.max_frequent_fid
+        edge_source = self._edge_source
+        edge_target = self._edge_target
+        edge_tid = self._edge_tid
+        out_items = self._out_items
+        out_start = self._out_start
+        matching = kernel.matching
+        target_of = kernel.target
+        filtered_outputs = kernel.filtered_outputs
+        current: dict[int, tuple[int, ...]] = {}
+        for source, source_pivots in self._rows[-1].items():
+            if not source_pivots:
+                continue
+            for tid in matching(source, item):
+                target = target_of(tid)
+                outputs = filtered_outputs(tid, item, max_frequent_fid)
+                edge_source.append(source)
+                edge_target.append(target)
+                edge_tid.append(tid)
+                out_items.extend(outputs)
+                out_start.append(len(out_items))
+                if outputs == EPSILON_OUTPUT:
+                    contribution = source_pivots
+                else:
+                    contribution = merge_sorted_runs(source_pivots, outputs)
+                bucket = current.get(target)
+                if bucket is None:
+                    current[target] = contribution
+                elif contribution and bucket is not contribution:
+                    current[target] = union_sorted_runs(bucket, contribution)
+        self._sequence.append(item)
+        self._rows.append(current)
+        self._bounds.append(len(edge_source))
+
+    def mark(self) -> tuple[int, int, int]:
+        """Opaque restore point for :meth:`rewind` (taken before a branch)."""
+        return (len(self._sequence), len(self._edge_source), len(self._out_items))
+
+    def rewind(self, mark: tuple[int, int, int]) -> None:
+        """Truncate back to ``mark``, dropping every position added since."""
+        positions, edges, outputs = mark
+        del self._sequence[positions:]
+        del self._rows[positions + 1 :]
+        del self._bounds[positions + 1 :]
+        del self._edge_source[edges:]
+        del self._edge_target[edges:]
+        del self._edge_tid[edges:]
+        del self._out_start[edges + 1 :]
+        del self._out_items[outputs:]
+
+    def snapshot(self) -> FlatPivotGrid:
+        """Freeze the current path into a standalone :class:`FlatPivotGrid`.
+
+        Computes the leaf sequence's reachability table, copies the shared
+        arena columns and pivot rows restricted to alive coordinates, and runs
+        the stock fused backward pass — the result is indistinguishable from
+        ``FlatPivotGrid(kernel, sequence)``.
+        """
+        kernel = self.kernel
+        sequence = tuple(self._sequence)
+        n = len(sequence)
+        grid = FlatPivotGrid.__new__(FlatPivotGrid)
+        grid.kernel = kernel
+        grid.fst = kernel.fst
+        grid.sequence = sequence
+        grid.dictionary = kernel.dictionary
+        grid.max_frequent_fid = self.max_frequent_fid
+        alive = kernel.reachability_table(sequence)
+        grid._alive = alive
+        grid._has_accepting_run = (
+            alive[0][kernel.initial_state]
+            if sequence
+            else kernel.is_final(kernel.initial_state)
+        )
+        grid._edge_source = array("q")
+        grid._edge_target = array("q")
+        grid._edge_tid = array("q")
+        grid._edge_bounds = array("q", bytes(8 * (n + 1)))
+        grid._out_items = array("Q")
+        grid._out_start = array("q", (0,))
+        grid._pivots = [{} for _ in range(n + 1)]
+        grid._pos_changes_state = bytearray(n + 1)
+        grid._pos_min_output = array("Q", (_NO_OUTPUT,) * (n + 1))
+        grid._last_producing = {}
+        if not (grid._has_accepting_run and sequence):
+            return grid
+        sources = self._edge_source
+        targets = self._edge_target
+        tids = self._edge_tid
+        out_items = self._out_items
+        out_start = self._out_start
+        bounds = self._bounds
+        kept_source: list[int] = []
+        kept_target: list[int] = []
+        kept_tid: list[int] = []
+        kept_out: list[int] = []
+        kept_start: list[int] = [0]
+        grid._pivots[0] = dict(self._rows[0])
+        for position in range(1, n + 1):
+            alive_row = alive[position]
+            row = self._rows[position]
+            begin = bounds[position - 1]
+            end = bounds[position]
+            # Every edge target at this position is a key of ``row`` — when
+            # none of them is dead, the whole block survives the filter and
+            # copies as C-level array slices instead of edge by edge.
+            clean = True
+            for state in row:
+                if not alive_row[state]:
+                    clean = False
+                    break
+            if clean:
+                kept_source.extend(sources[begin:end])
+                kept_target.extend(targets[begin:end])
+                kept_tid.extend(tids[begin:end])
+                kept_out.extend(out_items[out_start[begin] : out_start[end]])
+                shift = out_start[begin] - kept_start[-1]
+                if shift:
+                    kept_start.extend(
+                        offset - shift for offset in out_start[begin + 1 : end + 1]
+                    )
+                else:
+                    kept_start.extend(out_start[begin + 1 : end + 1])
+                grid._pivots[position] = dict(row)
+            else:
+                for source, target, tid, out_lo, out_hi in zip(
+                    sources[begin:end],
+                    targets[begin:end],
+                    tids[begin:end],
+                    out_start[begin : end + 1],
+                    out_start[begin + 1 : end + 1],
+                ):
+                    if not alive_row[target]:
+                        continue
+                    kept_source.append(source)
+                    kept_target.append(target)
+                    kept_tid.append(tid)
+                    kept_out.extend(out_items[out_lo:out_hi])
+                    kept_start.append(len(kept_out))
+                grid._pivots[position] = {
+                    state: run for state, run in row.items() if alive_row[state]
+                }
+            grid._edge_bounds[position] = len(kept_source)
+        grid._edge_source = array("q", kept_source)
+        grid._edge_target = array("q", kept_target)
+        grid._edge_tid = array("q", kept_tid)
+        grid._out_items = array("Q", kept_out)
+        grid._out_start = array("q", kept_start)
+        grid._summarize()
+        return grid
+
+
 #: Engine name -> grid class.
 _GRID_CLASSES = {"flat": FlatPivotGrid, "legacy": PositionStateGrid}
 
@@ -428,12 +645,41 @@ def grid_memo_info() -> dict[str, int]:
     }
 
 
-def _memo_key(kernel: MiningKernel, sequence, max_frequent_fid, name):
+class _SpanKey:
+    """Memo-key component that reuses a precomputed span hash.
+
+    Records produced by the dedup store's ``unique_view()`` carry the hash of
+    their already-encoded span; wrapping the item tuple with that hash skips
+    re-encoding and re-hashing the sequence bytes on every memo lookup.
+    Equality still compares the items themselves, so a hash collision can only
+    cost a probe, never return the wrong grid.  A ``_SpanKey`` never compares
+    equal to the plain ``bytes`` encoding, so mixing hashed and raw records
+    can at worst duplicate a memo entry.
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: tuple, span_hash: int) -> None:
+        self._items = items
+        self._hash = span_hash
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _SpanKey):
+            return self._items == other._items
+        return NotImplemented
+
+
+def _memo_key(kernel: MiningKernel, sequence, max_frequent_fid, name, span_hash=None):
     # Compiled kernels carry a content fingerprint; interpreted kernels fall
     # back to object identity, which is safe because every memoized grid holds
     # a reference to its kernel (an id cannot be recycled while entries for it
     # remain alive).
     fingerprint = getattr(kernel, "fingerprint", None) or id(kernel)
+    if span_hash is not None:
+        return (name, fingerprint, _SpanKey(tuple(sequence), span_hash), max_frequent_fid)
     try:
         encoded = array("q", sequence).tobytes()
     except OverflowError:  # fids beyond 2**63 fall back to the tuple itself
@@ -447,6 +693,7 @@ def cached_grid(
     dictionary: Dictionary | None = None,
     max_frequent_fid: int | None = None,
     grid: str | None = None,
+    span_hash: int | None = None,
 ) -> FlatPivotGrid | PositionStateGrid:
     """A built grid from this worker's memo, building (and caching) on a miss.
 
@@ -454,12 +701,14 @@ def cached_grid(
     frequency filter)``, so repeated input sequences across map chunks — and
     the same rewritten sequence landing in several reduce partitions — build
     their grid once per worker process.  Grids are immutable after
-    construction, which is what makes sharing them safe.
+    construction, which is what makes sharing them safe.  Pass ``span_hash``
+    when the record already carries the dedup store's span hash to skip
+    re-encoding the sequence for the key (see :class:`_SpanKey`).
     """
     global _memo_hits, _memo_misses
     kernel = ensure_kernel(fst, dictionary)
     name = normalize_grid(grid)
-    key = _memo_key(kernel, sequence, max_frequent_fid, name)
+    key = _memo_key(kernel, sequence, max_frequent_fid, name, span_hash)
     with _memo_lock:
         hit = _GRID_MEMO.get(key)
         if hit is not None:

@@ -24,6 +24,7 @@ from repro.dictionary import Dictionary
 from repro.errors import MiningError
 from repro.fst import Fst, MiningKernel, ensure_kernel
 from repro.core.grid_engine import cached_grid, normalize_grid
+from repro.core.prefix_batch import batched_grids, normalize_map_batching
 
 
 class _SequenceState:
@@ -39,6 +40,7 @@ class _SequenceState:
         pivot: int | None,
         max_frequent_fid: int,
         grid: str | None = None,
+        built_grid=None,
     ) -> None:
         self.sequence = sequence
         self.weight = weight
@@ -48,9 +50,12 @@ class _SequenceState:
             # The early-stopping oracle reads the position-state grid; going
             # through the per-worker memo means a rewritten sequence that
             # lands in several partitions builds its grid once per worker.
-            built = cached_grid(
-                kernel, sequence, max_frequent_fid=max_frequent_fid, grid=grid
-            )
+            # A trie-batched caller hands the prebuilt grid in directly.
+            built = built_grid
+            if built is None:
+                built = cached_grid(
+                    kernel, sequence, max_frequent_fid=max_frequent_fid, grid=grid
+                )
             self.last_pivot_position = built.last_pivot_producing_position(pivot)
         else:
             self.last_pivot_position = len(sequence)
@@ -78,6 +83,13 @@ class DesqDfsMiner:
         The position–state grid engine serving the early-stopping oracle
         (``"flat"``, the default, or ``"legacy"``; see
         :mod:`repro.core.grid_engine`).
+    map_batching:
+        With ``"trie"`` (and the flat grid engine), the early-stopping grids
+        of a partition's sequences are built in one trie-batched pass
+        (:func:`~repro.core.prefix_batch.batched_grids`) instead of one
+        forward simulation per sequence — rewritten sequences of one pivot
+        share long prefixes, so this is where batching pays off twice.
+        ``"off"`` (the default) keeps the per-sequence memoized path.
     """
 
     def __init__(
@@ -89,6 +101,7 @@ class DesqDfsMiner:
         use_early_stopping: bool = True,
         max_patterns: int = 10_000_000,
         grid: str | None = None,
+        map_batching: str | None = None,
     ) -> None:
         if sigma < 1:
             raise MiningError(f"sigma must be >= 1, got {sigma}")
@@ -101,6 +114,7 @@ class DesqDfsMiner:
         self.use_early_stopping = use_early_stopping
         self.max_patterns = max_patterns
         self.grid = normalize_grid(grid)
+        self.map_batching = normalize_map_batching(map_batching)
         self.max_frequent_fid = self.dictionary.largest_frequent_fid(sigma)
 
     # --------------------------------------------------------------------- API
@@ -120,6 +134,17 @@ class DesqDfsMiner:
             raise MiningError("weights must align with sequences")
 
         kernel = self.kernel
+        pivot = self.pivot if self.use_early_stopping else None
+        built_grids: dict[tuple[int, ...], object] = {}
+        if pivot is not None and self.map_batching == "trie" and self.grid == "flat":
+            # One trie-batched forward pass builds every early-stopping grid
+            # of the partition; duplicates and shared prefixes are simulated
+            # once (counters are map-side metrics, not threaded here).
+            built_grids = batched_grids(
+                kernel,
+                (tuple(sequence) for sequence in sequences),
+                max_frequent_fid=self.max_frequent_fid,
+            )
         states: list[_SequenceState] = []
         root_snapshots: list[set[tuple[int, int]]] = []
         for sequence, weight in zip(sequences, weights):
@@ -128,9 +153,10 @@ class DesqDfsMiner:
                 sequence,
                 weight,
                 kernel,
-                self.pivot if self.use_early_stopping else None,
+                pivot,
                 self.max_frequent_fid,
                 grid=self.grid,
+                built_grid=built_grids.get(sequence),
             )
             if state.alive and state.alive[0][kernel.initial_state]:
                 states.append(state)

@@ -55,16 +55,13 @@ def mine(
         One of ``"dseq"``, ``"dcand"``, ``"naive"``, ``"semi-naive"``.
     options:
         Forwarded to the chosen miner (e.g. ``num_workers``, ``use_rewriting``,
-        ``backend`` — one of ``"simulated"``, ``"threads"``, ``"processes"``,
-        ``"persistent-processes"`` — to pick the execution backend, ``codec``
-        — one of ``"compact"``,
-        ``"zlib"``, ``"pickle"`` — to pick the shuffle wire format,
-        ``spill_budget_bytes`` to let map tasks spill encoded shuffle
-        payloads to disk past an in-memory budget, ``kernel`` — one of
-        ``"compiled"``, ``"interpreted"`` — to pick the FST mining kernel,
+        ``kernel`` — one of ``"compiled"``, ``"interpreted"`` — to pick the
+        FST mining kernel, ``grid`` / ``partitioner`` / ``map_batching`` to
+        pick the grid engine, reduce partitioner, and batch-map mode,
         ``max_runs`` to tune the accepting-run safety cap, or ``cluster`` —
         a :class:`~repro.mapreduce.ClusterConfig` that specifies the whole
-        execution substrate in one object).
+        execution substrate — backend, codec, spill budget, and the knobs
+        above — in one object).
 
     Returns
     -------

@@ -27,12 +27,10 @@ from repro.fst import (
     make_kernel,
 )
 from repro.mapreduce import (
-    UNSET,
     Cluster,
     ClusterConfig,
     MapReduceJob,
     resolve_cluster,
-    resolve_legacy_substrate,
 )
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase, as_mining_records, record_parts
@@ -106,12 +104,10 @@ class _SubsequenceBaselineMiner:
         num_workers: int = 4,
         max_candidates_per_sequence: int = DEFAULT_MAX_CANDIDATES,
         max_runs: int = DEFAULT_MAX_RUNS,
-        backend: str | Cluster = UNSET,
-        codec: str = UNSET,
-        spill_budget_bytes: int | None = UNSET,
         kernel: str | None = None,
         grid: str | None = None,
         partitioner: str | None = None,
+        map_batching: str | None = None,
         dedup: bool = True,
         cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
@@ -123,16 +119,11 @@ class _SubsequenceBaselineMiner:
         self.dedup = dedup
         self.cluster = ClusterConfig.resolve(
             cluster,
-            **resolve_legacy_substrate(
-                type(self).__name__,
-                backend=backend,
-                codec=codec,
-                spill_budget_bytes=spill_budget_bytes,
-            ),
             num_workers=num_workers,
             kernel=kernel,
             grid=grid,
             partitioner=partitioner,
+            map_batching=map_batching,
         )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
@@ -148,15 +139,10 @@ class _SubsequenceBaselineMiner:
         )
         records = as_mining_records(database, dedup=self.dedup)
         cluster = resolve_cluster(self.cluster)
-        if self.cluster.partitioner_name == "planned":
-            # Deferred import: repro.core.balance sits atop the core jobs.
-            from repro.core.balance import plan_job_partitions
+        # Deferred import: repro.core.balance sits atop the core jobs.
+        from repro.core.balance import attach_partition_plan
 
-            job.partition_plan = plan_job_partitions(
-                job, records, cluster.num_reduce_tasks,
-                num_workers=cluster.num_workers,
-                sample=self.cluster.plan_sample,
-            )
+        attach_partition_plan(self, job, records, cluster)
         result = cluster.run(job, records)
         return MiningResult(dict(result.outputs), result.metrics, self.algorithm_name)
 

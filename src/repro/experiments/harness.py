@@ -9,7 +9,7 @@ from repro.core import DCandMiner, DSeqMiner, NaiveMiner, SemiNaiveMiner
 from repro.datasets import Constraint
 from repro.dictionary import Dictionary
 from repro.errors import CandidateExplosionError, MiningError
-from repro.mapreduce import UNSET, ClusterConfig, resolve_legacy_substrate
+from repro.mapreduce import ClusterConfig
 from repro.sequences import SequenceDatabase
 from repro.sequential import (
     GapConstrainedMiner,
@@ -46,6 +46,11 @@ class RunRecord:
     num_patterns: int = 0
     num_workers: int = 1
     partitioner: str = "hash"
+    # Trie-batched map stats; like the blob counters, kept out of as_row()
+    # so the committed BENCH goldens keep their exact shape.
+    map_batching: str = "off"
+    batch_trie_nodes: int = 0
+    batch_shared_positions: int = 0
     partition_max_bytes: int = 0
     partition_mean_bytes: float = 0.0
     partition_imbalance: float = 1.0
@@ -98,9 +103,6 @@ def build_miner(
     constraint: Constraint,
     dictionary: Dictionary,
     num_workers: int,
-    backend: str = UNSET,
-    codec: str = UNSET,
-    spill_budget_bytes: int | None = UNSET,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
@@ -109,28 +111,19 @@ def build_miner(
     """Instantiate a miner by algorithm name for the given constraint.
 
     The execution substrate is one :class:`~repro.mapreduce.ClusterConfig`
-    passed as ``cluster``.  The legacy ``backend`` / ``codec`` /
-    ``spill_budget_bytes`` keywords still work but are deprecated (they warn;
-    see the README's migration table).  The sequential reference miners
-    ignore the cluster settings but honour the kernel choice.  ``max_runs``
-    / ``max_candidates`` override the per-sequence safety caps; by default
-    the harness applies the tighter :data:`OOM_MAX_RUNS` /
+    passed as ``cluster`` (the legacy ``backend`` / ``codec`` /
+    ``spill_budget_bytes`` keywords were removed after their deprecation
+    cycle; see the README's migration table).  The sequential reference
+    miners ignore the cluster settings but honour the kernel choice.
+    ``max_runs`` / ``max_candidates`` override the per-sequence safety caps;
+    by default the harness applies the tighter :data:`OOM_MAX_RUNS` /
     :data:`OOM_MAX_CANDIDATES` to the candidate-enumerating algorithms to
     emulate the paper's out-of-memory failures.
     """
     name = algorithm.lower()
     patex = constraint.expression
     sigma = constraint.sigma
-    config = ClusterConfig.resolve(
-        cluster,
-        **resolve_legacy_substrate(
-            "build_miner",
-            backend=backend,
-            codec=codec,
-            spill_budget_bytes=spill_budget_bytes,
-        ),
-        num_workers=num_workers,
-    )
+    config = ClusterConfig.resolve(cluster, num_workers=num_workers)
     if config.num_workers is None:
         config = config.merged(num_workers=num_workers)
     if name in ("dseq", "d-seq"):
@@ -187,9 +180,6 @@ def run_algorithm(
     database: SequenceDatabase,
     num_workers: int = 8,
     dataset_name: str | None = None,
-    backend: str = UNSET,
-    codec: str = UNSET,
-    spill_budget_bytes: int | None = UNSET,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
@@ -199,19 +189,10 @@ def run_algorithm(
 
     Candidate or run explosions (the reproduction's analogue of the paper's
     out-of-memory failures) are caught and reported as ``status="oom"``.
-    The legacy ``backend`` / ``codec`` / ``spill_budget_bytes`` keywords are
-    deprecated; pass ``cluster=ClusterConfig(...)``.
+    The execution substrate is one ``cluster=ClusterConfig(...)`` (the legacy
+    ``backend`` / ``codec`` / ``spill_budget_bytes`` keywords were removed).
     """
-    config = ClusterConfig.resolve(
-        cluster,
-        **resolve_legacy_substrate(
-            "run_algorithm",
-            backend=backend,
-            codec=codec,
-            spill_budget_bytes=spill_budget_bytes,
-        ),
-        num_workers=num_workers,
-    )
+    config = ClusterConfig.resolve(cluster, num_workers=num_workers)
     backend_label = (
         config.backend
         if isinstance(config.backend, str)
@@ -251,6 +232,9 @@ def run_algorithm(
     record.blob_get_count = metrics.blob_get_count
     record.blob_get_bytes = metrics.blob_get_bytes
     record.partitioner = metrics.partitioner
+    record.map_batching = metrics.map_batching
+    record.batch_trie_nodes = metrics.batch_trie_nodes
+    record.batch_shared_positions = metrics.batch_shared_positions
     record.partition_max_bytes = metrics.partition_max_bytes
     record.partition_mean_bytes = metrics.partition_mean_bytes
     record.partition_imbalance = metrics.partition_imbalance
@@ -266,28 +250,16 @@ def run_comparison(
     database: SequenceDatabase,
     num_workers: int = 8,
     dataset_name: str | None = None,
-    backend: str = UNSET,
-    codec: str = UNSET,
-    spill_budget_bytes: int | None = UNSET,
     cluster: ClusterConfig | None = None,
     max_runs: int | None = None,
     max_candidates: int | None = None,
 ) -> list[RunRecord]:
     """Run several algorithms on the same constraint and dataset.
 
-    The legacy ``backend`` / ``codec`` / ``spill_budget_bytes`` keywords are
-    deprecated; pass ``cluster=ClusterConfig(...)``.
+    The execution substrate is one ``cluster=ClusterConfig(...)`` (the legacy
+    ``backend`` / ``codec`` / ``spill_budget_bytes`` keywords were removed).
     """
-    config = ClusterConfig.resolve(
-        cluster,
-        **resolve_legacy_substrate(
-            "run_comparison",
-            backend=backend,
-            codec=codec,
-            spill_budget_bytes=spill_budget_bytes,
-        ),
-        num_workers=num_workers,
-    )
+    config = ClusterConfig.resolve(cluster, num_workers=num_workers)
     return [
         run_algorithm(
             algorithm,

@@ -32,11 +32,9 @@ from repro.mapreduce.blobstore import (
 from repro.mapreduce.engine import SimulatedCluster, run_job
 from repro.mapreduce.factory import (
     BACKENDS,
-    UNSET,
     ClusterConfig,
     make_cluster,
     resolve_cluster,
-    resolve_legacy_substrate,
 )
 from repro.mapreduce.multihost import BlobShuffle, MultiHostCluster, run_blob_map_task
 from repro.mapreduce.job import (
@@ -91,7 +89,6 @@ __all__ = [
     "SimulatedCluster",
     "StageDriverCluster",
     "ThreadPoolCluster",
-    "UNSET",
     "WireFragment",
     "content_key",
     "get_with_retry",
@@ -102,7 +99,6 @@ __all__ = [
     "merge_fragments",
     "normalize_partitioner",
     "resolve_cluster",
-    "resolve_legacy_substrate",
     "run_blob_map_task",
     "run_job",
     "run_map_task",

@@ -115,6 +115,11 @@ class StageDriverCluster:
         but a miner handed a ready-made cluster instance inherits this
         setting and attaches a :class:`~repro.core.balance.PartitionPlan` to
         its job when ``"planned"`` is selected.
+    map_batching:
+        The batch-map mode (``"off"`` / ``"trie"``), carried for the miners
+        exactly like ``kernel``: jobs built for ``"trie"`` override
+        :meth:`~repro.mapreduce.job.MapReduceJob.map_records` with the
+        trie-batched grid construction of :mod:`repro.core.prefix_batch`.
     """
 
     #: Human-readable backend identifier (also used by :func:`repr`).
@@ -134,6 +139,7 @@ class StageDriverCluster:
         kernel: str | None = None,
         grid: str | None = None,
         partitioner: str | None = None,
+        map_batching: str | None = None,
     ) -> None:
         if num_workers is None:
             num_workers = self.default_num_workers
@@ -169,6 +175,12 @@ class StageDriverCluster:
             # Fail fast on typos, like kernel and grid above.
             partitioner = normalize_partitioner(partitioner)
         self.partitioner = partitioner
+        if map_batching is not None:
+            # Same deferred fail-fast validation as kernel and grid.
+            from repro.core.prefix_batch import normalize_map_batching
+
+            map_batching = normalize_map_batching(map_batching)
+        self.map_batching = map_batching
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -186,6 +198,7 @@ class StageDriverCluster:
         metrics.partitioner = (
             "planned" if getattr(job, "partition_plan", None) is not None else "hash"
         )
+        metrics.map_batching = getattr(job, "map_batching", None) or "off"
 
         # All spill files of one run live in a per-job directory, removed
         # wholesale below — so a failing map or reduce task (e.g. a candidate
@@ -240,6 +253,10 @@ class StageDriverCluster:
                             metrics.spilled_bytes += result.spilled_bytes
                             metrics.blob_put_count += result.blob_put_count
                             metrics.blob_put_bytes += result.blob_put_bytes
+                            metrics.batch_trie_nodes += result.batch_trie_nodes
+                            metrics.batch_shared_positions += (
+                                result.batch_shared_positions
+                            )
                             for bucket_index, size in result.bucket_shuffle_bytes.items():
                                 metrics.reduce_bucket_bytes[bucket_index] = (
                                     metrics.reduce_bucket_bytes.get(bucket_index, 0) + size

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 
 from repro.errors import MapReduceError
@@ -52,49 +51,6 @@ _CLUSTER_CLASSES = {
 }
 
 
-class _Unset:
-    """Sentinel distinguishing "not passed" from an explicit None/default."""
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "<unset>"
-
-
-#: Sentinel default for the deprecated ``backend=``/``codec=``/
-#: ``spill_budget_bytes=`` keywords, so passing them explicitly (even with the
-#: old default value) is detectable and can warn.
-UNSET = _Unset()
-
-#: The historic defaults of the legacy substrate keywords.
-_LEGACY_DEFAULTS = {"backend": "simulated", "codec": "compact", "spill_budget_bytes": None}
-
-
-def resolve_legacy_substrate(owner: str, *, stacklevel: int = 3, **passed) -> dict:
-    """Resolve the deprecated ``backend``/``codec``/``spill_budget_bytes`` keywords.
-
-    ``passed`` holds the raw keyword values (:data:`UNSET` when the caller did
-    not pass them).  Every explicitly-passed keyword emits a
-    :class:`DeprecationWarning` naming ``owner`` and the
-    :class:`ClusterConfig` replacement; the returned dict always contains all
-    three keys with either the passed value or the historic default, ready to
-    feed :meth:`ClusterConfig.resolve`.
-    """
-    resolved = {}
-    for keyword, default in _LEGACY_DEFAULTS.items():
-        value = passed.get(keyword, UNSET)
-        if value is UNSET:
-            resolved[keyword] = default
-            continue
-        warnings.warn(
-            f"the {keyword}= keyword of {owner} is deprecated; pass "
-            f"cluster=ClusterConfig({keyword}=...) instead (see the README's "
-            "legacy-kwarg migration table)",
-            DeprecationWarning,
-            stacklevel=stacklevel,
-        )
-        resolved[keyword] = value
-    return resolved
-
-
 @dataclass(frozen=True)
 class ClusterConfig:
     """One value object for everything that configures a mining run's substrate.
@@ -106,9 +62,10 @@ class ClusterConfig:
     :class:`~repro.mapreduce.base.Cluster` instance (which then wins over the
     worker/codec/spill fields, as before).  ``kernel`` selects the FST mining
     kernel (``"compiled"`` or ``"interpreted"``; None → the library default),
-    ``grid`` the pivot-grid engine (``"flat"`` or ``"legacy"``), and
-    ``partitioner`` the reduce-bucket assignment (``"hash"`` or ``"planned"``);
-    all three are consumed by the miners rather than the cluster itself.
+    ``grid`` the pivot-grid engine (``"flat"`` or ``"legacy"``),
+    ``partitioner`` the reduce-bucket assignment (``"hash"`` or ``"planned"``),
+    and ``map_batching`` the batch-map mode (``"off"`` or ``"trie"``); all
+    four are consumed by the miners rather than the cluster itself.
     """
 
     backend: str | Cluster = "simulated"
@@ -128,6 +85,10 @@ class ClusterConfig:
     #: load-estimation pass (``None`` estimates over every record); consumed
     #: by the miners when they build their partition plan.
     plan_sample: float | None = None
+    #: Batch-map mode: ``"trie"`` builds the map stage's pivot grids
+    #: trie-batched over each chunk (:mod:`repro.core.prefix_batch`);
+    #: ``"off"``/``None`` keeps the per-sequence reference path.
+    map_batching: str | None = None
 
     @classmethod
     def resolve(
@@ -147,7 +108,13 @@ class ClusterConfig:
         kernel = defaults.pop("kernel", None)
         grid = defaults.pop("grid", None)
         partitioner = defaults.pop("partitioner", None)
-        overrides = {"kernel": kernel, "grid": grid, "partitioner": partitioner}
+        map_batching = defaults.pop("map_batching", None)
+        overrides = {
+            "kernel": kernel,
+            "grid": grid,
+            "partitioner": partitioner,
+            "map_batching": map_batching,
+        }
         if value is None:
             config = cls(**defaults, **overrides)
         elif isinstance(value, ClusterConfig):
@@ -201,6 +168,20 @@ class ClusterConfig:
         )
         return attached or DEFAULT_PARTITIONER
 
+    @property
+    def map_batching_name(self) -> str:
+        """The effective batch-map mode (falling back to the cluster's, then
+        the ``"off"`` reference)."""
+        from repro.core.prefix_batch import DEFAULT_MAP_BATCHING, normalize_map_batching
+
+        if self.map_batching is not None:
+            return normalize_map_batching(self.map_batching)
+        backend = self.backend
+        attached = (
+            None if isinstance(backend, str) else getattr(backend, "map_batching", None)
+        )
+        return attached or DEFAULT_MAP_BATCHING
+
     def build(self) -> Cluster:
         """Build (or pass through) the execution backend for this config."""
         return resolve_cluster(self)
@@ -232,6 +213,7 @@ class ClusterConfig:
             self.grid_name,
             self.partitioner_name,
             self.plan_sample,
+            self.map_batching_name,
         )
         return "|".join(str(part) for part in parts)
 
@@ -248,6 +230,7 @@ def make_cluster(
     kernel: str | None = None,
     grid: str | None = None,
     partitioner: str | None = None,
+    map_batching: str | None = None,
 ) -> Cluster:
     """Build an execution backend by name or from a :class:`ClusterConfig`.
 
@@ -267,9 +250,10 @@ def make_cluster(
     picks the shuffle wire format (:data:`~repro.mapreduce.wire.CODECS`) and
     ``spill_budget_bytes`` caps the encoded payload bytes a map task keeps in
     memory before spilling to ``spill_dir``.  ``kernel`` records the FST
-    mining-kernel choice — ``grid`` the pivot-grid engine choice, and
-    ``partitioner`` the reduce-partitioner choice — on the cluster so miners
-    handed a ready-made instance inherit them.
+    mining-kernel choice — ``grid`` the pivot-grid engine choice,
+    ``partitioner`` the reduce-partitioner choice, and ``map_batching`` the
+    batch-map mode — on the cluster so miners handed a ready-made instance
+    inherit them.
     """
     if isinstance(backend, ClusterConfig):
         config = backend
@@ -290,6 +274,7 @@ def make_cluster(
             kernel=config.kernel,
             grid=config.grid,
             partitioner=config.partitioner,
+            map_batching=config.map_batching,
         )
     key = _ALIASES.get(str(backend).strip().lower())
     if key is None:
@@ -312,6 +297,7 @@ def make_cluster(
         kernel=kernel,
         grid=grid,
         partitioner=partitioner,
+        map_batching=map_batching,
         **extra,
     )
 
@@ -328,6 +314,7 @@ def resolve_cluster(
     kernel: str | None = None,
     grid: str | None = None,
     partitioner: str | None = None,
+    map_batching: str | None = None,
 ) -> Cluster:
     """Return ``backend`` itself if it already is a cluster, else build one.
 
@@ -357,4 +344,5 @@ def resolve_cluster(
         kernel=kernel,
         grid=grid,
         partitioner=partitioner,
+        map_batching=map_batching,
     )

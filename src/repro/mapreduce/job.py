@@ -93,6 +93,22 @@ class MapReduceJob:
         """Process one input record into ``(partition key, value)`` pairs."""
         raise NotImplementedError
 
+    def map_records(
+        self, records: Iterable[Any], counters: dict | None = None
+    ) -> Iterable[tuple[Any, Any]]:
+        """Map a whole task chunk, with room for cross-record batching.
+
+        The default delegates to :meth:`map` record by record.  Jobs that can
+        amortize work across the records of a chunk (the trie-batched grid
+        construction of :mod:`repro.core.prefix_batch`) override this; the
+        override must emit exactly what the per-record path would, in the
+        same order, so batching stays byte-identical on the wire.  Extra
+        bookkeeping goes into ``counters`` (summed into
+        :class:`~repro.mapreduce.metrics.JobMetrics` by the driver).
+        """
+        for record in records:
+            yield from self.map(record)
+
     def combine(self, key: Any, values: list[Any]) -> Iterable[tuple[Any, Any]]:
         """Pre-aggregate values of one key within a single map task.
 

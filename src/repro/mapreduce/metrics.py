@@ -74,6 +74,13 @@ class JobMetrics:
     output_records: int = 0
     #: Which reduce partitioner the job used (``"hash"`` or ``"planned"``).
     partitioner: str = "hash"
+    #: Which map-batching mode the job used (``"off"`` or ``"trie"``).
+    map_batching: str = "off"
+    #: Trie-batched map accounting, summed over map tasks: trie nodes driven
+    #: through the kernel, and sequence positions served from a shared prefix
+    #: instead of recomputed.  Both zero with ``map_batching="off"``.
+    batch_trie_nodes: int = 0
+    batch_shared_positions: int = 0
     #: Modeled shuffle bytes per reduce bucket (``job.record_size`` summed per
     #: destination), collected when ``measure_shuffle`` is on.  The basis of
     #: the balance statistics below.
@@ -140,6 +147,19 @@ class JobMetrics:
         return max(loads) / MODELED_REDUCE_BYTES_PER_SECOND
 
     @property
+    def batch_reuse_ratio(self) -> float:
+        """Fraction of unique sequence positions served from a shared prefix.
+
+        ``shared / (nodes + shared)``: 0.0 with batching off (or no prefix
+        overlap at all), approaching 1.0 as the chunk's sequences collapse
+        onto a few trie paths.
+        """
+        total = self.batch_trie_nodes + self.batch_shared_positions
+        if total == 0:
+            return 0.0
+        return self.batch_shared_positions / total
+
+    @property
     def combine_ratio(self) -> float:
         """Fraction of map output records removed by the combiner."""
         if self.map_output_records == 0:
@@ -167,6 +187,10 @@ class JobMetrics:
             "input_records": self.input_records,
             "output_records": self.output_records,
             "partitioner": self.partitioner,
+            "map_batching": self.map_batching,
+            "batch_trie_nodes": self.batch_trie_nodes,
+            "batch_shared_positions": self.batch_shared_positions,
+            "batch_reuse_ratio": round(self.batch_reuse_ratio, 3),
             "partition_max_bytes": self.partition_max_bytes,
             "partition_mean_bytes": round(self.partition_mean_bytes, 1),
             "partition_imbalance": round(self.partition_imbalance, 3),
@@ -198,6 +222,13 @@ class JobMetrics:
             output_records=self.output_records + other.output_records,
             partitioner=(
                 self.partitioner if self.partitioner == other.partitioner else "mixed"
+            ),
+            map_batching=(
+                self.map_batching if self.map_batching == other.map_batching else "mixed"
+            ),
+            batch_trie_nodes=self.batch_trie_nodes + other.batch_trie_nodes,
+            batch_shared_positions=(
+                self.batch_shared_positions + other.batch_shared_positions
             ),
             reduce_bucket_bytes=bucket_bytes,
         )

@@ -64,6 +64,34 @@ class WeightedSequence(NamedTuple):
     weight: int
 
 
+class HashedWeightedSequence(WeightedSequence):
+    """A :class:`WeightedSequence` carrying the hash of its encoded span.
+
+    :meth:`EncodedSequenceStore.unique_view` already hashes every record's
+    varint span to group duplicates; records from the view carry that hash so
+    downstream per-sequence memo lookups (the grid memo's
+    :class:`~repro.core.grid_engine._SpanKey`) can reuse it instead of
+    re-encoding and re-hashing the items.  The hash rides as an instance
+    attribute, not a tuple field, so equality with plain 2-field
+    ``WeightedSequence`` records — and every existing tuple comparison — is
+    unchanged.
+
+    Pickling deliberately drops the hash and yields a plain 2-field
+    ``WeightedSequence``: ``hash()`` of a bytes span is salted per process, so
+    a hash shipped to a pool worker would never match the hashes that worker
+    computes locally — it would only inflate the per-task input pickles
+    (``map_input_pickle_bytes``) for a memo key the receiver cannot use.
+    """
+
+    def __new__(cls, sequence, weight, span_hash):
+        self = super().__new__(cls, sequence, weight)
+        self.span_hash = span_hash
+        return self
+
+    def __reduce__(self):
+        return (WeightedSequence, (self.sequence, self.weight))
+
+
 def record_parts(record) -> tuple[tuple[int, ...], int]:
     """Normalize a map-input record to ``(sequence, weight)``.
 
@@ -165,6 +193,9 @@ class EncodedSequenceStore(Sequence):
         self._owner = owner
         self._unique: "EncodedSequenceStore | None" = None
         self._content_hash: str | None = None
+        # Per-record span hashes, set only on unique_view() products (the
+        # hashes fall out of the dedup grouping); None on every other store.
+        self._span_hashes: list[int] | None = None
 
     # ----------------------------------------------------------- construction
     @classmethod
@@ -240,6 +271,10 @@ class EncodedSequenceStore(Sequence):
         )
         if self._weights is None:
             return sequence
+        if self._span_hashes is not None:
+            return HashedWeightedSequence(
+                sequence, self._weights[index], self._span_hashes[index]
+            )
         return WeightedSequence(sequence, self._weights[index])
 
     def __iter__(self) -> Iterator[tuple[int, ...]]:
@@ -248,9 +283,17 @@ class EncodedSequenceStore(Sequence):
     def iter_range(self, start: int, stop: int) -> Iterator[tuple[int, ...]]:
         """Decode records ``start:stop`` straight from the block."""
         data, offsets, weights = self._data, self._offsets, self._weights
+        span_hashes = self._span_hashes
         if weights is None:
             for index in range(start, stop):
                 yield _decode_sequence(data, offsets[index], offsets[index + 1])
+        elif span_hashes is not None:
+            for index in range(start, stop):
+                yield HashedWeightedSequence(
+                    _decode_sequence(data, offsets[index], offsets[index + 1]),
+                    weights[index],
+                    span_hashes[index],
+                )
         else:
             for index in range(start, stop):
                 yield WeightedSequence(
@@ -294,6 +337,9 @@ class EncodedSequenceStore(Sequence):
         view = type(self)(
             _pack_block(_MAGIC_WEIGHTED, unique_offsets, totals, unique_data)
         )
+        # The grouping pass hashed every span anyway; keep the hashes so the
+        # view's records can carry them into downstream memo keys.
+        view._span_hashes = [hash(span) for span in spans]
         self._unique = view
         return view
 

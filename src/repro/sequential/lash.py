@@ -21,12 +21,10 @@ from repro.core.results import MiningResult
 from repro.dictionary import Dictionary
 from repro.errors import MiningError
 from repro.mapreduce import (
-    UNSET,
     Cluster,
     ClusterConfig,
     MapReduceJob,
     resolve_cluster,
-    resolve_legacy_substrate,
 )
 from repro.sequences import (
     SequenceDatabase,
@@ -223,12 +221,10 @@ class GapConstrainedMiner:
         min_length: int = 2,
         use_hierarchy: bool = True,
         num_workers: int = 4,
-        backend: str | Cluster = UNSET,
-        codec: str = UNSET,
-        spill_budget_bytes: int | None = UNSET,
         kernel: str | None = None,
         grid: str | None = None,
         partitioner: str | None = None,
+        map_batching: str | None = None,
         dedup: bool = True,
         cluster: ClusterConfig | str | Cluster | None = None,
     ) -> None:
@@ -243,25 +239,20 @@ class GapConstrainedMiner:
         self.min_length = min_length
         self.use_hierarchy = use_hierarchy
         self.dedup = dedup
-        # The specialist avoids FST machinery entirely, so the ``kernel`` and
-        # ``grid`` knobs are accepted (one ClusterConfig drives all five
-        # cluster miners) but have no effect on its mining semantics or
-        # timings.  ``dedup`` applies: the windowing runs once per distinct
-        # input sequence.  ``partitioner`` applies too: its shuffle is
-        # item-partitioned like D-SEQ's, so the skew-aware plan helps here
-        # as well.
+        # The specialist avoids FST machinery entirely, so the ``kernel``,
+        # ``grid``, and ``map_batching`` knobs are accepted (one ClusterConfig
+        # drives all five cluster miners) but have no effect on its mining
+        # semantics or timings — there are no grids to trie-batch.  ``dedup``
+        # applies: the windowing runs once per distinct input sequence.
+        # ``partitioner`` applies too: its shuffle is item-partitioned like
+        # D-SEQ's, so the skew-aware plan helps here as well.
         self.cluster = ClusterConfig.resolve(
             cluster,
-            **resolve_legacy_substrate(
-                type(self).__name__,
-                backend=backend,
-                codec=codec,
-                spill_budget_bytes=spill_budget_bytes,
-            ),
             num_workers=num_workers,
             kernel=kernel,
             grid=grid,
             partitioner=partitioner,
+            map_batching=map_batching,
         )
 
     def mine(self, database: SequenceDatabase | Sequence[Sequence[int]]) -> MiningResult:
@@ -276,16 +267,11 @@ class GapConstrainedMiner:
         )
         records = as_mining_records(database, dedup=self.dedup)
         cluster = resolve_cluster(self.cluster)
-        if self.cluster.partitioner_name == "planned":
-            # Deferred import: the planner lives in repro.core, which this
-            # sequential-package module must not import at module level.
-            from repro.core.balance import plan_job_partitions
+        # Deferred import: the planner lives in repro.core, which this
+        # sequential-package module must not import at module level.
+        from repro.core.balance import attach_partition_plan
 
-            job.partition_plan = plan_job_partitions(
-                job, records, cluster.num_reduce_tasks,
-                num_workers=cluster.num_workers,
-                sample=self.cluster.plan_sample,
-            )
+        attach_partition_plan(self, job, records, cluster)
         result = cluster.run(job, records)
         name = self.algorithm_name if self.use_hierarchy else "MG-FSM"
         return MiningResult(dict(result.outputs), result.metrics, algorithm=name)

@@ -265,39 +265,41 @@ class TestTopK:
                 session.top_k("ex", "(b)", k=1, sigma=0)
 
 
-# ------------------------------------------------------------- deprecations
-class TestLegacyKwargDeprecation:
-    def test_miners_warn_on_backend_kwarg(self, ex_dictionary):
+# ---------------------------------------------------- legacy kwarg removal
+class TestLegacyKwargRemoval:
+    """The deprecated ``backend=``/``codec=``/``spill_budget_bytes=`` miner
+    keywords completed their deprecation cycle and are gone: passing them is
+    now a plain TypeError, and the ``cluster=ClusterConfig(...)`` path never
+    warns."""
+
+    def test_miners_reject_backend_kwarg(self, ex_dictionary):
         for miner_class in (DSeqMiner, DCandMiner, NaiveMiner, SemiNaiveMiner):
-            with pytest.warns(DeprecationWarning, match="backend= keyword"):
+            with pytest.raises(TypeError, match="backend"):
                 miner_class(
                     RUNNING_EXAMPLE_PATEX, SIGMA, ex_dictionary, backend="simulated"
                 )
 
-    def test_gap_miner_warns_on_backend_kwarg(self, ex_dictionary):
-        with pytest.warns(DeprecationWarning, match="backend= keyword"):
+    def test_gap_miner_rejects_backend_kwarg(self, ex_dictionary):
+        with pytest.raises(TypeError, match="backend"):
             GapConstrainedMiner(
                 SIGMA, ex_dictionary, max_gap=1, max_length=3, backend="simulated"
             )
 
-    def test_miners_warn_on_codec_and_spill_kwargs(self, ex_dictionary):
-        with pytest.warns(DeprecationWarning, match="codec= keyword"):
+    def test_miners_reject_codec_and_spill_kwargs(self, ex_dictionary):
+        with pytest.raises(TypeError, match="codec"):
             DSeqMiner(RUNNING_EXAMPLE_PATEX, SIGMA, ex_dictionary, codec="pickle")
-        with pytest.warns(DeprecationWarning, match="spill_budget_bytes= keyword"):
+        with pytest.raises(TypeError, match="spill_budget_bytes"):
             DSeqMiner(
                 RUNNING_EXAMPLE_PATEX, SIGMA, ex_dictionary, spill_budget_bytes=1 << 20
             )
 
-    def test_harness_warns_once_per_call(self, ex_database, ex_dictionary):
+    def test_harness_rejects_legacy_kwargs(self, ex_database, ex_dictionary):
         spec = make_constraint("N5", sigma=SIGMA)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
+        with pytest.raises(TypeError, match="backend"):
             run_algorithm(
                 "dseq", spec, ex_dictionary, ex_database,
                 num_workers=2, backend="simulated",
             )
-        deprecations = [w for w in caught if w.category is DeprecationWarning]
-        assert len(deprecations) == 1  # run_algorithm warns; build_miner must not
 
     def test_cluster_config_path_is_warning_free(self, ex_database, ex_dictionary):
         spec = make_constraint("N5", sigma=SIGMA)
@@ -313,12 +315,11 @@ class TestLegacyKwargDeprecation:
                 num_workers=2, cluster=ClusterConfig(),
             )
 
-    def test_legacy_kwargs_still_work(self, ex_database, ex_dictionary):
-        with pytest.warns(DeprecationWarning):
-            legacy = DSeqMiner(
-                RUNNING_EXAMPLE_PATEX, SIGMA, ex_dictionary, codec="pickle"
-            )
-        assert legacy.cluster.codec == "pickle"
+    def test_unset_sentinel_is_gone(self):
+        import repro.mapreduce as mapreduce
+
+        assert not hasattr(mapreduce, "UNSET")
+        assert not hasattr(mapreduce, "resolve_legacy_substrate")
 
 
 class TestConfigFingerprint:
@@ -334,3 +335,4 @@ class TestConfigFingerprint:
         assert ClusterConfig(grid="legacy").fingerprint() != base
         assert ClusterConfig(blob_dir="/tmp/blobs").fingerprint() != base
         assert ClusterConfig(plan_sample=0.5).fingerprint() != base
+        assert ClusterConfig(map_batching="trie").fingerprint() != base

@@ -202,7 +202,7 @@ class TestWorkerSideShuffle:
         ).mine(ex_database)
         cluster = PersistentProcessPoolCluster(num_workers=2, store_transport="file")
         result = DSeqMiner(
-            RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, backend=cluster
+            RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, cluster=cluster
         ).mine(ex_database)
         assert result.patterns() == reference.patterns()
         assert result.metrics.wire_bytes == reference.metrics.wire_bytes
@@ -270,7 +270,7 @@ class TestMinerEquivalence:
     def test_dseq(self, ex_dictionary, ex_database):
         self.assert_equivalent(
             lambda backend: DSeqMiner(
-                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2, backend=backend
+                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2, cluster=backend
             ),
             ex_database,
         )
@@ -278,7 +278,7 @@ class TestMinerEquivalence:
     def test_dcand(self, ex_dictionary, ex_database):
         self.assert_equivalent(
             lambda backend: DCandMiner(
-                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2, backend=backend
+                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2, cluster=backend
             ),
             ex_database,
         )
@@ -286,7 +286,7 @@ class TestMinerEquivalence:
     def test_naive(self, ex_dictionary, ex_database):
         self.assert_equivalent(
             lambda backend: NaiveMiner(
-                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2, backend=backend
+                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2, cluster=backend
             ),
             ex_database,
         )
@@ -294,13 +294,13 @@ class TestMinerEquivalence:
     def test_lash(self, ex_dictionary, ex_database):
         self.assert_equivalent(
             lambda backend: GapConstrainedMiner(
-                2, ex_dictionary, max_gap=1, max_length=3, num_workers=2, backend=backend
+                2, ex_dictionary, max_gap=1, max_length=3, num_workers=2, cluster=backend
             ),
             ex_database,
         )
 
     def test_cluster_instance_accepted(self, ex_dictionary, ex_database, backend):
         cluster = make_cluster(backend, num_workers=2)
-        miner = DSeqMiner(RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, backend=cluster)
+        miner = DSeqMiner(RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, cluster=cluster)
         reference = DSeqMiner(RUNNING_EXAMPLE_PATEX, 2, ex_dictionary).mine(ex_database)
         assert miner.mine(ex_database).patterns() == reference.patterns()

@@ -410,3 +410,75 @@ class TestPartitionPlanning:
             planned_metrics.modeled_straggler_seconds
             <= hash_metrics.modeled_straggler_seconds
         )
+
+
+class TestJobPlanner:
+    """The per-miner plan cache: estimate once, replay everywhere."""
+
+    def test_repeated_mine_calls_estimate_once(
+        self, ex_dictionary, ex_database, monkeypatch
+    ):
+        """Two mine() calls over one corpus share a single estimation pass."""
+        import repro.core.balance as balance
+
+        calls: list[str] = []
+        real = balance.plan_job_partitions
+
+        def spy(job, records, num_reduce_tasks, **kwargs):
+            calls.append(type(job).__name__)
+            return real(job, records, num_reduce_tasks, **kwargs)
+
+        monkeypatch.setattr(balance, "plan_job_partitions", spy)
+        miner = DSeqMiner(
+            RUNNING_EXAMPLE_PATEX, 2, ex_dictionary,
+            num_workers=2, partitioner="planned",
+        )
+        first = miner.mine(ex_database)
+        after_first = len(calls)
+        assert after_first == 1  # one job, one estimation
+        second = miner.mine(ex_database)
+        assert len(calls) == after_first  # cache hit: the plan is replayed
+        assert second.patterns() == first.patterns()
+        assert second.metrics.partitioner == "planned"
+        # The cached plan is literally the same object across calls.
+        planner = miner._job_planner
+        assert len(planner._plans) == 1
+
+    def test_distinct_corpora_get_their_own_plans(
+        self, ex_dictionary, ex_database, monkeypatch
+    ):
+        import repro.core.balance as balance
+
+        calls: list[str] = []
+        real = balance.plan_job_partitions
+
+        def spy(job, records, num_reduce_tasks, **kwargs):
+            calls.append(type(job).__name__)
+            return real(job, records, num_reduce_tasks, **kwargs)
+
+        monkeypatch.setattr(balance, "plan_job_partitions", spy)
+        miner = DSeqMiner(
+            RUNNING_EXAMPLE_PATEX, 2, ex_dictionary,
+            num_workers=2, partitioner="planned",
+        )
+        miner.mine(ex_database)
+        other = SequenceDatabase([list(sequence) * 2 for sequence in ex_database])
+        miner.mine(other)
+        assert len(calls) == 2  # a different corpus is a different cache key
+
+    def test_hash_partitioner_never_estimates(
+        self, ex_dictionary, ex_database, monkeypatch
+    ):
+        import repro.core.balance as balance
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("hash-partitioned mining must not plan")
+
+        monkeypatch.setattr(balance, "plan_job_partitions", boom)
+        miner = DSeqMiner(
+            RUNNING_EXAMPLE_PATEX, 2, ex_dictionary,
+            num_workers=2, partitioner="hash",
+        )
+        result = miner.mine(ex_database)
+        assert result.metrics.partitioner == "hash"
+        assert not hasattr(miner, "_job_planner")

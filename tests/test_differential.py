@@ -19,6 +19,7 @@ from hypothesis import strategies as st
 
 from repro.core import DCandMiner, DSeqMiner, NaiveMiner, SemiNaiveMiner, mine
 from repro.dictionary import Hierarchy
+from repro.mapreduce import ClusterConfig
 from repro.fst import generate_candidates
 from repro.patex import PatEx
 from repro.sequences import SequenceDatabase, preprocess
@@ -119,23 +120,27 @@ def make_differential_database(count: int = 60, seed: int = 13):
 #: The constraint used by the backend matrix (the paper's running example).
 MATRIX_PATEX = ".*(A)[(.^)|.]*(b).*"
 
+def _matrix_cluster(backend, codec):
+    return ClusterConfig(backend=backend, codec=codec, num_workers=2)
+
+
 #: All five cluster miners: name -> factory(dictionary, backend, codec, **kw).
 MATRIX_MINERS = {
     "dseq": lambda dictionary, backend, codec, **kw: DSeqMiner(
-        MATRIX_PATEX, 2, dictionary, num_workers=2, backend=backend, codec=codec, **kw
+        MATRIX_PATEX, 2, dictionary, cluster=_matrix_cluster(backend, codec), **kw
     ),
     "dcand": lambda dictionary, backend, codec, **kw: DCandMiner(
-        MATRIX_PATEX, 2, dictionary, num_workers=2, backend=backend, codec=codec, **kw
+        MATRIX_PATEX, 2, dictionary, cluster=_matrix_cluster(backend, codec), **kw
     ),
     "naive": lambda dictionary, backend, codec, **kw: NaiveMiner(
-        MATRIX_PATEX, 2, dictionary, num_workers=2, backend=backend, codec=codec, **kw
+        MATRIX_PATEX, 2, dictionary, cluster=_matrix_cluster(backend, codec), **kw
     ),
     "semi-naive": lambda dictionary, backend, codec, **kw: SemiNaiveMiner(
-        MATRIX_PATEX, 2, dictionary, num_workers=2, backend=backend, codec=codec, **kw
+        MATRIX_PATEX, 2, dictionary, cluster=_matrix_cluster(backend, codec), **kw
     ),
     "lash": lambda dictionary, backend, codec, **kw: GapConstrainedMiner(
-        2, dictionary, max_gap=1, max_length=3, num_workers=2,
-        backend=backend, codec=codec, **kw,
+        2, dictionary, max_gap=1, max_length=3,
+        cluster=_matrix_cluster(backend, codec), **kw,
     ),
 }
 
@@ -180,10 +185,11 @@ class TestPersistentBackendMatrix:
             ]
         )
         shipped = DSeqMiner(
-            MATRIX_PATEX, 2, ex_dictionary, num_workers=2, backend="processes"
+            MATRIX_PATEX, 2, ex_dictionary, num_workers=2, cluster="processes"
         ).mine(database)
         descriptors = DSeqMiner(
-            MATRIX_PATEX, 2, ex_dictionary, num_workers=2, backend="persistent-processes"
+            MATRIX_PATEX, 2, ex_dictionary, num_workers=2,
+            cluster="persistent-processes",
         ).mine(database)
         assert descriptors.patterns() == shipped.patterns()
         assert descriptors.metrics.wire_bytes == shipped.metrics.wire_bytes
@@ -337,6 +343,93 @@ class TestPartitionerMatrix:
         assert results["planned"].patterns() == results["hash"].patterns()
         assert planned.partition_imbalance <= hashed.partition_imbalance
         assert planned.modeled_straggler_seconds <= hashed.modeled_straggler_seconds
+
+
+class TestBatchMapMatrix:
+    """``map_batching=trie`` ≡ ``map_batching=off`` across miners × backends.
+
+    Acceptance criteria of the prefix-sharing batch map: for all five cluster
+    miners and the reference backends, trie-batched grid construction produces
+    byte-identical mining results — same patterns and frequencies, same
+    modeled shuffle bytes, same measured wire bytes, same record counts — as
+    the per-sequence path.  The trie only changes *when* grids are computed,
+    never what they contain, so every shuffle metric must agree; only the
+    batching counters themselves (a map-side work meter) may differ.
+    """
+
+    BACKENDS = ("simulated", "threads", "processes", "persistent-processes")
+
+    @pytest.fixture(scope="class")
+    def batching_data(self):
+        # Seeded short-alphabet sequences give the trie real prefix overlap.
+        return make_differential_database(count=60, seed=41)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("miner_name", sorted(MATRIX_MINERS))
+    def test_patterns_and_shuffle_metrics_identical(
+        self, miner_name, backend, batching_data
+    ):
+        dictionary, database = batching_data
+        factory = MATRIX_MINERS[miner_name]
+        results = {
+            mode: factory(
+                dictionary, backend, "compact", map_batching=mode
+            ).mine(database)
+            for mode in ("off", "trie")
+        }
+        reference = results["off"]
+        batched = results["trie"]
+        assert batched.patterns() == reference.patterns()
+        for metric in (
+            "shuffle_bytes",
+            "shuffle_records",
+            "wire_bytes",
+            "spilled_buckets",
+            "spilled_bytes",
+            "map_output_records",
+            "combined_records",
+            "output_records",
+        ):
+            assert getattr(batched.metrics, metric) == (
+                getattr(reference.metrics, metric)
+            ), metric
+        assert reference.metrics.map_batching == "off"
+        # Metrics report the *effective* mode: D-SEQ and D-CAND jobs batch,
+        # the baselines and LASH have no grids to batch and stay "off".
+        expected_mode = "trie" if miner_name in ("dseq", "dcand") else "off"
+        assert batched.metrics.map_batching == expected_mode
+        # The per-sequence path never builds a trie.
+        assert reference.metrics.batch_trie_nodes == 0
+        assert reference.metrics.batch_shared_positions == 0
+
+    def test_trie_runs_meter_their_sharing(self, batching_data):
+        """D-SEQ and D-CAND actually exercise the batch drivers."""
+        dictionary, database = batching_data
+        for miner_name in ("dseq", "dcand"):
+            result = MATRIX_MINERS[miner_name](
+                dictionary, "simulated", "compact", map_batching="trie"
+            ).mine(database)
+            assert result.metrics.batch_trie_nodes > 0, miner_name
+            assert result.metrics.batch_shared_positions > 0, miner_name
+            assert 0.0 < result.metrics.batch_reuse_ratio < 1.0, miner_name
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    @settings(max_examples=10, deadline=None)
+    @given(sequences=sequences_strategy(), sigma=st.integers(min_value=1, max_value=3))
+    def test_batching_agrees_on_random_databases(self, expression, sequences, sigma):
+        dictionary, database = build_consistent(sequences)
+        for algorithm in ("dseq", "dcand"):
+            results = {
+                mode: mine(
+                    database, dictionary, expression, sigma=sigma,
+                    algorithm=algorithm, num_workers=2, map_batching=mode,
+                )
+                for mode in ("off", "trie")
+            }
+            assert results["trie"].patterns() == results["off"].patterns(), algorithm
+            assert results["trie"].metrics.wire_bytes == (
+                results["off"].metrics.wire_bytes
+            ), algorithm
 
 
 #: Atoms of the random-expression grammar: plain items, wildcards, and the

@@ -1,0 +1,282 @@
+"""Equivalence and unit tests for the prefix-sharing batch map.
+
+The trie-batched builders in :mod:`repro.core.prefix_batch` must be
+observationally identical to the per-sequence path: :func:`batched_grids`
+has to produce grids byte-identical to a direct
+:class:`~repro.core.grid_engine.FlatPivotGrid` build, and
+:func:`batched_accepting` has to agree with the per-sequence accepting-run
+oracle.  These tests prove that with hypothesis over random databases and
+hierarchies, and pin the ``GrowableFlatGrid`` mark/rewind mechanics the
+batch drivers rely on.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid_engine import FlatPivotGrid, GrowableFlatGrid
+from repro.core.prefix_batch import (
+    DEFAULT_MAP_BATCHING,
+    MAP_BATCHINGS,
+    batched_accepting,
+    batched_grids,
+    normalize_map_batching,
+)
+from repro.dictionary import Hierarchy
+from repro.errors import MiningError
+from repro.fst import make_kernel
+from repro.patex import PatEx
+from repro.sequences import preprocess
+
+#: Constraint shapes shared with the grid-engine suite: captures, optional
+#: groups, generalization, repetition, alternation, and bounded gaps.
+EXPRESSIONS = [
+    ".*(A)[(.^)|.]*(b).*",        # the running example π_ex
+    ".*(a1)(b).*",                # plain bigram capture
+    ".*(A^)[.{0,2}(A^)]{1,2}.*",  # hierarchy with bounded gaps (A1/T3 shape)
+    ".*(.)[.*(.)]?.*",            # 1- or 2-item patterns with arbitrary gaps
+    ".*(e)?(d)(c|b).*",           # optional capture and alternation
+    "[.*(A^=)]+.*",               # forced generalization, repeated group
+]
+
+VOCABULARY = ["a1", "a2", "b", "c", "d", "e"]
+ANCHOR_SEQUENCE = tuple(VOCABULARY)
+
+
+def sequences_strategy():
+    # Short shared alphabets make prefix collisions (the interesting case)
+    # likely even at these small sizes.
+    return st.lists(
+        st.lists(st.sampled_from(VOCABULARY), min_size=0, max_size=7),
+        min_size=1,
+        max_size=8,
+    )
+
+
+def build_consistent(sequences):
+    hierarchy = Hierarchy()
+    hierarchy.add_edge("a1", "A")
+    hierarchy.add_edge("a2", "A")
+    raw = [tuple(sequence) for sequence in sequences] + [ANCHOR_SEQUENCE]
+    return preprocess(raw, hierarchy)
+
+
+def reference_grid(kernel, sequence, max_frequent_fid):
+    return FlatPivotGrid(kernel, sequence, max_frequent_fid=max_frequent_fid)
+
+
+class TestBatchedGridsEquivalence:
+    """``batched_grids ≡ per-sequence FlatPivotGrid`` — byte-identical."""
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    @settings(max_examples=15, deadline=None)
+    @given(sequences=sequences_strategy(), sigma=st.integers(min_value=1, max_value=4))
+    def test_batched_grids_are_pickle_identical(self, expression, sequences, sigma):
+        dictionary, database = build_consistent(sequences)
+        kernel = make_kernel(
+            PatEx(expression).compile(dictionary), dictionary, "compiled"
+        )
+        max_frequent_fid = dictionary.largest_frequent_fid(sigma)
+        encoded = [tuple(sequence) for sequence in database]
+        grids = batched_grids(kernel, encoded, max_frequent_fid=max_frequent_fid)
+        assert set(grids) == set(encoded)
+        for sequence in set(encoded):
+            reference = reference_grid(kernel, sequence, max_frequent_fid)
+            assert pickle.dumps(grids[sequence]) == pickle.dumps(reference), sequence
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_batched_grids_agree_on_random_hierarchies(self, data):
+        """Random DAG hierarchies: generalization sees multi-parent items."""
+        names = [f"i{index}" for index in range(data.draw(st.integers(2, 6)))]
+        hierarchy = Hierarchy()
+        for index, name in enumerate(names):
+            hierarchy.add_item(name)
+            parents = data.draw(
+                st.lists(st.sampled_from(names[:index]), unique=True, max_size=2)
+                if index
+                else st.just([])
+            )
+            for parent in parents:
+                hierarchy.add_edge(name, parent)
+        sequences = data.draw(
+            st.lists(
+                st.lists(st.sampled_from(names), min_size=0, max_size=6),
+                min_size=1,
+                max_size=6,
+            )
+        )
+        dictionary, database = preprocess(
+            [tuple(sequence) for sequence in sequences] + [tuple(names)], hierarchy
+        )
+        anchor = data.draw(st.sampled_from(names))
+        expression = f".*({anchor}^)[(.^)|.]*(.).*"
+        kernel = make_kernel(
+            PatEx(expression).compile(dictionary), dictionary, "compiled"
+        )
+        sigma = data.draw(st.integers(min_value=1, max_value=3))
+        max_frequent_fid = dictionary.largest_frequent_fid(sigma)
+        encoded = [tuple(sequence) for sequence in database]
+        grids = batched_grids(kernel, encoded, max_frequent_fid=max_frequent_fid)
+        for sequence in set(encoded):
+            reference = reference_grid(kernel, sequence, max_frequent_fid)
+            assert pickle.dumps(grids[sequence]) == pickle.dumps(reference), sequence
+
+    def test_interpreted_kernel_also_served(self, ex_dictionary):
+        fst = PatEx(".*(A)[(.^)|.]*(b).*").compile(ex_dictionary)
+        encoded = [
+            ex_dictionary.encode(items)
+            for items in (("c", "a1", "b", "e"), ("c", "a1", "d"), ("a2", "b"))
+        ]
+        for kernel_name in ("compiled", "interpreted"):
+            kernel = make_kernel(fst, ex_dictionary, kernel_name)
+            grids = batched_grids(kernel, encoded, max_frequent_fid=3)
+            for sequence in encoded:
+                reference = reference_grid(kernel, sequence, 3)
+                assert pickle.dumps(grids[sequence]) == pickle.dumps(reference)
+
+    def test_duplicates_share_one_grid(self, ex_dictionary):
+        fst = PatEx(".*(A)[(.^)|.]*(b).*").compile(ex_dictionary)
+        kernel = make_kernel(fst, ex_dictionary, "compiled")
+        sequence = ex_dictionary.encode(("c", "a1", "b"))
+        grids = batched_grids(kernel, [sequence, sequence, sequence])
+        assert len(grids) == 1
+
+    def test_counters_meter_trie_sharing(self, ex_dictionary):
+        fst = PatEx(".*(A)[(.^)|.]*(b).*").compile(ex_dictionary)
+        kernel = make_kernel(fst, ex_dictionary, "compiled")
+        # Three accepting sequences sharing the two-item prefix (a1, b): the
+        # live trie has 2 (prefix) + 3 (distinct last items) = 5 nodes over 9
+        # accepting positions, so 4 positions come from the shared prefix.
+        encoded = [
+            ex_dictionary.encode(("a1", "b", last)) for last in ("c", "d", "e")
+        ]
+        counters: dict = {}
+        batched_grids(kernel, encoded, counters=counters)
+        assert counters["batch_trie_nodes"] == 5
+        assert counters["batch_shared_positions"] == 4
+
+    def test_counters_skip_pruned_subtrees(self, ex_dictionary):
+        """Sequences without accepting runs never drive the kernel."""
+        fst = PatEx(".*(A)[(.^)|.]*(b).*").compile(ex_dictionary)
+        kernel = make_kernel(fst, ex_dictionary, "compiled")
+        # No b after the a1: nothing accepts, nothing is batched.
+        encoded = [
+            ex_dictionary.encode(("c", "a1", last)) for last in ("d", "e")
+        ]
+        counters: dict = {}
+        grids = batched_grids(kernel, encoded, counters=counters)
+        assert counters["batch_trie_nodes"] == 0
+        assert counters["batch_shared_positions"] == 0
+        for sequence in encoded:
+            assert not grids[sequence].has_accepting_run
+            reference = reference_grid(kernel, sequence, None)
+            assert pickle.dumps(grids[sequence]) == pickle.dumps(reference)
+
+    def test_empty_and_singleton_inputs(self, ex_dictionary):
+        fst = PatEx(".*(b).*").compile(ex_dictionary)
+        kernel = make_kernel(fst, ex_dictionary, "compiled")
+        assert batched_grids(kernel, []) == {}
+        grids = batched_grids(kernel, [()])
+        assert pickle.dumps(grids[()]) == pickle.dumps(FlatPivotGrid(kernel, ()))
+
+
+class TestBatchedAccepting:
+    """``batched_accepting`` agrees with the per-sequence oracle exactly."""
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    @settings(max_examples=15, deadline=None)
+    @given(sequences=sequences_strategy())
+    def test_matches_per_sequence_accepting_run(self, expression, sequences):
+        dictionary, database = build_consistent(sequences)
+        kernel = make_kernel(
+            PatEx(expression).compile(dictionary), dictionary, "compiled"
+        )
+        encoded = [tuple(sequence) for sequence in database]
+        accepting = batched_accepting(kernel, encoded)
+        assert set(accepting) == set(encoded)
+        for sequence in set(encoded):
+            expected = FlatPivotGrid(kernel, sequence).has_accepting_run
+            assert accepting[sequence] == expected, sequence
+
+    def test_empty_sequence_uses_the_initial_state(self, ex_dictionary):
+        fst = PatEx(".*(b).*").compile(ex_dictionary)
+        kernel = make_kernel(fst, ex_dictionary, "compiled")
+        accepting = batched_accepting(kernel, [()])
+        assert accepting[()] == FlatPivotGrid(kernel, ()).has_accepting_run
+
+    def test_counters_meter_the_walk(self, ex_dictionary):
+        fst = PatEx(".*(b).*").compile(ex_dictionary)
+        kernel = make_kernel(fst, ex_dictionary, "compiled")
+        encoded = [
+            ex_dictionary.encode(("c", "a1", last)) for last in ("b", "d", "e")
+        ]
+        counters: dict = {}
+        batched_accepting(kernel, encoded, counters=counters)
+        assert counters["batch_trie_nodes"] == 5
+        assert counters["batch_shared_positions"] == 4
+
+
+class TestGrowableFlatGrid:
+    """mark/rewind/snapshot mechanics the trie walk depends on."""
+
+    def _kernel(self, ex_dictionary):
+        fst = PatEx(".*(A)[(.^)|.]*(b).*").compile(ex_dictionary)
+        return make_kernel(fst, ex_dictionary, "compiled")
+
+    def test_snapshot_of_root_is_the_empty_grid(self, ex_dictionary):
+        kernel = self._kernel(ex_dictionary)
+        shared = GrowableFlatGrid(kernel)
+        assert pickle.dumps(shared.snapshot()) == pickle.dumps(
+            FlatPivotGrid(kernel, ())
+        )
+
+    def test_rewind_restores_the_branch_point(self, ex_dictionary):
+        kernel = self._kernel(ex_dictionary)
+        prefix = ex_dictionary.encode(("c", "a1"))
+        branches = [ex_dictionary.encode((item,))[0] for item in ("b", "d")]
+        shared = GrowableFlatGrid(kernel, max_frequent_fid=3)
+        for item in prefix:
+            shared.extend(item)
+        snapshots = {}
+        mark = shared.mark()
+        for item in branches:
+            shared.extend(item)
+            snapshots[item] = shared.snapshot()
+            shared.rewind(mark)
+        for item in branches:
+            reference = FlatPivotGrid(
+                kernel, prefix + (item,), max_frequent_fid=3
+            )
+            assert pickle.dumps(snapshots[item]) == pickle.dumps(reference)
+        # After the final rewind the shared state is back at the prefix.
+        assert pickle.dumps(shared.snapshot()) == pickle.dumps(
+            FlatPivotGrid(kernel, prefix, max_frequent_fid=3)
+        )
+
+    def test_snapshot_does_not_disturb_further_extension(self, ex_dictionary):
+        kernel = self._kernel(ex_dictionary)
+        sequence = ex_dictionary.encode(("c", "a1", "b", "e"))
+        shared = GrowableFlatGrid(kernel)
+        for position, item in enumerate(sequence, start=1):
+            shared.extend(item)
+            snapshot = shared.snapshot()
+            reference = FlatPivotGrid(kernel, sequence[:position])
+            assert pickle.dumps(snapshot) == pickle.dumps(reference)
+
+
+class TestKnob:
+    def test_normalize_map_batching(self):
+        assert normalize_map_batching(None) == DEFAULT_MAP_BATCHING
+        assert normalize_map_batching(" Trie ") == "trie"
+        assert normalize_map_batching("OFF") == "off"
+        with pytest.raises(MiningError, match="unknown map batching"):
+            normalize_map_batching("nope")
+
+    def test_modes_are_pinned(self):
+        assert MAP_BATCHINGS == ("off", "trie")
+        assert DEFAULT_MAP_BATCHING == "off"

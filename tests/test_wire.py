@@ -20,6 +20,7 @@ from repro.errors import MapReduceError
 from repro.mapreduce import (
     BACKENDS,
     CODECS,
+    ClusterConfig,
     Codec,
     CompactCodec,
     MapReduceJob,
@@ -397,14 +398,15 @@ class TestMinersAcrossCodecsAndBackends:
     ):
         expected = {
             name: factory(
-                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2, codec=codec
+                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary,
+                cluster=ClusterConfig(codec=codec, num_workers=2),
             ).mine(ex_database)
             for name, factory in MINER_FACTORIES.items()
         }
         for name, factory in MINER_FACTORIES.items():
             miner = factory(
                 RUNNING_EXAMPLE_PATEX, 2, ex_dictionary,
-                num_workers=2, backend=backend, codec=codec,
+                cluster=ClusterConfig(backend=backend, codec=codec, num_workers=2),
             )
             result = miner.mine(ex_database)
             assert result.patterns() == expected[name].patterns(), name
@@ -421,7 +423,7 @@ class TestMinersAcrossCodecsAndBackends:
                 backend, num_workers=2, spill_budget_bytes=16, spill_dir=str(tmp_path)
             )
             result = factory(
-                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2, backend=cluster
+                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2, cluster=cluster
             ).mine(ex_database)
             assert result.patterns() == reference[name].patterns(), name
             assert result.metrics.wire_bytes == reference[name].metrics.wire_bytes, name
@@ -433,7 +435,8 @@ class TestMinersAcrossCodecsAndBackends:
         sizes = {}
         for codec in CODECS:
             miner = DSeqMiner(
-                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary, num_workers=2, codec=codec
+                RUNNING_EXAMPLE_PATEX, 2, ex_dictionary,
+                cluster=ClusterConfig(codec=codec, num_workers=2),
             )
             sizes[codec] = miner.mine(ex_database).metrics.wire_bytes
         assert sizes["compact"] < sizes["pickle"]
