@@ -1,0 +1,81 @@
+"""Chaos smoke: D-SEQ on the multihost backend under injected faults.
+
+A deterministic :class:`~repro.mapreduce.faults.ScriptedInjector` kills one
+host mid-map (``os._exit`` inside the pool worker) and makes 20% of blob keys
+fail their first get, while the default-shaped fault policy retries tasks and
+blob operations.  The smoke asserts the chaos run recovers — same patterns as
+the fault-free run, retries and a rebuilt host visible in the metrics — and
+reports the fault-tolerance overhead (chaos vs fault-free makespan).
+"""
+
+from __future__ import annotations
+
+from repro.datasets import constraint as make_constraint
+from repro.experiments import SCALED_SIGMA, format_table, prepare_dataset, run_algorithm
+from repro.mapreduce import ClusterConfig, FaultPolicy, ScriptedInjector
+
+from benchmarks.conftest import BENCH_SIZES, run_once
+
+#: Modest worker count: each run spawns a real host pool (and the chaos run
+#: additionally rebuilds it once after the injected kill).
+CHAOS_WORKERS = 4
+
+#: Low backoff keeps the smoke's injected retries from dominating its timing.
+CHAOS_POLICY = FaultPolicy(task_backoff_base_s=0.01, task_backoff_cap_s=0.05)
+
+CHAOS_INJECTOR = ScriptedInjector(
+    kill_map_task=0,
+    kill_mode="exit",
+    blob_get_failure_rate=0.2,
+)
+
+
+def _run(fault_injector=None):
+    prepared = prepare_dataset("NYT", BENCH_SIZES["NYT"])
+    task = make_constraint("N1", SCALED_SIGMA["N1"])
+    return run_algorithm(
+        "dseq",
+        task,
+        prepared.dictionary,
+        prepared.database,
+        num_workers=CHAOS_WORKERS,
+        dataset_name="NYT",
+        cluster=ClusterConfig(
+            backend="multihost",
+            num_workers=CHAOS_WORKERS,
+            fault_policy=CHAOS_POLICY,
+            fault_injector=fault_injector,
+        ),
+    )
+
+
+def test_chaos_injected_faults_recover(benchmark):
+    baseline = _run()
+    chaos = run_once(benchmark, _run, fault_injector=CHAOS_INJECTOR)
+
+    # The injected kill and flaky blobs must be fully absorbed by retries.
+    assert chaos.status == "ok"
+    assert chaos.num_patterns == baseline.num_patterns
+    assert chaos.shuffle_bytes == baseline.shuffle_bytes
+    assert chaos.wire_bytes == baseline.wire_bytes
+    assert chaos.task_retry_count > 0
+    assert chaos.recovered_host_count >= 1
+    assert baseline.task_retry_count == 0
+
+    rows = [
+        {
+            "run": label,
+            "status": record.status,
+            "total_s": round(record.wall_seconds, 4),
+            "patterns": record.num_patterns,
+            "tasks_failed": record.tasks_failed,
+            "task_retries": record.task_retry_count,
+            "blob_retries": record.blob_retry_count,
+            "hosts_recovered": record.recovered_host_count,
+        }
+        for label, record in (("fault-free", baseline), ("chaos", chaos))
+    ]
+    print()
+    print(format_table(rows))
+    overhead = chaos.wall_seconds - baseline.wall_seconds
+    print(f"fault-tolerance overhead: {overhead:+.3f}s wall clock")

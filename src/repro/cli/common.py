@@ -197,6 +197,54 @@ def add_cap_arguments(parser: ArgumentParser) -> None:
     )
 
 
+def add_fault_arguments(parser: ArgumentParser) -> None:
+    """``--retries`` / ``--task-timeout``: the run's fault-tolerance knobs."""
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "re-run a failed or timed-out map/reduce task up to N times "
+            "before failing the job (0 = fail fast on the first error; "
+            "default: 1 retry).  On the multihost backend a dead host's "
+            "tasks are re-dispatched to the surviving hosts"
+        ),
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "treat a map/reduce task attempt whose compute time exceeds "
+            "SECONDS as failed and retry it under the --retries budget "
+            "(default: no timeout)"
+        ),
+    )
+
+
+def fault_policy_from_args(args: Namespace):
+    """The run's :class:`~repro.mapreduce.FaultPolicy`, or None for the default."""
+    from dataclasses import replace
+
+    from repro.mapreduce import DEFAULT_FAULT_POLICY
+
+    retries = getattr(args, "retries", None)
+    task_timeout = getattr(args, "task_timeout", None)
+    if retries is None and task_timeout is None:
+        return None
+    if retries is not None and retries < 0:
+        raise CliError(f"--retries must be >= 0, got {retries}")
+    if task_timeout is not None and task_timeout <= 0:
+        raise CliError(f"--task-timeout must be > 0 seconds, got {task_timeout}")
+    return replace(
+        DEFAULT_FAULT_POLICY,
+        **({"max_task_attempts": retries + 1} if retries is not None else {}),
+        **({"task_timeout_s": task_timeout} if task_timeout is not None else {}),
+    )
+
+
 def cluster_config_from_args(args: Namespace, num_workers: int | None = None):
     """Build the one :class:`~repro.mapreduce.ClusterConfig` of a CLI run."""
     from repro.mapreduce import ClusterConfig
@@ -212,6 +260,7 @@ def cluster_config_from_args(args: Namespace, num_workers: int | None = None):
         partitioner=getattr(args, "partitioner", None),
         plan_sample=getattr(args, "plan_sample", None),
         map_batching=getattr(args, "map_batching", None),
+        fault_policy=fault_policy_from_args(args),
     )
 
 
@@ -372,6 +421,21 @@ def print_metrics(metrics, stream=None) -> None:
                 int(summary["blob_put_bytes"]),
                 int(summary["blob_get_count"]),
                 int(summary["blob_get_bytes"]),
+            )
+        )
+    if (
+        summary.get("tasks_failed")
+        or summary.get("task_retry_count")
+        or summary.get("blob_retry_count")
+        or summary.get("recovered_host_count")
+    ):
+        stream.write(
+            "fault tolerance: {:,} task failures, {:,} task retries, "
+            "{:,} blob retries, {:,} hosts recovered\n".format(
+                int(summary["tasks_failed"]),
+                int(summary["task_retry_count"]),
+                int(summary["blob_retry_count"]),
+                int(summary["recovered_host_count"]),
             )
         )
     if summary.get("map_input_pickle_bytes"):

@@ -8,6 +8,7 @@ from argparse import Namespace
 from repro.cli.common import (
     CliError,
     add_cap_arguments,
+    add_fault_arguments,
     add_grid_argument,
     add_kernel_argument,
     add_map_batching_argument,
@@ -89,6 +90,7 @@ def add_parser(subparsers) -> None:
         ),
     )
     add_shuffle_arguments(parser)
+    add_fault_arguments(parser)
     add_kernel_argument(parser)
     add_grid_argument(parser)
     add_partitioner_argument(parser)

@@ -8,6 +8,7 @@ from collections.abc import Sequence
 
 from repro import __version__
 from repro.cli import (
+    blob_gc_cmd,
     constraints_cmd,
     convert,
     experiment,
@@ -22,7 +23,8 @@ from repro.errors import ReproError
 
 #: Modules providing one subcommand each (ordered as shown in --help).
 _SUBCOMMANDS = (
-    generate, stats, mine_cmd, inspect_cmd, constraints_cmd, convert, experiment, serve_cmd,
+    generate, stats, mine_cmd, inspect_cmd, constraints_cmd, convert, experiment,
+    serve_cmd, blob_gc_cmd,
 )
 
 

@@ -8,6 +8,7 @@ from argparse import Namespace
 from repro.cli.common import (
     CliError,
     add_cap_arguments,
+    add_fault_arguments,
     add_grid_argument,
     add_input_arguments,
     add_kernel_argument,
@@ -86,6 +87,7 @@ def add_parser(subparsers) -> None:
         ),
     )
     add_shuffle_arguments(parser)
+    add_fault_arguments(parser)
     add_kernel_argument(parser)
     add_grid_argument(parser)
     add_partitioner_argument(parser)
@@ -151,6 +153,16 @@ def run(args: Namespace, stream=None) -> int:
             raise CliError(
                 f"--blob-dir does not apply to the sequential {args.algorithm} "
                 "miner (it never shuffles through a blob store)"
+            )
+        if args.retries is not None:
+            raise CliError(
+                f"--retries does not apply to the sequential {args.algorithm} "
+                "miner (it schedules no cluster tasks to retry)"
+            )
+        if args.task_timeout is not None:
+            raise CliError(
+                f"--task-timeout does not apply to the sequential {args.algorithm} "
+                "miner (it schedules no cluster tasks to time out)"
             )
         from repro.mapreduce import DEFAULT_PARTITIONER
 

@@ -43,6 +43,12 @@ class RunRecord:
     blob_put_bytes: int = 0
     blob_get_count: int = 0
     blob_get_bytes: int = 0
+    # Fault-tolerance accounting (zero on fault-free runs); kept out of
+    # as_row() so the committed BENCH goldens keep their exact shape.
+    tasks_failed: int = 0
+    task_retry_count: int = 0
+    blob_retry_count: int = 0
+    recovered_host_count: int = 0
     num_patterns: int = 0
     num_workers: int = 1
     partitioner: str = "hash"
@@ -231,6 +237,10 @@ def run_algorithm(
     record.blob_put_bytes = metrics.blob_put_bytes
     record.blob_get_count = metrics.blob_get_count
     record.blob_get_bytes = metrics.blob_get_bytes
+    record.tasks_failed = metrics.tasks_failed
+    record.task_retry_count = metrics.task_retry_count
+    record.blob_retry_count = metrics.blob_retry_count
+    record.recovered_host_count = metrics.recovered_host_count
     record.partitioner = metrics.partitioner
     record.map_batching = metrics.map_batching
     record.batch_trie_nodes = metrics.batch_trie_nodes

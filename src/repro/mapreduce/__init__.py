@@ -19,17 +19,33 @@ One job model (:class:`MapReduceJob`), one stage driver
 Use :func:`make_cluster` to pick a backend by name.
 """
 
-from repro.mapreduce.base import Cluster, JobResult, StageDriverCluster
+from repro.mapreduce.base import BatchOutcome, Cluster, JobResult, StageDriverCluster
 from repro.mapreduce.blobstore import (
     BlobNotFoundError,
+    BlobRetryStats,
     BlobStore,
     BlobStoreError,
     DirectoryBlobStore,
     InMemoryBlobStore,
     content_key,
+    gc_expired,
     get_with_retry,
+    put_with_retry,
+    read_lease,
+    write_lease,
 )
 from repro.mapreduce.engine import SimulatedCluster, run_job
+from repro.mapreduce.faults import (
+    DEFAULT_FAULT_POLICY,
+    FaultInjectingBlobStore,
+    FaultInjector,
+    FaultPolicy,
+    InjectedFault,
+    ScriptedInjector,
+    TaskContext,
+    TaskTimeoutError,
+    is_retryable,
+)
 from repro.mapreduce.factory import (
     BACKENDS,
     ClusterConfig,
@@ -64,7 +80,9 @@ from repro.mapreduce.wire import CODECS, Codec, CompactCodec, PickleCodec, make_
 __all__ = [
     "BACKENDS",
     "CODECS",
+    "BatchOutcome",
     "BlobNotFoundError",
+    "BlobRetryStats",
     "BlobShuffle",
     "BlobStore",
     "BlobStoreError",
@@ -72,12 +90,20 @@ __all__ = [
     "ClusterConfig",
     "Codec",
     "CompactCodec",
+    "DEFAULT_FAULT_POLICY",
     "DEFAULT_PARTITIONER",
     "DirectoryBlobStore",
+    "FaultInjectingBlobStore",
+    "FaultInjector",
+    "FaultPolicy",
     "FragmentReader",
     "InMemoryBlobStore",
+    "InjectedFault",
     "PARTITIONERS",
     "JobMetrics",
+    "ScriptedInjector",
+    "TaskContext",
+    "TaskTimeoutError",
     "JobResult",
     "MapReduceJob",
     "MapTaskResult",
@@ -91,14 +117,19 @@ __all__ = [
     "ThreadPoolCluster",
     "WireFragment",
     "content_key",
+    "gc_expired",
     "get_with_retry",
+    "is_retryable",
     "iter_map_output",
     "lpt_worker_loads",
     "make_cluster",
     "make_codec",
     "merge_fragments",
     "normalize_partitioner",
+    "put_with_retry",
+    "read_lease",
     "resolve_cluster",
+    "write_lease",
     "run_blob_map_task",
     "run_job",
     "run_map_task",

@@ -29,12 +29,21 @@ from __future__ import annotations
 import pickle
 import shutil
 import tempfile
+import time
 from collections.abc import Callable, Sequence
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
 from repro.errors import MapReduceError
+from repro.mapreduce.faults import (
+    DEFAULT_FAULT_POLICY,
+    FaultInjector,
+    FaultPolicy,
+    TaskContext,
+    TaskTimeoutError,
+    is_retryable,
+)
 from repro.mapreduce.job import MapReduceJob, normalize_partitioner
 from repro.mapreduce.metrics import JobMetrics
 from repro.mapreduce.spill import WireFragment
@@ -48,6 +57,24 @@ from repro.mapreduce.wire import Codec, make_codec
 
 #: A task scheduled by the driver: (function, positional arguments).
 Task = tuple[Callable[..., Any], tuple[Any, ...]]
+
+
+@dataclass
+class BatchOutcome:
+    """What one executor round reports back to the stage driver.
+
+    ``results`` maps each task's *batch index* to its result; ``failures``
+    pairs batch indexes with the exception that felled them, **in the order
+    the failures were observed** — the first entry is the round's first
+    cause, which the driver chains onto whatever error finally aborts the
+    job.  A task can appear in neither dict (fail-fast cancelled it before it
+    started); it is simply still pending.  ``recovered_hosts`` counts worker
+    pools the executor had to rebuild after losing a host mid-round.
+    """
+
+    results: dict[int, Any] = field(default_factory=dict)
+    failures: list[tuple[int, BaseException]] = field(default_factory=list)
+    recovered_hosts: int = 0
 
 
 @dataclass
@@ -120,6 +147,20 @@ class StageDriverCluster:
         exactly like ``kernel``: jobs built for ``"trie"`` override
         :meth:`~repro.mapreduce.job.MapReduceJob.map_records` with the
         trie-batched grid construction of :mod:`repro.core.prefix_batch`.
+    fault_policy:
+        The run's :class:`~repro.mapreduce.faults.FaultPolicy`: how many
+        attempts a failed or timed-out task gets, the jittered backoff
+        between them, and the blob-store retry knobs.  The default policy
+        gives every task one retry; ``max_task_attempts=1`` restores strict
+        fail-fast.  Whatever the policy, a non-retryable failure (a
+        candidate/run explosion — deterministic in the data) aborts the job
+        immediately, and when attempts are exhausted the *original* task
+        exception is re-raised, chained from the stage's first observed
+        failure.
+    fault_injector:
+        Optional :class:`~repro.mapreduce.faults.FaultInjector` shipped into
+        every task for deterministic chaos testing; ``None`` (the default)
+        injects nothing and costs nothing.
     """
 
     #: Human-readable backend identifier (also used by :func:`repr`).
@@ -140,6 +181,8 @@ class StageDriverCluster:
         grid: str | None = None,
         partitioner: str | None = None,
         map_batching: str | None = None,
+        fault_policy: FaultPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if num_workers is None:
             num_workers = self.default_num_workers
@@ -181,6 +224,8 @@ class StageDriverCluster:
 
             map_batching = normalize_map_batching(map_batching)
         self.map_batching = map_batching
+        self.fault_policy = fault_policy or DEFAULT_FAULT_POLICY
+        self.fault_injector = fault_injector
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -233,12 +278,21 @@ class StageDriverCluster:
                         # Map stage: each task partitions, combines, and
                         # encodes its reduce buckets locally (worker-side
                         # shuffle write), spilling payloads to disk past the
-                        # in-memory budget.
-                        map_results: list[MapTaskResult] = execute(
+                        # in-memory budget.  Failed or timed-out attempts are
+                        # retried up to the fault policy's bound; only the
+                        # one successful attempt per task is folded into the
+                        # metrics below, so retries never double-count
+                        # shuffle or wire bytes.
+                        map_results: list[MapTaskResult] = self._run_stage(
+                            "map",
                             [
-                                self._map_task(job, chunk, job_spill_dir, shuffle)
+                                lambda context, chunk=chunk: self._map_task(
+                                    job, chunk, job_spill_dir, shuffle, context
+                                )
                                 for chunk in chunks
-                            ]
+                            ],
+                            execute,
+                            metrics,
                         )
                         fragments: list[list[WireFragment]] = [
                             [] for _ in range(self.num_reduce_tasks)
@@ -253,6 +307,7 @@ class StageDriverCluster:
                             metrics.spilled_bytes += result.spilled_bytes
                             metrics.blob_put_count += result.blob_put_count
                             metrics.blob_put_bytes += result.blob_put_bytes
+                            metrics.blob_retry_count += result.blob_retry_count
                             metrics.batch_trie_nodes += result.batch_trie_nodes
                             metrics.batch_shared_positions += (
                                 result.batch_shared_positions
@@ -268,12 +323,19 @@ class StageDriverCluster:
                         # Reduce stage: one task per non-empty bucket; the
                         # streamed key-group merge (shuffle read) happens
                         # inside the task, i.e. on the worker.
-                        reduce_results: list[ReduceTaskResult] = execute(
+                        reduce_results: list[ReduceTaskResult] = self._run_stage(
+                            "reduce",
                             [
-                                self._reduce_task(job, bucket_fragments, shuffle)
+                                lambda context, bucket_fragments=bucket_fragments: (
+                                    self._reduce_task(
+                                        job, bucket_fragments, shuffle, context
+                                    )
+                                )
                                 for bucket_fragments in fragments
                                 if bucket_fragments
-                            ]
+                            ],
+                            execute,
+                            metrics,
                         )
         finally:
             if job_spill_dir is not None:
@@ -284,9 +346,121 @@ class StageDriverCluster:
             outputs.extend(result.outputs)
             metrics.blob_get_count += result.blob_get_count
             metrics.blob_get_bytes += result.blob_get_bytes
+            metrics.blob_retry_count += result.blob_retry_count
         metrics.reduce_task_seconds.extend(self._worker_times(reduce_results))
         metrics.output_records = len(outputs)
         return JobResult(outputs=outputs, metrics=metrics)
+
+    # ------------------------------------------------------------ fault logic
+    def _run_stage(
+        self,
+        stage: str,
+        builders: Sequence[Callable[[TaskContext], Task]],
+        execute: Callable[..., BatchOutcome],
+        metrics: JobMetrics,
+    ) -> list[Any]:
+        """Run one stage's tasks with attempt-aware retries; results in order.
+
+        Each entry of ``builders`` constructs one task from a fresh
+        :class:`~repro.mapreduce.faults.TaskContext` (the attempt number must
+        reach the worker: the fault injector keys on it, and blob retries
+        inside the task read the policy from it).  A round executes every
+        still-pending task; failures — including attempts over the policy's
+        per-task timeout — are retried in the next round after a
+        deterministic jittered backoff, until ``max_task_attempts`` is
+        exhausted or the error is non-retryable, at which point the original
+        exception is re-raised, chained from the stage's first observed
+        failure (``raise error from first_cause``).  Exactly one successful
+        result per task is ever returned, so a retried task's earlier
+        attempts can never be double-counted downstream.
+        """
+        policy = self.fault_policy
+        fail_fast = policy.max_task_attempts <= 1
+        pending = list(range(len(builders)))
+        attempts = dict.fromkeys(pending, 1)
+        results: dict[int, Any] = {}
+        first_cause: BaseException | None = None
+        while pending:
+            contexts = [
+                TaskContext(
+                    stage=stage,
+                    index=slot,
+                    attempt=attempts[slot],
+                    policy=policy,
+                    injector=self.fault_injector,
+                )
+                for slot in pending
+            ]
+            outcome = execute(
+                [builders[slot](context) for slot, context in zip(pending, contexts)],
+                fail_fast,
+            )
+            metrics.recovered_host_count += outcome.recovered_hosts
+            failures = list(outcome.failures)
+            for batch_index, result in outcome.results.items():
+                slot = pending[batch_index]
+                seconds = getattr(result, "seconds", 0.0)
+                if policy.task_timeout_s is not None and seconds > policy.task_timeout_s:
+                    # Post-hoc timeout: the attempt finished but blew its
+                    # compute budget (e.g. a stalled worker); treat it as
+                    # failed and rerun it, discarding this attempt's result.
+                    failures.append(
+                        (
+                            batch_index,
+                            TaskTimeoutError(
+                                stage, slot, seconds, policy.task_timeout_s
+                            ),
+                        )
+                    )
+                    continue
+                results[slot] = result
+            retry_slots: list[int] = []
+            backoff = 0.0
+            for batch_index, error in failures:
+                slot = pending[batch_index]
+                attempt = attempts[slot]
+                metrics.tasks_failed += 1
+                if first_cause is None:
+                    first_cause = error
+                if not is_retryable(error) or attempt >= policy.max_task_attempts:
+                    self._raise_stage_failure(stage, slot, attempt, error, first_cause)
+                retry_slots.append(slot)
+                attempts[slot] = attempt + 1
+                backoff = max(backoff, policy.task_retry_delay(attempt, stage, slot))
+            metrics.task_retry_count += len(retry_slots)
+            # Only failed slots go another round.  An executor that reported
+            # neither a result nor a failure for some task can only have
+            # fail-fast-cancelled it, and fail-fast implies a failure that
+            # already raised above; the KeyError a missing slot would cause
+            # at return is the loud guard against a misbehaving executor.
+            pending = retry_slots
+            if pending and backoff > 0:
+                time.sleep(backoff)
+        return [results[slot] for slot in range(len(builders))]
+
+    def _raise_stage_failure(
+        self,
+        stage: str,
+        index: int,
+        attempt: int,
+        error: BaseException,
+        first_cause: BaseException | None,
+    ) -> None:
+        """Abort the job with a task's own exception, chaining the first cause.
+
+        The original exception object propagates (harness code dispatches on
+        its type, tests match its message); the retry history rides along as
+        a note, and when a *different* task failed first, that failure is
+        chained so the traceback shows the true origin of the cascade.
+        """
+        if hasattr(error, "add_note"):  # pragma: no branch - py3.11+
+            error.add_note(
+                f"{stage} task {index} failed on attempt {attempt}"
+                f"/{self.fault_policy.max_task_attempts}"
+            )
+        if first_cause is not None and first_cause is not error:
+            raise error from first_cause
+        raise error
 
     # ------------------------------------------------------------- extensions
     @contextmanager
@@ -315,7 +489,12 @@ class StageDriverCluster:
         yield None
 
     def _map_task(
-        self, job: MapReduceJob, chunk: Any, job_spill_dir: str | None, shuffle: Any = None
+        self,
+        job: MapReduceJob,
+        chunk: Any,
+        job_spill_dir: str | None,
+        shuffle: Any = None,
+        context: TaskContext | None = None,
     ) -> Task:
         """Build the map task for one chunk produced by :meth:`_input_scope`."""
         return (
@@ -328,30 +507,50 @@ class StageDriverCluster:
                 self.codec,
                 self.spill_budget_bytes,
                 job_spill_dir,
+                context,
             ),
         )
 
     def _reduce_task(
-        self, job: MapReduceJob, fragments: list[WireFragment], shuffle: Any = None
+        self,
+        job: MapReduceJob,
+        fragments: list[WireFragment],
+        shuffle: Any = None,
+        context: TaskContext | None = None,
     ) -> Task:
         """Build the reduce task for one non-empty bucket's fragments."""
-        return (run_reduce_task, (job, fragments, self.codec))
+        return (run_reduce_task, (job, fragments, self.codec, None, context))
 
     @contextmanager
     def _executor_scope(self, chunks: Sequence[Any], job: MapReduceJob):
-        """Yield a ``tasks -> results`` callable; the scope spans both stages.
+        """Yield a ``(tasks, fail_fast) -> BatchOutcome`` callable spanning both stages.
 
         ``chunks`` are the map inputs prepared by :meth:`_input_scope`
         (backends that initialize their workers per job batch read the store
         handle from them) and ``job`` is the job about to run (backends that
         warm their workers once per job batch ship
         :meth:`~repro.mapreduce.job.MapReduceJob.worker_warmup` through the
-        pool initializer).  Results come back in submission order.  The
-        default runs tasks serially in the calling process; pool backends
+        pool initializer).  The callable reports per-task results and
+        failures in a :class:`BatchOutcome` — it never raises a task's
+        exception itself; the driver's retry loop decides a failure's fate.
+        With ``fail_fast`` it may stop scheduling after the first failure.
+        The default runs tasks serially in the calling process; pool backends
         yield a closure over a freshly created executor, so one cluster
         instance can safely serve concurrent :meth:`run` calls.
         """
-        yield lambda tasks: [function(*args) for function, args in tasks]
+
+        def execute(tasks: list[Task], fail_fast: bool = True) -> BatchOutcome:
+            outcome = BatchOutcome()
+            for index, (function, args) in enumerate(tasks):
+                try:
+                    outcome.results[index] = function(*args)
+                except Exception as error:
+                    outcome.failures.append((index, error))
+                    if fail_fast:
+                        break
+            return outcome
+
+        yield execute
 
     def _worker_times(self, results: Sequence[ReduceTaskResult]) -> list[float]:
         """Per-worker reduce seconds, attributed to the workers that ran them."""

@@ -18,22 +18,33 @@ dropped by deleting its prefix, which is what guarantees cleanup even when a
 mid-stage worker failure aborts the run.
 
 Object stores are eventually consistent and briefly flaky in ways a local
-directory is not, so reads go through :func:`get_with_retry` — a bounded
-exponential backoff around ``get`` — mirroring how serverless shuffle
-implementations poll object storage for fragments that may not be visible
-yet.
+directory is not, so reads and writes go through :func:`get_with_retry` /
+:func:`put_with_retry` — bounded, deterministically jittered backoff loops
+whose knobs come from the run's
+:class:`~repro.mapreduce.faults.FaultPolicy` — mirroring how serverless
+shuffle implementations poll object storage for fragments that may not be
+visible yet.
+
+A job announces its namespace with a *lease* (:func:`write_lease`): one tiny
+JSON blob under ``<prefix>/.lease`` stamping when the namespace was created
+and by whom.  A driver that dies mid-run orphans its namespace; the lease is
+what lets :func:`gc_expired` later distinguish "abandoned job past its TTL"
+from "live job" or "foreign files somebody parked in the same directory".
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
+import socket
 import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 from repro.errors import MapReduceError
+from repro.mapreduce.faults import DEFAULT_FAULT_POLICY, FaultPolicy
 
 
 class BlobStoreError(MapReduceError):
@@ -48,9 +59,15 @@ class BlobNotFoundError(BlobStoreError):
         self.key = key
 
 
-#: ``get`` retry policy: attempts and the initial backoff, doubled per retry.
-DEFAULT_GET_ATTEMPTS = 4
-DEFAULT_GET_BACKOFF_S = 0.01
+#: Key of the per-namespace lease blob, relative to the job prefix.
+LEASE_NAME = ".lease"
+
+
+@dataclass
+class BlobRetryStats:
+    """Mutable counter a retry loop feeds; one per task, folded into metrics."""
+
+    retries: int = 0
 
 
 @runtime_checkable
@@ -81,38 +98,166 @@ def content_key(data: bytes, prefix: str = "") -> str:
 
 
 def delete_prefix(store: BlobStore, prefix: str) -> int:
-    """Delete every key under ``prefix``; returns the number of keys dropped."""
+    """Delete every key under ``prefix``; returns the number of keys dropped.
+
+    Tolerates a concurrent cleaner racing over the same namespace (two
+    drivers sweeping one shared ``--blob-dir``): a key that vanishes between
+    ``list`` and ``delete`` is somebody else's successful delete, not an
+    error.
+    """
     keys = store.list(prefix)
+    dropped = 0
     for key in keys:
-        store.delete(key)
-    return len(keys)
+        try:
+            store.delete(key)
+            dropped += 1
+        except (BlobStoreError, OSError):
+            continue
+    return dropped
+
+
+def _retry_loop(
+    operation,
+    kind: str,
+    key: str,
+    attempts: int,
+    policy: FaultPolicy,
+    backoff_s: float | None,
+    stats: BlobRetryStats | None,
+):
+    """Shared bounded-retry core of :func:`get_with_retry` / :func:`put_with_retry`.
+
+    Waits between attempts with the policy's deterministic full jitter
+    (uniform-by-hash in ``[0, min(cap, base·2ᵃ))``), so concurrent tasks
+    retrying the same hot store never form a synchronized convoy, yet a
+    replayed run backs off identically.  The final attempt's error propagates
+    unchanged, so a genuinely missing blob still fails the job with
+    :class:`BlobNotFoundError`.
+    """
+    if attempts < 1:
+        raise BlobStoreError(f"attempts must be >= 1, got {attempts}")
+    for attempt in range(1, attempts + 1):
+        try:
+            return operation()
+        except BlobStoreError:
+            if attempt == attempts:
+                raise
+            if stats is not None:
+                stats.retries += 1
+            if backoff_s is not None:
+                # Legacy explicit-backoff callers: plain doubling, no jitter.
+                time.sleep(backoff_s * 2 ** (attempt - 1))
+            else:
+                time.sleep(policy.blob_retry_delay(attempt, kind, key))
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def get_with_retry(
     store: BlobStore,
     key: str,
-    attempts: int = DEFAULT_GET_ATTEMPTS,
-    backoff_s: float = DEFAULT_GET_BACKOFF_S,
+    attempts: int | None = None,
+    backoff_s: float | None = None,
+    policy: FaultPolicy | None = None,
+    stats: BlobRetryStats | None = None,
 ) -> bytes:
-    """``store.get(key)`` with bounded exponential backoff.
+    """``store.get(key)`` with bounded, jittered backoff from the fault policy.
 
     Object stores serve freshly written keys with a small propagation delay
-    and the odd transient error; a reduce task must not die on either.  The
-    final attempt's error propagates unchanged, so a genuinely missing blob
-    still fails the job with :class:`BlobNotFoundError`.
+    and the odd transient error; a reduce task must not die on either.
+    Attempt count and backoff come from ``policy`` (default
+    :data:`~repro.mapreduce.faults.DEFAULT_FAULT_POLICY`); explicit
+    ``attempts``/``backoff_s`` override it for callers that need a one-off
+    schedule.  ``stats`` counts the retries actually taken.
     """
-    if attempts < 1:
-        raise BlobStoreError(f"attempts must be >= 1, got {attempts}")
-    delay = backoff_s
-    for remaining in range(attempts - 1, -1, -1):
-        try:
-            return store.get(key)
-        except BlobStoreError:
-            if not remaining:
-                raise
-            time.sleep(delay)
-            delay *= 2
-    raise AssertionError("unreachable")  # pragma: no cover
+    policy = policy or DEFAULT_FAULT_POLICY
+    resolved_attempts = attempts if attempts is not None else policy.blob_get_attempts
+    return _retry_loop(
+        lambda: store.get(key), "get", key, resolved_attempts, policy, backoff_s, stats
+    )
+
+
+def put_with_retry(
+    store: BlobStore,
+    key: str,
+    data: bytes,
+    attempts: int | None = None,
+    backoff_s: float | None = None,
+    policy: FaultPolicy | None = None,
+    stats: BlobRetryStats | None = None,
+) -> None:
+    """``store.put(key, data)`` with the same bounded, jittered backoff.
+
+    Safe to repeat because shuffle keys are content-addressed: re-uploading
+    after a partial failure writes the identical bytes under the identical
+    key, so a retried put (or a retried *task* re-staging its buckets) is
+    idempotent by construction.
+    """
+    policy = policy or DEFAULT_FAULT_POLICY
+    resolved_attempts = attempts if attempts is not None else policy.blob_put_attempts
+    _retry_loop(
+        lambda: store.put(key, data), "put", key, resolved_attempts, policy,
+        backoff_s, stats,
+    )
+
+
+# ------------------------------------------------------------ leases and GC
+def write_lease(store: BlobStore, prefix: str, now: float | None = None) -> str:
+    """Stamp ``prefix`` as a live job namespace; returns the lease key.
+
+    The lease records the namespace's creation time plus the owning driver's
+    pid/host (purely diagnostic).  It is the *manifest* that marks a prefix
+    as ours to garbage-collect: :func:`gc_expired` only ever touches leased
+    namespaces, so foreign files sharing the directory are never at risk.
+    """
+    key = f"{prefix}/{LEASE_NAME}"
+    stamp = {
+        "created_at": time.time() if now is None else now,
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+    }
+    store.put(key, json.dumps(stamp).encode("utf-8"))
+    return key
+
+
+def read_lease(store: BlobStore, prefix: str) -> dict | None:
+    """The lease stamp of ``prefix``, or ``None`` if absent or unreadable."""
+    try:
+        raw = store.get(f"{prefix}/{LEASE_NAME}")
+        stamp = json.loads(raw.decode("utf-8"))
+    except (BlobStoreError, ValueError, UnicodeDecodeError):
+        return None
+    return stamp if isinstance(stamp, dict) else None
+
+
+def gc_expired(
+    store: BlobStore, ttl_s: float, now: float | None = None
+) -> list[str]:
+    """Sweep job namespaces whose lease is older than ``ttl_s`` seconds.
+
+    A driver that is killed mid-run leaves its ``job-*`` namespace behind
+    forever; this is the reclaim path.  Only namespaces *with* a lease are
+    candidates — an unleased prefix is either a live pre-lease race, foreign
+    data, or an old-format job, and all three are left alone.  A lease
+    younger than the TTL marks a live (or recently live) job and survives.
+    Deletion races with other cleaners are tolerated.  Returns the prefixes
+    swept.
+    """
+    clock = time.time() if now is None else now
+    swept: list[str] = []
+    lease_suffix = f"/{LEASE_NAME}"
+    for key in store.list(""):
+        if not key.endswith(lease_suffix):
+            continue
+        prefix = key[: -len(lease_suffix)]
+        stamp = read_lease(store, prefix)
+        if stamp is None:
+            continue  # lease vanished under us: another cleaner won the race
+        created = stamp.get("created_at")
+        if not isinstance(created, (int, float)) or clock - created <= ttl_s:
+            continue
+        delete_prefix(store, prefix)
+        swept.append(prefix)
+    return sorted(swept)
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,7 @@ from dataclasses import dataclass, replace
 from repro.errors import MapReduceError
 from repro.mapreduce.base import Cluster
 from repro.mapreduce.engine import SimulatedCluster
+from repro.mapreduce.faults import DEFAULT_FAULT_POLICY, FaultInjector, FaultPolicy
 from repro.mapreduce.multihost import MultiHostCluster
 from repro.mapreduce.parallel import (
     PersistentProcessPoolCluster,
@@ -89,6 +90,15 @@ class ClusterConfig:
     #: trie-batched over each chunk (:mod:`repro.core.prefix_batch`);
     #: ``"off"``/``None`` keeps the per-sequence reference path.
     map_batching: str | None = None
+    #: Task-retry / timeout / blob-retry knobs
+    #: (:class:`~repro.mapreduce.faults.FaultPolicy`; ``None`` → the library
+    #: default, which gives every task one retry).  Part of the fingerprint.
+    fault_policy: FaultPolicy | None = None
+    #: Deterministic chaos source shipped into every task
+    #: (:class:`~repro.mapreduce.faults.FaultInjector`); test/CI-only.  Part
+    #: of the fingerprint (by repr), so an injected run can never be served
+    #: from — or poison — a fault-free run's service-cache entry.
+    fault_injector: FaultInjector | None = None
 
     @classmethod
     def resolve(
@@ -214,6 +224,8 @@ class ClusterConfig:
             self.partitioner_name,
             self.plan_sample,
             self.map_batching_name,
+            (self.fault_policy or DEFAULT_FAULT_POLICY).fingerprint(),
+            repr(self.fault_injector),
         )
         return "|".join(str(part) for part in parts)
 
@@ -231,6 +243,8 @@ def make_cluster(
     grid: str | None = None,
     partitioner: str | None = None,
     map_batching: str | None = None,
+    fault_policy: FaultPolicy | None = None,
+    fault_injector: FaultInjector | None = None,
 ) -> Cluster:
     """Build an execution backend by name or from a :class:`ClusterConfig`.
 
@@ -275,6 +289,8 @@ def make_cluster(
             grid=config.grid,
             partitioner=config.partitioner,
             map_batching=config.map_batching,
+            fault_policy=config.fault_policy,
+            fault_injector=config.fault_injector,
         )
     key = _ALIASES.get(str(backend).strip().lower())
     if key is None:
@@ -298,6 +314,8 @@ def make_cluster(
         grid=grid,
         partitioner=partitioner,
         map_batching=map_batching,
+        fault_policy=fault_policy,
+        fault_injector=fault_injector,
         **extra,
     )
 
@@ -315,6 +333,8 @@ def resolve_cluster(
     grid: str | None = None,
     partitioner: str | None = None,
     map_batching: str | None = None,
+    fault_policy: FaultPolicy | None = None,
+    fault_injector: FaultInjector | None = None,
 ) -> Cluster:
     """Return ``backend`` itself if it already is a cluster, else build one.
 
@@ -345,4 +365,6 @@ def resolve_cluster(
         grid=grid,
         partitioner=partitioner,
         map_batching=map_batching,
+        fault_policy=fault_policy,
+        fault_injector=fault_injector,
     )

@@ -63,6 +63,17 @@ class JobMetrics:
     blob_put_bytes: int = 0
     blob_get_count: int = 0
     blob_get_bytes: int = 0
+    #: Fault-tolerance accounting.  ``tasks_failed`` counts every failed (or
+    #: timed-out) task *attempt*; ``task_retry_count`` counts the re-runs the
+    #: driver scheduled for them (a job that recovered shows equal non-zero
+    #: values, a job that failed shows more failures than retries);
+    #: ``blob_retry_count`` counts transient blob-store errors absorbed by
+    #: in-task put/get retries; ``recovered_host_count`` counts worker pools
+    #: rebuilt after losing a host mid-stage.  All zero on a fault-free run.
+    tasks_failed: int = 0
+    task_retry_count: int = 0
+    blob_retry_count: int = 0
+    recovered_host_count: int = 0
     #: Pickled size of the map tasks' input arguments — the per-task database
     #: shipping cost a process-pool backend pays.  Backends that pass chunk
     #: descriptors against a shared store (``persistent-processes``) report a
@@ -183,6 +194,10 @@ class JobMetrics:
             "blob_put_bytes": self.blob_put_bytes,
             "blob_get_count": self.blob_get_count,
             "blob_get_bytes": self.blob_get_bytes,
+            "tasks_failed": self.tasks_failed,
+            "task_retry_count": self.task_retry_count,
+            "blob_retry_count": self.blob_retry_count,
+            "recovered_host_count": self.recovered_host_count,
             "map_input_pickle_bytes": self.map_input_pickle_bytes,
             "input_records": self.input_records,
             "output_records": self.output_records,
@@ -215,6 +230,12 @@ class JobMetrics:
             blob_put_bytes=self.blob_put_bytes + other.blob_put_bytes,
             blob_get_count=self.blob_get_count + other.blob_get_count,
             blob_get_bytes=self.blob_get_bytes + other.blob_get_bytes,
+            tasks_failed=self.tasks_failed + other.tasks_failed,
+            task_retry_count=self.task_retry_count + other.task_retry_count,
+            blob_retry_count=self.blob_retry_count + other.blob_retry_count,
+            recovered_host_count=(
+                self.recovered_host_count + other.recovered_host_count
+            ),
             map_input_pickle_bytes=self.map_input_pickle_bytes + other.map_input_pickle_bytes,
             map_output_records=self.map_output_records + other.map_output_records,
             combined_records=self.combined_records + other.combined_records,

@@ -37,11 +37,16 @@ from typing import Any
 
 from repro.mapreduce.base import Task
 from repro.mapreduce.blobstore import (
+    BlobRetryStats,
     BlobStore,
     DirectoryBlobStore,
     content_key,
     delete_prefix,
+    gc_expired,
+    put_with_retry,
+    write_lease,
 )
+from repro.mapreduce.faults import FaultInjectingBlobStore, TaskContext
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.parallel import PersistentProcessPoolCluster
 from repro.mapreduce.spill import (
@@ -78,6 +83,7 @@ def run_blob_map_task(
     spill_budget_bytes: int | None,
     spill_dir: str | None,
     shuffle: BlobShuffle,
+    context: TaskContext | None = None,
 ) -> MapTaskResult:
     """Run a store-chunk map task, then stage every bucket in the blob store.
 
@@ -86,9 +92,12 @@ def run_blob_map_task(
     spill budget, same accounting.  Each fragment's payload then goes into
     the store under its content-addressed key: inline fragments upload from
     memory, spilled fragments stream from the task's spill file (one shared
-    handle via :class:`~repro.mapreduce.spill.FragmentReader`).  The task's
-    spill file is deleted right away — its contents live in the store now —
-    and the returned fragments carry only blob keys.
+    handle via :class:`~repro.mapreduce.spill.FragmentReader`).  Uploads
+    retry transient store failures in-task with the fault policy's blob
+    knobs — safe at any repetition, because a content-addressed re-upload is
+    idempotent — and the retries taken are metered on the result.  The
+    task's spill file is deleted right away — its contents live in the store
+    now — and the returned fragments carry only blob keys.
     """
     result = run_store_map_task(
         job,
@@ -98,14 +107,17 @@ def run_blob_map_task(
         codec=codec,
         spill_budget_bytes=spill_budget_bytes,
         spill_dir=spill_dir,
+        context=context,
     )
     started = time.perf_counter()
+    policy = context.policy if context is not None else None
+    put_stats = BlobRetryStats()
     staged: list[tuple[int, WireFragment]] = []
     with FragmentReader() as reader:
         for bucket_index, fragment in result.buckets:
             blob = reader.read(fragment)
             key = content_key(blob, shuffle.prefix)
-            shuffle.store.put(key, blob)
+            put_with_retry(shuffle.store, key, blob, policy=policy, stats=put_stats)
             result.blob_put_count += 1
             result.blob_put_bytes += len(blob)
             staged.append(
@@ -119,6 +131,7 @@ def run_blob_map_task(
                 )
             )
     result.buckets = staged
+    result.blob_retry_count += put_stats.retries
     remove_spill_files([result.spill_path])
     result.spill_path = None
     result.seconds += time.perf_counter() - started
@@ -152,12 +165,30 @@ class MultiHostCluster(PersistentProcessPoolCluster):
             os.makedirs(self.blob_dir, exist_ok=True)
             root = self.blob_dir
         store = DirectoryBlobStore(root)
+        if owned_root is None:
+            # A shared --blob-dir accumulates namespaces orphaned by killed
+            # drivers; sweep the expired ones opportunistically at job start
+            # (``repro blob-gc`` is the explicit path).  Best effort: GC
+            # trouble must never fail a healthy job.
+            try:
+                gc_expired(store, self.fault_policy.blob_namespace_ttl_s)
+            except Exception:
+                pass
         prefix = f"job-{uuid.uuid4().hex[:16]}"
+        # The lease stamps the namespace's birth, so a later GC pass can
+        # tell this job's leftovers (if we die before the cleanup below)
+        # from live namespaces and from foreign files in the directory.
+        write_lease(store, prefix)
+        task_store: BlobStore = store
+        if self.fault_injector is not None:
+            task_store = FaultInjectingBlobStore(store, self.fault_injector)
         try:
-            yield BlobShuffle(store=store, prefix=prefix)
+            yield BlobShuffle(store=task_store, prefix=prefix)
         finally:
             # Runs after the executor scope has joined every worker task, so
             # no host can upload a blob once its job's namespace is gone.
+            # Cleanup always goes through the raw store: injected faults
+            # must never leak a namespace.
             try:
                 delete_prefix(store, prefix)
             finally:
@@ -170,6 +201,7 @@ class MultiHostCluster(PersistentProcessPoolCluster):
         chunk: StoreChunk,
         job_spill_dir: str | None,
         shuffle: Any = None,
+        context: TaskContext | None = None,
     ) -> Task:
         return (
             run_blob_map_task,
@@ -182,10 +214,15 @@ class MultiHostCluster(PersistentProcessPoolCluster):
                 self.spill_budget_bytes,
                 job_spill_dir,
                 shuffle,
+                context,
             ),
         )
 
     def _reduce_task(
-        self, job: MapReduceJob, fragments: list[WireFragment], shuffle: Any = None
+        self,
+        job: MapReduceJob,
+        fragments: list[WireFragment],
+        shuffle: Any = None,
+        context: TaskContext | None = None,
     ) -> Task:
-        return (run_reduce_task, (job, fragments, self.codec, shuffle.store))
+        return (run_reduce_task, (job, fragments, self.codec, shuffle.store, context))

@@ -31,16 +31,17 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from concurrent.futures import (
-    FIRST_EXCEPTION,
+    BrokenExecutor,
     Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
-    wait,
+    as_completed,
 )
 from contextlib import contextmanager
 from typing import Any
 
-from repro.mapreduce.base import StageDriverCluster, Task, split_ranges
+from repro.mapreduce.base import BatchOutcome, StageDriverCluster, Task, split_ranges
+from repro.mapreduce.faults import TaskContext
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.tasks import run_store_map_task
 from repro.sequences.store import StoreChunk, StoreHandle, as_encoded_store, attach_store
@@ -53,7 +54,13 @@ class ExecutorCluster(StageDriverCluster):
 
     One executor is created per :meth:`run` call, shared by the map and
     reduce stages, and kept out of instance state so a single cluster can
-    serve concurrent runs.
+    serve concurrent runs.  When a *host* dies mid-round — a worker process
+    exiting hard breaks the whole :class:`ProcessPoolExecutor`, surfacing as
+    :class:`BrokenExecutor` on every in-flight future — the scope discards
+    the broken pool, builds a fresh one from the same chunks/job (the shared
+    store stays published for the whole run, so new workers re-attach it),
+    and reports the casualties as per-task failures for the driver to retry
+    on the surviving pool.
     """
 
     default_num_workers = 2
@@ -63,32 +70,63 @@ class ExecutorCluster(StageDriverCluster):
 
     @contextmanager
     def _executor_scope(self, chunks: Sequence[Any], job: MapReduceJob):
-        with self._make_executor(chunks, job) as pool:
+        pool = self._make_executor(chunks, job)
 
-            def execute(tasks: list[Task]) -> list[Any]:
-                futures = [pool.submit(function, *args) for function, args in tasks]
-                done, pending = wait(futures, return_when=FIRST_EXCEPTION)
-                if pending:
-                    # wait() returns early only when a task failed.  Fail
-                    # fast: drop the tasks that have not started yet — at the
-                    # moment of failure, not after every earlier future has
-                    # drained — so the pool (and the driver's spill-directory
-                    # cleanup that follows it) is not held up by doomed work.
-                    # Tasks that are already running finish before the scope
-                    # exits (the executor's shutdown joins them), which is
-                    # what guarantees no spill file is written after the
-                    # driver removes the per-job spill directory.  Surface
-                    # the task's own error, never a CancelledError.
-                    for future in pending:
-                        future.cancel()
-                    for future in futures:
-                        if future in done and not future.cancelled():
-                            error = future.exception()
-                            if error is not None:
-                                raise error
-                return [future.result() for future in futures]
+        def execute(tasks: list[Task], fail_fast: bool = True) -> BatchOutcome:
+            nonlocal pool
+            outcome = BatchOutcome()
+            futures: dict[Any, int] = {}
+            cancelled = False
+            broken = False
+            try:
+                for index, (function, args) in enumerate(tasks):
+                    futures[pool.submit(function, *args)] = index
+            except BrokenExecutor as error:
+                # The pool died at (or before) submit time; the tasks that
+                # never launched fail right here, the ones already submitted
+                # resolve through as_completed below with the pool's error.
+                broken = True
+                outcome.failures.extend(
+                    (index, error) for index in range(len(futures), len(tasks))
+                )
+            for future in as_completed(list(futures)):
+                if future.cancelled():
+                    continue
+                error = future.exception()
+                if error is None:
+                    outcome.results[futures[future]] = future.result()
+                    continue
+                # Failures land here in *observation* order — the first
+                # entry is the batch's first cause, which the driver chains
+                # onto the error that finally aborts the job.
+                outcome.failures.append((futures[future], error))
+                if isinstance(error, BrokenExecutor):
+                    broken = True
+                if fail_fast and not cancelled:
+                    # Drop tasks that have not started yet — at the moment
+                    # of failure, not after every earlier future drains — so
+                    # the pool (and the driver's spill-directory cleanup
+                    # that follows it) is not held up by doomed work.  Tasks
+                    # already running finish before the scope exits (the
+                    # executor's shutdown joins them), which is what
+                    # guarantees no spill file is written after the driver
+                    # removes the per-job spill directory.
+                    cancelled = True
+                    for other in futures:
+                        other.cancel()
+            if broken:
+                # Host failover: replace the dead pool so retries (and the
+                # next stage) run on fresh workers instead of failing on a
+                # permanently broken executor.
+                pool.shutdown(wait=False)
+                pool = self._make_executor(chunks, job)
+                outcome.recovered_hosts += 1
+            return outcome
 
+        try:
             yield execute
+        finally:
+            pool.shutdown(wait=True)
 
 
 class ThreadPoolCluster(ExecutorCluster):
@@ -172,6 +210,7 @@ class PersistentProcessPoolCluster(ExecutorCluster):
         chunk: StoreChunk,
         job_spill_dir: str | None,
         shuffle: Any = None,
+        context: TaskContext | None = None,
     ) -> Task:
         return (
             run_store_map_task,
@@ -183,6 +222,7 @@ class PersistentProcessPoolCluster(ExecutorCluster):
                 self.codec,
                 self.spill_budget_bytes,
                 job_spill_dir,
+                context,
             ),
         )
 

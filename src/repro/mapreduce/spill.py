@@ -92,10 +92,12 @@ class FragmentReader:
     context manager, or call :meth:`close` when done.
     """
 
-    def __init__(self, blob_store=None) -> None:
+    def __init__(self, blob_store=None, fault_policy=None) -> None:
         self.blob_store = blob_store
+        self.fault_policy = fault_policy
         self.blob_gets = 0
         self.blob_get_bytes = 0
+        self.blob_retries = 0
         self._handles: dict[str, IO[bytes]] = {}
         self._blobs: dict[str, bytes] = {}
 
@@ -125,11 +127,15 @@ class FragmentReader:
                     f"fragment references blob {key!r} but this reader has no "
                     "blob store"
                 )
-            from repro.mapreduce.blobstore import get_with_retry
+            from repro.mapreduce.blobstore import BlobRetryStats, get_with_retry
 
-            blob = self._blobs[key] = get_with_retry(self.blob_store, key)
+            stats = BlobRetryStats()
+            blob = self._blobs[key] = get_with_retry(
+                self.blob_store, key, policy=self.fault_policy, stats=stats
+            )
             self.blob_gets += 1
             self.blob_get_bytes += len(blob)
+            self.blob_retries += stats.retries
         return blob
 
     def close(self) -> None:

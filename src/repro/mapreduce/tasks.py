@@ -24,6 +24,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.mapreduce.faults import TaskContext
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.spill import (
     FragmentReader,
@@ -68,6 +69,8 @@ class MapTaskResult:
     #: Blob-store shuffle writes (multi-host backend; zero elsewhere).
     blob_put_count: int = 0
     blob_put_bytes: int = 0
+    #: Transient blob-store failures absorbed by in-task retries.
+    blob_retry_count: int = 0
     #: Trie-batched map accounting (``map_batching="trie"``; zero otherwise):
     #: trie nodes driven through the kernel, and sequence positions that rode
     #: along on a shared prefix instead of being recomputed.
@@ -85,6 +88,8 @@ class ReduceTaskResult:
     #: Blob-store shuffle reads (multi-host backend; zero elsewhere).
     blob_get_count: int = 0
     blob_get_bytes: int = 0
+    #: Transient blob-store failures absorbed by in-task retries.
+    blob_retry_count: int = 0
     seconds: float = 0.0
     worker: tuple[int, int] = (0, 0)
 
@@ -97,9 +102,17 @@ def run_map_task(
     codec: Codec | str = "compact",
     spill_budget_bytes: int | None = None,
     spill_dir: str | None = None,
+    context: TaskContext | None = None,
 ) -> MapTaskResult:
-    """Map ``records``, combine per key, partition, and encode reduce buckets."""
+    """Map ``records``, combine per key, partition, and encode reduce buckets.
+
+    ``context`` identifies the attempt for fault tolerance: its injector (if
+    any) observes the task start — and may kill this very attempt — before
+    any work happens, so a retried attempt reruns the task from scratch.
+    """
     started = time.perf_counter()
+    if context is not None:
+        context.begin()
     codec = make_codec(codec)
     task_output: dict[Any, list[Any]] = defaultdict(list)
     map_output_records = 0
@@ -171,6 +184,7 @@ def run_store_map_task(
     codec: Codec | str = "compact",
     spill_budget_bytes: int | None = None,
     spill_dir: str | None = None,
+    context: TaskContext | None = None,
 ) -> MapTaskResult:
     """Run a map task over a chunk *descriptor* of a shared sequence store.
 
@@ -188,6 +202,7 @@ def run_store_map_task(
         codec=codec,
         spill_budget_bytes=spill_budget_bytes,
         spill_dir=spill_dir,
+        context=context,
     )
 
 
@@ -196,18 +211,26 @@ def run_reduce_task(
     fragments: Sequence[WireFragment],
     codec: Codec | str = "compact",
     blob_store: Any = None,
+    context: TaskContext | None = None,
 ) -> ReduceTaskResult:
     """Merge the encoded fragments of one bucket and reduce every key group.
 
     ``blob_store`` is the multi-host backend's fragment source: its fragments
     carry blob keys instead of inline bytes or spill-file slices, and the
     merge fetches them (with retry, one get per distinct key) through a
-    :class:`~repro.mapreduce.spill.FragmentReader` over the store.
+    :class:`~repro.mapreduce.spill.FragmentReader` over the store.  With a
+    ``context``, blob-get retries follow its fault policy and the injector
+    observes the attempt start (and any injected blob-get failures, when the
+    driver wrapped the store).
     """
     started = time.perf_counter()
-    with FragmentReader(blob_store) as reader:
+    if context is not None:
+        context.begin()
+    policy = context.policy if context is not None else None
+    with FragmentReader(blob_store, fault_policy=policy) as reader:
         grouped = merge_fragments(fragments, make_codec(codec), reader=reader)
         blob_get_count, blob_get_bytes = reader.blob_gets, reader.blob_get_bytes
+        blob_retry_count = reader.blob_retries
     outputs: list[Any] = []
     for key, values in grouped.items():
         outputs.extend(job.reduce(key, values))
@@ -215,6 +238,7 @@ def run_reduce_task(
         outputs=outputs,
         blob_get_count=blob_get_count,
         blob_get_bytes=blob_get_bytes,
+        blob_retry_count=blob_retry_count,
         seconds=time.perf_counter() - started,
         worker=worker_token(),
     )

@@ -9,11 +9,14 @@ import pytest
 from repro.errors import MapReduceError
 from repro.mapreduce import (
     BlobNotFoundError,
+    BlobRetryStats,
     BlobStore,
     DirectoryBlobStore,
+    FaultPolicy,
     InMemoryBlobStore,
     content_key,
     get_with_retry,
+    put_with_retry,
 )
 from repro.mapreduce.blobstore import BlobStoreError, delete_prefix
 
@@ -162,3 +165,64 @@ class TestGetWithRetry:
     def test_rejects_non_positive_attempts(self):
         with pytest.raises(BlobStoreError, match="attempts"):
             get_with_retry(InMemoryBlobStore(), "k", attempts=0)
+
+    def test_policy_supplies_attempts_and_counts_retries(self):
+        store = FlakyStore(failures=2)
+        store.put("k", b"v")
+        stats = BlobRetryStats()
+        policy = FaultPolicy(
+            blob_get_attempts=3, blob_backoff_base_s=0.0, blob_backoff_cap_s=0.0
+        )
+        assert get_with_retry(store, "k", policy=policy, stats=stats) == b"v"
+        assert store.gets == 3
+        assert stats.retries == 2
+
+    def test_policy_attempt_budget_is_binding(self):
+        store = FlakyStore(failures=100)
+        store.put("k", b"v")
+        policy = FaultPolicy(
+            blob_get_attempts=2, blob_backoff_base_s=0.0, blob_backoff_cap_s=0.0
+        )
+        with pytest.raises(BlobNotFoundError):
+            get_with_retry(store, "k", policy=policy)
+        assert store.gets == 2
+
+
+class FlakyPutStore(InMemoryBlobStore):
+    """Fails the first ``failures`` puts (transient object-store write errors)."""
+
+    def __init__(self, failures: int) -> None:
+        super().__init__()
+        self.failures = failures
+        self.attempted_puts = 0
+
+    def put(self, key: str, data: bytes) -> None:
+        self.attempted_puts += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise BlobStoreError(f"injected transient put failure for {key!r}")
+        super().put(key, data)
+
+
+class TestPutWithRetry:
+    def test_retries_through_transient_write_failures(self):
+        store = FlakyPutStore(failures=2)
+        stats = BlobRetryStats()
+        policy = FaultPolicy(
+            blob_put_attempts=3, blob_backoff_base_s=0.0, blob_backoff_cap_s=0.0
+        )
+        put_with_retry(store, "k", b"payload", policy=policy, stats=stats)
+        assert store.get("k") == b"payload"
+        assert store.attempted_puts == 3
+        assert stats.retries == 2
+
+    def test_exhausted_attempts_raise_the_final_error(self):
+        store = FlakyPutStore(failures=100)
+        with pytest.raises(BlobStoreError, match="transient put failure"):
+            put_with_retry(store, "k", b"payload", attempts=3, backoff_s=0.0001)
+        assert store.attempted_puts == 3
+
+    def test_legacy_explicit_arguments_still_work(self):
+        store = FlakyPutStore(failures=1)
+        put_with_retry(store, "k", b"payload", attempts=2, backoff_s=0.0001)
+        assert store.get("k") == b"payload"

@@ -505,3 +505,115 @@ class TestHierarchyFile:
         path.write_text("a b c\n")
         with pytest.raises(ReproError):
             read_hierarchy_file(path)
+
+
+# ------------------------------------------------------------ fault tolerance
+@pytest.fixture()
+def tiny_corpus(tmp_path):
+    sequences = tmp_path / "dex.txt"
+    sequences.write_text("a c b\na b\nc b\na c c b\n")
+    return sequences
+
+
+class TestMineFaultFlags:
+    def _mine(self, sequences, *extra):
+        return run_cli(
+            "mine", "--sequences", str(sequences),
+            "--pattern", ".*(a).*(b).*", "--sigma", "2", *extra,
+        )
+
+    def test_retries_and_timeout_accepted_on_cluster_miner(self, tiny_corpus):
+        code, text = self._mine(
+            tiny_corpus, "--retries", "2", "--task-timeout", "30", "--metrics"
+        )
+        assert code == 0
+        assert "frequent patterns" in text
+        # Fault-free run: the fault-tolerance metrics line stays silent.
+        assert "fault tolerance" not in text
+
+    def test_retries_zero_means_fail_fast(self, tiny_corpus):
+        code, _ = self._mine(tiny_corpus, "--retries", "0")
+        assert code == 0
+
+    def test_negative_retries_rejected(self, tiny_corpus):
+        code, _ = self._mine(tiny_corpus, "--retries", "-1")
+        assert code == 2
+
+    def test_non_positive_timeout_rejected(self, tiny_corpus):
+        code, _ = self._mine(tiny_corpus, "--task-timeout", "0")
+        assert code == 2
+
+    def test_retries_rejected_for_sequential_miner(self, tiny_corpus):
+        code, _ = self._mine(
+            tiny_corpus, "--algorithm", "desq-dfs", "--retries", "1"
+        )
+        assert code == 2
+
+    def test_timeout_rejected_for_sequential_miner(self, tiny_corpus):
+        code, _ = self._mine(
+            tiny_corpus, "--algorithm", "desq-count", "--task-timeout", "5"
+        )
+        assert code == 2
+
+    def test_fault_metrics_line_prints_when_retries_happened(self):
+        from repro.cli.common import print_metrics
+        from repro.mapreduce.metrics import JobMetrics
+
+        metrics = JobMetrics(num_workers=2)
+        metrics.tasks_failed = 2
+        metrics.task_retry_count = 2
+        metrics.blob_retry_count = 3
+        metrics.recovered_host_count = 1
+        stream = io.StringIO()
+        print_metrics(metrics, stream=stream)
+        text = stream.getvalue()
+        assert "fault tolerance" in text
+        assert "2 task retries" in text
+        assert "1 hosts recovered" in text
+
+
+class TestBlobGc:
+    @pytest.fixture()
+    def blob_root(self, tmp_path):
+        import time
+
+        from repro.mapreduce import DirectoryBlobStore, write_lease
+
+        root = tmp_path / "blobs"
+        store = DirectoryBlobStore(str(root))
+        store.put("job-dead/shard", b"orphaned")
+        write_lease(store, "job-dead", now=time.time() - 10_000)
+        store.put("job-live/shard", b"active")
+        write_lease(store, "job-live")
+        store.put("unleased/shard", b"foreign")
+        return root
+
+    def test_dry_run_reports_without_deleting(self, blob_root):
+        from repro.mapreduce import DirectoryBlobStore
+
+        code, text = run_cli(
+            "blob-gc", "--blob-dir", str(blob_root), "--ttl", "3600", "--dry-run"
+        )
+        assert code == 0
+        assert "would sweep job-dead" in text
+        assert "1 expired namespace(s)" in text
+        assert DirectoryBlobStore(str(blob_root)).get("job-dead/shard") == b"orphaned"
+
+    def test_sweeps_only_expired_leased_namespaces(self, blob_root):
+        from repro.mapreduce import DirectoryBlobStore
+
+        code, text = run_cli("blob-gc", "--blob-dir", str(blob_root), "--ttl", "3600")
+        assert code == 0
+        assert "swept job-dead" in text
+        store = DirectoryBlobStore(str(blob_root))
+        assert store.list("job-dead") == []
+        assert store.get("job-live/shard") == b"active"
+        assert store.get("unleased/shard") == b"foreign"
+
+    def test_missing_directory_rejected(self, tmp_path):
+        code, _ = run_cli("blob-gc", "--blob-dir", str(tmp_path / "nope"))
+        assert code == 2
+
+    def test_negative_ttl_rejected(self, blob_root):
+        code, _ = run_cli("blob-gc", "--blob-dir", str(blob_root), "--ttl", "-1")
+        assert code == 2

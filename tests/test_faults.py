@@ -1,0 +1,671 @@
+"""Fault-tolerant execution: retry policy, injection, failover, GC.
+
+Acceptance criteria of the fault layer (ISSUE 10): with a deterministic
+injector killing one host mid-stage and failing a fraction of blob gets, all
+five cluster miners on the multihost backend complete with patterns and
+modeled metrics byte-identical to the fault-free run, with the retries visible
+in the job metrics; with ``max_task_attempts=1`` the same injection raises
+``MapReduceError`` and leaves the per-job blob namespace cleaned; and
+``gc_expired`` reclaims orphaned, expired namespaces without touching live or
+unleased ones.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DCandMiner, DSeqMiner, NaiveMiner, SemiNaiveMiner
+from repro.errors import CandidateExplosionError, MapReduceError
+from repro.mapreduce import (
+    BatchOutcome,
+    BlobRetryStats,
+    ClusterConfig,
+    DEFAULT_FAULT_POLICY,
+    DirectoryBlobStore,
+    FaultInjectingBlobStore,
+    FaultInjector,
+    FaultPolicy,
+    InjectedFault,
+    InMemoryBlobStore,
+    MapReduceJob,
+    ScriptedInjector,
+    TaskContext,
+    TaskTimeoutError,
+    gc_expired,
+    get_with_retry,
+    is_retryable,
+    make_cluster,
+    put_with_retry,
+    read_lease,
+    write_lease,
+)
+from repro.mapreduce.blobstore import LEASE_NAME, BlobStoreError, delete_prefix
+from repro.mapreduce.faults import full_jitter_delay, stable_fraction
+from repro.sequential import GapConstrainedMiner
+
+from tests.test_differential import MATRIX_PATEX, make_differential_database
+from tests.test_multihost import FID_RECORDS, FidCountJob
+
+#: Zero-backoff variant of the default policy: tests retry without sleeping.
+FAST = FaultPolicy(
+    task_backoff_base_s=0.0,
+    task_backoff_cap_s=0.0,
+    blob_backoff_base_s=0.0,
+    blob_backoff_cap_s=0.0,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_differential_database(count=40, seed=31)
+
+
+def fast_policy(**overrides) -> FaultPolicy:
+    import dataclasses
+
+    return dataclasses.replace(FAST, **overrides)
+
+
+# ----------------------------------------------------------- policy & jitter
+class TestFaultPolicy:
+    def test_defaults_give_one_retry(self):
+        assert DEFAULT_FAULT_POLICY.max_task_attempts == 2
+        assert DEFAULT_FAULT_POLICY.task_timeout_s is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        (
+            {"max_task_attempts": 0},
+            {"blob_get_attempts": 0},
+            {"blob_put_attempts": -1},
+            {"task_backoff_base_s": -0.1},
+            {"blob_namespace_ttl_s": -1.0},
+            {"task_timeout_s": 0.0},
+            {"task_timeout_s": -2.0},
+        ),
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(MapReduceError):
+            FaultPolicy(**kwargs)
+
+    def test_stable_fraction_is_deterministic_and_bounded(self):
+        values = {stable_fraction("a", 1, 2.5) for _ in range(10)}
+        assert len(values) == 1
+        value = values.pop()
+        assert 0.0 <= value < 1.0
+        assert stable_fraction("a", 1, 2.5) != stable_fraction("a", 1, 2.6)
+
+    def test_full_jitter_delay_is_deterministic_and_capped(self):
+        for attempt in (1, 2, 3, 8):
+            delay = full_jitter_delay(0.05, 0.2, attempt, "map", 3)
+            assert delay == full_jitter_delay(0.05, 0.2, attempt, "map", 3)
+            assert 0.0 <= delay < min(0.2, 0.05 * 2 ** (attempt - 1))
+        assert full_jitter_delay(0.0, 0.2, 1, "x") == 0.0
+        with pytest.raises(MapReduceError):
+            full_jitter_delay(0.05, 0.2, 0)
+
+    def test_policy_delays_vary_with_seed_and_token(self):
+        a = FaultPolicy(jitter_seed=1)
+        b = FaultPolicy(jitter_seed=2)
+        assert a.task_retry_delay(1, "map", 0) == a.task_retry_delay(1, "map", 0)
+        assert a.task_retry_delay(1, "map", 0) != b.task_retry_delay(1, "map", 0)
+        assert a.blob_retry_delay(1, "get", "k") != a.blob_retry_delay(1, "get", "j")
+
+    def test_fingerprint_distinguishes_policies(self):
+        prints = {
+            FaultPolicy().fingerprint(),
+            FaultPolicy(max_task_attempts=3).fingerprint(),
+            FaultPolicy(task_timeout_s=1.5).fingerprint(),
+            FaultPolicy(blob_get_attempts=2).fingerprint(),
+            FaultPolicy(jitter_seed=7).fingerprint(),
+        }
+        assert len(prints) == 5
+
+    def test_is_retryable_classification(self):
+        assert is_retryable(MapReduceError("host down"))
+        assert is_retryable(TaskTimeoutError("map", 0, 2.0, 1.0))
+        assert is_retryable(InjectedFault("boom"))
+        assert is_retryable(OSError("connection reset"))
+        assert not is_retryable(CandidateExplosionError("accepting runs", 100))
+
+    def test_cluster_fingerprint_covers_fault_knobs(self):
+        base = ClusterConfig(num_workers=2).fingerprint()
+        retried = ClusterConfig(
+            num_workers=2, fault_policy=FaultPolicy(max_task_attempts=3)
+        ).fingerprint()
+        injected = ClusterConfig(
+            num_workers=2, fault_injector=ScriptedInjector(kill_map_task=0)
+        ).fingerprint()
+        assert len({base, retried, injected}) == 3
+
+
+# -------------------------------------------------------- injector mechanics
+class TestScriptedInjector:
+    def test_validation(self):
+        with pytest.raises(MapReduceError):
+            ScriptedInjector(kill_mode="maim")
+        with pytest.raises(MapReduceError):
+            ScriptedInjector(blob_get_failure_rate=1.5)
+        with pytest.raises(MapReduceError):
+            ScriptedInjector(blob_put_failure_rate=-0.1)
+
+    def test_satisfies_protocol_and_pickles(self):
+        injector = ScriptedInjector(kill_map_task=1, blob_get_failure_rate=0.2)
+        assert isinstance(injector, FaultInjector)
+        clone = pickle.loads(pickle.dumps(injector))
+        assert clone == injector
+
+    def test_kill_raises_only_for_scheduled_attempts(self):
+        injector = ScriptedInjector(kill_map_task=2, kill_attempts=2)
+        with pytest.raises(InjectedFault, match="map-task 2.*attempt 1"):
+            injector.on_task_start("map", 2, 1)
+        with pytest.raises(InjectedFault, match="attempt 2"):
+            injector.on_task_start("map", 2, 2)
+        injector.on_task_start("map", 2, 3)  # past the kill budget
+        injector.on_task_start("map", 1, 1)  # different task
+        injector.on_task_start("reduce", 2, 1)  # different stage
+
+    def test_blob_decisions_are_pure_functions_of_seed(self):
+        keys = [f"job-x/{index:02d}" for index in range(50)]
+
+        def decide(injector):
+            flaky = []
+            for key in keys:
+                try:
+                    injector.on_blob_get(key, 0)
+                    flaky.append(False)
+                except BlobStoreError:
+                    flaky.append(True)
+            return flaky
+
+        first = decide(ScriptedInjector(seed=3, blob_get_failure_rate=0.3))
+        second = decide(ScriptedInjector(seed=3, blob_get_failure_rate=0.3))
+        other_seed = decide(ScriptedInjector(seed=4, blob_get_failure_rate=0.3))
+        assert first == second
+        assert first != other_seed
+        assert 0 < sum(first) < len(keys)
+
+    def test_blob_failures_stop_after_per_key_budget(self):
+        injector = ScriptedInjector(blob_put_failure_rate=1.0, blob_failures_per_key=2)
+        with pytest.raises(BlobStoreError):
+            injector.on_blob_put("k", 0)
+        with pytest.raises(BlobStoreError):
+            injector.on_blob_put("k", 1)
+        injector.on_blob_put("k", 2)
+
+    def test_injecting_store_wraps_put_get_only(self):
+        inner = InMemoryBlobStore()
+        store = FaultInjectingBlobStore(
+            inner,
+            ScriptedInjector(
+                blob_get_failure_rate=1.0,
+                blob_put_failure_rate=1.0,
+                blob_failures_per_key=1,
+            ),
+        )
+        with pytest.raises(BlobStoreError):
+            store.put("k", b"v")
+        store.put("k", b"v")  # second put of the key passes
+        with pytest.raises(BlobStoreError):
+            store.get("k")
+        assert store.get("k") == b"v"
+        assert store.list("") == ["k"]  # list is never injected
+        store.delete("k")  # delete is never injected
+        assert inner.list("") == []
+
+    def test_store_retries_absorb_injected_failures(self):
+        inner = InMemoryBlobStore()
+        store = FaultInjectingBlobStore(
+            inner,
+            ScriptedInjector(
+                blob_get_failure_rate=1.0,
+                blob_put_failure_rate=1.0,
+                blob_failures_per_key=2,
+            ),
+        )
+        put_stats = BlobRetryStats()
+        put_with_retry(store, "k", b"payload", policy=FAST, stats=put_stats)
+        assert put_stats.retries == 2
+        get_stats = BlobRetryStats()
+        assert get_with_retry(store, "k", policy=FAST, stats=get_stats) == b"payload"
+        assert get_stats.retries == 2
+
+    def test_store_retries_exhaust_with_original_error(self):
+        store = FaultInjectingBlobStore(
+            InMemoryBlobStore(),
+            ScriptedInjector(blob_get_failure_rate=1.0, blob_failures_per_key=99),
+        )
+        with pytest.raises(BlobStoreError, match="injected blob get failure"):
+            get_with_retry(store, "k", policy=fast_policy(blob_get_attempts=2))
+
+
+# ------------------------------------------------------- driver retry logic
+class PoisonJob(MapReduceJob):
+    """Word count whose map can sleep or fail on marker records."""
+
+    def map(self, record):
+        if record == ("slow",):
+            time.sleep(0.3)
+            raise MapReduceError("slow poison")
+        if record == ("fast",):
+            raise MapReduceError("fast poison")
+        yield record[0], 1
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+class ExplodingJob(FidCountJob):
+    """Raises the non-retryable explosion error, counting its invocations."""
+
+    def __init__(self):
+        self.explosions = 0
+
+    def map(self, record):
+        if record == (99,):
+            self.explosions += 1
+            raise CandidateExplosionError("accepting runs", 100)
+        yield from super().map(record)
+
+
+class TestDriverRetries:
+    @pytest.mark.parametrize("backend", ("simulated", "threads"))
+    def test_transient_map_failure_is_retried_transparently(self, backend):
+        baseline = make_cluster(backend, num_workers=3).run(FidCountJob(), FID_RECORDS)
+        cluster = make_cluster(
+            backend,
+            num_workers=3,
+            fault_policy=FAST,
+            fault_injector=ScriptedInjector(kill_map_task=1, kill_attempts=1),
+        )
+        result = cluster.run(FidCountJob(), FID_RECORDS)
+        assert sorted(result.outputs) == sorted(baseline.outputs)
+        assert result.metrics.tasks_failed == 1
+        assert result.metrics.task_retry_count == 1
+        assert result.metrics.recovered_host_count == 0
+        # The one successful attempt per task is the only one metered.
+        for metric in ("shuffle_bytes", "shuffle_records", "wire_bytes",
+                       "map_output_records", "combined_records", "output_records"):
+            assert getattr(result.metrics, metric) == getattr(baseline.metrics, metric)
+
+    def test_transient_reduce_failure_is_retried(self):
+        baseline = make_cluster("simulated", num_workers=3).run(FidCountJob(), FID_RECORDS)
+        cluster = make_cluster(
+            "simulated",
+            num_workers=3,
+            fault_policy=FAST,
+            fault_injector=ScriptedInjector(kill_reduce_task=0, kill_attempts=1),
+        )
+        result = cluster.run(FidCountJob(), FID_RECORDS)
+        assert sorted(result.outputs) == sorted(baseline.outputs)
+        assert result.metrics.task_retry_count == 1
+
+    def test_exit_kill_degrades_to_raise_in_driver_process(self):
+        # simulated/threads run tasks in the driver process, where an os._exit
+        # would kill the test run itself; the injector degrades to a raised
+        # fault there, and the retry still recovers the job.
+        cluster = make_cluster(
+            "simulated",
+            num_workers=3,
+            fault_policy=FAST,
+            fault_injector=ScriptedInjector(kill_map_task=0, kill_mode="exit"),
+        )
+        result = cluster.run(FidCountJob(), FID_RECORDS)
+        assert result.metrics.task_retry_count == 1
+
+    def test_exhausted_attempts_reraise_original_chained_to_first_cause(self):
+        cluster = make_cluster(
+            "simulated",
+            num_workers=3,
+            fault_policy=FAST,  # max_task_attempts=2
+            fault_injector=ScriptedInjector(kill_map_task=0, kill_attempts=5),
+        )
+        with pytest.raises(InjectedFault, match="attempt 2") as excinfo:
+            cluster.run(FidCountJob(), FID_RECORDS)
+        # The final attempt's own exception propagates, chained onto the
+        # stage's first observed failure (attempt 1).
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, InjectedFault)
+        assert "attempt 1" in str(cause)
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("map task 0 failed on attempt 2/2" in note for note in notes)
+
+    def test_fail_fast_raises_first_observed_failure(self):
+        # Two failing map tasks on a 2-worker thread pool: the quick failure
+        # is observed first even though the slow one was submitted first.
+        cluster = make_cluster(
+            "threads",
+            num_workers=2,
+            fault_policy=fast_policy(max_task_attempts=1),
+        )
+        with pytest.raises(MapReduceError, match="fast poison"):
+            cluster.run(PoisonJob(), [("slow",), ("fast",)])
+
+    def test_non_retryable_explosion_fails_immediately(self):
+        job = ExplodingJob()
+        cluster = make_cluster(
+            "simulated", num_workers=3, fault_policy=fast_policy(max_task_attempts=4)
+        )
+        with pytest.raises(CandidateExplosionError):
+            cluster.run(job, FID_RECORDS + [(99,)])
+        assert job.explosions == 1  # never retried, whatever the budget
+
+    def test_timeout_retry_recovers_a_stalled_task(self):
+        baseline = make_cluster("simulated", num_workers=3).run(FidCountJob(), FID_RECORDS)
+        cluster = make_cluster(
+            "simulated",
+            num_workers=3,
+            fault_policy=fast_policy(task_timeout_s=0.05),
+            fault_injector=ScriptedInjector(
+                delay_stage="map", delay_task=0, delay_s=0.25, delay_attempts=1
+            ),
+        )
+        result = cluster.run(FidCountJob(), FID_RECORDS)
+        assert sorted(result.outputs) == sorted(baseline.outputs)
+        assert result.metrics.tasks_failed == 1
+        assert result.metrics.task_retry_count == 1
+
+    def test_timeout_exhaustion_raises_task_timeout_error(self):
+        cluster = make_cluster(
+            "simulated",
+            num_workers=3,
+            fault_policy=fast_policy(task_timeout_s=0.05),
+            fault_injector=ScriptedInjector(
+                delay_stage="map", delay_task=0, delay_s=0.25, delay_attempts=99
+            ),
+        )
+        with pytest.raises(TaskTimeoutError, match="per-task timeout"):
+            cluster.run(FidCountJob(), FID_RECORDS)
+
+    def test_default_executor_reports_batch_outcome(self):
+        # The serial reference executor: failures are reported, not raised,
+        # and fail_fast stops scheduling after the first one.
+        cluster = make_cluster("simulated", num_workers=2)
+        with cluster._executor_scope([], None) as execute:
+            def boom():
+                raise MapReduceError("boom")
+
+            outcome = execute([(boom, ()), (lambda: "ok", ())], False)
+            assert isinstance(outcome, BatchOutcome)
+            assert outcome.results == {1: "ok"}
+            assert [index for index, _ in outcome.failures] == [0]
+            fast = execute([(boom, ()), (lambda: "ok", ())], True)
+            assert fast.results == {}  # fail-fast stopped before task 1
+
+
+class TestHostFailover:
+    def test_dead_host_tasks_are_redispatched(self):
+        baseline = make_cluster("persistent-processes", num_workers=2).run(
+            FidCountJob(), FID_RECORDS
+        )
+        cluster = make_cluster(
+            "persistent-processes",
+            num_workers=2,
+            fault_policy=FAST,
+            fault_injector=ScriptedInjector(kill_map_task=0, kill_mode="exit"),
+        )
+        result = cluster.run(FidCountJob(), FID_RECORDS)
+        assert sorted(result.outputs) == sorted(baseline.outputs)
+        assert result.metrics.recovered_host_count >= 1
+        assert result.metrics.task_retry_count >= 1
+        for metric in ("shuffle_bytes", "wire_bytes", "output_records"):
+            assert getattr(result.metrics, metric) == getattr(baseline.metrics, metric)
+
+
+# ----------------------------------------------- acceptance: injected miners
+def _acceptance_miner(name, dictionary, cluster):
+    if name == "dseq":
+        return DSeqMiner(MATRIX_PATEX, 2, dictionary, cluster=cluster)
+    if name == "dcand":
+        return DCandMiner(MATRIX_PATEX, 2, dictionary, cluster=cluster)
+    if name == "naive":
+        return NaiveMiner(MATRIX_PATEX, 2, dictionary, cluster=cluster)
+    if name == "semi-naive":
+        return SemiNaiveMiner(MATRIX_PATEX, 2, dictionary, cluster=cluster)
+    if name == "lash":
+        return GapConstrainedMiner(
+            2, dictionary, max_gap=1, max_length=3, cluster=cluster
+        )
+    raise AssertionError(name)
+
+
+MINER_NAMES = ("dseq", "dcand", "naive", "semi-naive", "lash")
+
+
+class TestInjectedMultiHost:
+    @pytest.mark.parametrize("miner_name", MINER_NAMES)
+    def test_host_kill_and_flaky_blobs_stay_byte_identical(self, miner_name, corpus):
+        """ISSUE 10 acceptance: one host killed mid-map + 20% flaky blob gets."""
+        dictionary, database = corpus
+        reference = _acceptance_miner(
+            miner_name, dictionary, ClusterConfig(backend="simulated", num_workers=2)
+        ).mine(database)
+        injected = _acceptance_miner(
+            miner_name,
+            dictionary,
+            ClusterConfig(
+                backend="multihost",
+                num_workers=2,
+                fault_policy=FAST,
+                fault_injector=ScriptedInjector(
+                    kill_map_task=0, kill_mode="exit", blob_get_failure_rate=0.2
+                ),
+            ),
+        ).mine(database)
+        assert injected.patterns() == reference.patterns()
+        for metric in ("shuffle_bytes", "shuffle_records", "wire_bytes",
+                       "map_output_records", "combined_records", "output_records"):
+            assert getattr(injected.metrics, metric) == (
+                getattr(reference.metrics, metric)
+            ), metric
+        assert injected.metrics.task_retry_count > 0
+        assert injected.metrics.recovered_host_count >= 1
+        assert reference.metrics.task_retry_count == 0
+
+    def test_host_killed_mid_reduce_recovers(self, corpus):
+        dictionary, database = corpus
+        reference = DSeqMiner(
+            MATRIX_PATEX, 2, dictionary,
+            cluster=ClusterConfig(backend="simulated", num_workers=2),
+        ).mine(database)
+        injected = DSeqMiner(
+            MATRIX_PATEX, 2, dictionary,
+            cluster=ClusterConfig(
+                backend="multihost",
+                num_workers=2,
+                fault_policy=FAST,
+                fault_injector=ScriptedInjector(kill_reduce_task=0, kill_mode="exit"),
+            ),
+        ).mine(database)
+        assert injected.patterns() == reference.patterns()
+        assert injected.metrics.task_retry_count > 0
+        assert injected.metrics.recovered_host_count >= 1
+
+    def test_flaky_blob_gets_surface_as_blob_retries(self, corpus):
+        dictionary, database = corpus
+        reference = DSeqMiner(
+            MATRIX_PATEX, 2, dictionary,
+            cluster=ClusterConfig(backend="simulated", num_workers=2),
+        ).mine(database)
+        injected = DSeqMiner(
+            MATRIX_PATEX, 2, dictionary,
+            cluster=ClusterConfig(
+                backend="multihost",
+                num_workers=2,
+                fault_policy=FAST,
+                fault_injector=ScriptedInjector(
+                    blob_get_failure_rate=1.0,
+                    blob_put_failure_rate=1.0,
+                    blob_failures_per_key=2,
+                ),
+            ),
+        ).mine(database)
+        assert injected.patterns() == reference.patterns()
+        assert injected.metrics.blob_retry_count > 0
+        assert injected.metrics.task_retry_count == 0  # absorbed below task level
+
+    def test_exhausted_attempts_raise_and_leave_namespace_clean(self, corpus, tmp_path):
+        dictionary, database = corpus
+        blob_dir = tmp_path / "blobs"
+        blob_dir.mkdir()
+        miner = DSeqMiner(
+            MATRIX_PATEX, 2, dictionary,
+            cluster=ClusterConfig(
+                backend="multihost",
+                num_workers=2,
+                blob_dir=str(blob_dir),
+                fault_policy=fast_policy(max_task_attempts=1),
+                fault_injector=ScriptedInjector(kill_map_task=0),
+            ),
+        )
+        with pytest.raises(MapReduceError):
+            miner.mine(database)
+        # The per-job namespace (blobs and lease alike) is swept on failure.
+        assert DirectoryBlobStore(str(blob_dir)).list("") == []
+
+
+# ----------------------------------------------------------- lease & blob GC
+class TestLeaseAndGc:
+    def test_lease_round_trip(self):
+        store = InMemoryBlobStore()
+        key = write_lease(store, "job-a", now=123.0)
+        assert key == f"job-a/{LEASE_NAME}"
+        stamp = read_lease(store, "job-a")
+        assert stamp["created_at"] == 123.0
+        assert stamp["pid"] and stamp["host"]
+        assert read_lease(store, "job-missing") is None
+
+    def test_unreadable_lease_is_ignored(self):
+        store = InMemoryBlobStore()
+        store.put(f"job-bad/{LEASE_NAME}", b"\xff not json")
+        store.put("job-bad/data", b"x")
+        assert read_lease(store, "job-bad") is None
+        assert gc_expired(store, ttl_s=0.0) == []
+        assert store.get("job-bad/data") == b"x"
+
+    def test_gc_sweeps_only_expired_leased_namespaces(self):
+        store = InMemoryBlobStore()
+        store.put("job-dead/blob", b"old")
+        write_lease(store, "job-dead", now=time.time() - 10_000)
+        store.put("job-live/blob", b"new")
+        write_lease(store, "job-live")
+        store.put("unleased/blob", b"foreign")
+        swept = gc_expired(store, ttl_s=3600)
+        assert swept == ["job-dead"]
+        assert store.list("job-dead") == []
+        assert store.get("job-live/blob") == b"new"
+        assert read_lease(store, "job-live") is not None
+        assert store.get("unleased/blob") == b"foreign"
+
+    def test_gc_zero_ttl_sweeps_everything_leased(self):
+        store = InMemoryBlobStore()
+        store.put("job-a/blob", b"a")
+        write_lease(store, "job-a", now=time.time() - 1)
+        assert gc_expired(store, ttl_s=0.0) == ["job-a"]
+
+    def test_delete_prefix_tolerates_concurrent_deletion(self, tmp_path):
+        store = DirectoryBlobStore(str(tmp_path))
+        store.put("job-x/a", b"1")
+        store.put("job-x/b", b"2")
+
+        class RacingStore:
+            """First delete also removes the other key, as a racing GC would."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.raced = False
+
+            def list(self, prefix=""):
+                return self.inner.list(prefix)
+
+            def delete(self, key):
+                if not self.raced:
+                    self.raced = True
+                    for other in list(self.inner.list("job-x")):
+                        self.inner.delete(other)
+                self.inner.delete(key)
+
+        dropped = delete_prefix(RacingStore(store), "job-x")
+        assert dropped >= 1
+        assert store.list("job-x") == []
+
+    def test_gc_tolerates_vanishing_namespace(self):
+        store = InMemoryBlobStore()
+        store.put("job-gone/blob", b"x")
+        write_lease(store, "job-gone", now=1.0)
+
+        class VanishingStore:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def list(self, prefix=""):
+                return self.inner.list(prefix)
+
+            def get(self, key):
+                return self.inner.get(key)
+
+            def delete(self, key):
+                raise BlobStoreError("already deleted by a racing sweep")
+
+        # Every delete races and fails; the sweep still completes cleanly.
+        assert gc_expired(VanishingStore(store), ttl_s=0.0) == ["job-gone"]
+
+
+# -------------------------------------------------------------- property tests
+class TestRetryProperties:
+    @given(k=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=6, deadline=None)
+    def test_k_retries_stay_byte_identical_without_double_counting(self, k):
+        baseline = make_cluster("simulated", num_workers=3).run(
+            FidCountJob(), FID_RECORDS
+        )
+        cluster = make_cluster(
+            "simulated",
+            num_workers=3,
+            fault_policy=fast_policy(max_task_attempts=k + 1),
+            fault_injector=ScriptedInjector(kill_map_task=0, kill_attempts=k),
+        )
+        result = cluster.run(FidCountJob(), FID_RECORDS)
+        assert sorted(result.outputs) == sorted(baseline.outputs)
+        assert result.metrics.tasks_failed == k
+        assert result.metrics.task_retry_count == k
+        # Retried attempts never double-count the modeled or measured traffic.
+        for metric in ("shuffle_bytes", "shuffle_records", "wire_bytes",
+                       "map_output_records", "combined_records",
+                       "map_input_pickle_bytes", "output_records"):
+            assert getattr(result.metrics, metric) == (
+                getattr(baseline.metrics, metric)
+            ), metric
+
+    @given(
+        attempt=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_jitter_is_replayable_and_within_window(self, attempt, seed):
+        policy = FaultPolicy(jitter_seed=seed)
+        delay = policy.task_retry_delay(attempt, "map", 5)
+        assert delay == policy.task_retry_delay(attempt, "map", 5)
+        window = min(
+            policy.task_backoff_cap_s,
+            policy.task_backoff_base_s * 2 ** (attempt - 1),
+        )
+        assert 0.0 <= delay < window
+
+
+# --------------------------------------------------------------- task context
+class TestTaskContext:
+    def test_pickles_and_begins(self):
+        context = TaskContext(
+            stage="map", index=3, attempt=2,
+            policy=FAST, injector=ScriptedInjector(kill_map_task=3, kill_attempts=2),
+        )
+        clone = pickle.loads(pickle.dumps(context))
+        with pytest.raises(InjectedFault):
+            clone.begin()
+        TaskContext(stage="map", index=0, attempt=1).begin()  # no injector: no-op
